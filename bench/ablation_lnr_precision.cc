@@ -1,0 +1,72 @@
+// Ablation: the LNR precision knob. Theorem 2 / Corollary 2 bound the cell
+// (and hence estimation) bias by the maximum edge error ε, which shrinks as
+// the binary-search tolerances δ, δ' do — at O(log(1/ε)) queries per edge.
+// This bench quantifies the trade-off: inferred-cell area error and queries
+// per cell across four precision settings.
+
+#include <cstdio>
+#include <vector>
+
+#include "common/bench_common.h"
+#include "core/ground_truth.h"
+#include "core/lnr_cell.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+int main() {
+  using namespace lbsagg;
+
+  ChinaOptions copts;
+  copts.num_users = 2000;
+  const ChinaScenario china = BuildChinaScenario(copts);
+  LbsServer server(china.dataset.get(), {.max_k = 1});
+  GroundTruthOracle oracle(china.dataset->Positions(), china.dataset->box());
+
+  struct Setting {
+    const char* label;
+    double delta;
+    double delta_prime;
+  };
+  const Setting settings[] = {
+      {"coarse  (1e-4, 1e-2)", 1e-4, 1e-2},
+      {"medium  (1e-6, 1e-4)", 1e-6, 1e-4},
+      {"fine    (1e-8, 1e-5)", 1e-8, 1e-5},
+      {"precise (1e-10, 1e-6)", 1e-10, 1e-6},
+  };
+
+  Table table({"delta setting", "mean |area err|", "max |area err|",
+               "queries / cell"});
+  for (const Setting& s : settings) {
+    LnrClient client(&server, {.k = 1});
+    LnrCellOptions opts;
+    opts.search.delta_fraction = s.delta;
+    opts.search.delta_prime_fraction = s.delta_prime;
+    LnrCellComputer computer(&client, opts);
+
+    Rng rng(99);
+    std::vector<double> errors;
+    uint64_t queries = 0;
+    int cells = 0;
+    while (cells < 40) {
+      const Vec2 q = china.dataset->box().SamplePoint(rng);
+      const int id = client.Top1(q);
+      if (id < 0) continue;
+      const uint64_t before = client.queries_used();
+      const auto cell = computer.ComputeTop1Cell(id, q);
+      queries += client.queries_used() - before;
+      if (!cell.has_value() || cell->cell.IsEmpty()) continue;
+      ++cells;
+      const double truth = oracle.TopkCellArea(id, 1);
+      errors.push_back(std::abs(cell->area - truth) / truth);
+    }
+    const Summary sum = Summarize(errors);
+    table.AddRow({s.label, Table::Num(sum.mean, 5), Table::Num(sum.max, 5),
+                  Table::Num(static_cast<double>(queries) / cells, 0)});
+  }
+
+  std::printf("Ablation — LNR cell accuracy vs binary-search precision "
+              "(Theorem 2 / Corollary 2): bias falls off while query cost "
+              "grows only logarithmically\n\n");
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Ablation: defensive uniform/census mixtures (§5.2 context). External
+// knowledge is a heuristic: a census that under-covers a populated area
+// leaves those tuples with tiny inclusion probability and explosive
+// Horvitz–Thompson weights. Mixing in a uniform component floors every
+// location's density. The sweep runs COUNT(*) under a census whose noise is
+// cranked up, across mixture weights α (α = 0: pure census, α = 1: pure
+// uniform).
+
+#include <cstdio>
+
+#include "common/bench_common.h"
+#include "core/mixture_sampler.h"
+#include "util/table.h"
+
+int main() {
+  using namespace lbsagg;
+  using namespace lbsagg::bench;
+
+  UsaOptions uopts;
+  uopts.num_pois = 5000;
+  uopts.census_noise = 0.9;  // badly degraded external knowledge
+  const UsaScenario usa = BuildUsaScenario(uopts);
+  LbsServer server(usa.dataset.get(), {.max_k = 5});
+  UniformSampler uniform(usa.dataset->box());
+  CensusSampler census(&usa.census);
+
+  const AggregateSpec spec = AggregateSpec::Count();
+  const double truth = 5000.0;
+  const uint64_t budget = 12000;
+  const int runs = 12;
+
+  Table table({"uniform weight alpha", "mean rel. error at budget"});
+  for (const double alpha : {0.0, 0.1, 0.25, 0.5, 1.0}) {
+    const MixtureSampler mixture(&uniform, &census, alpha);
+    const auto traces = SweepEstimators(
+        {MakeLrSpec("mix", &server, &mixture, spec, 5)}, runs, budget, 42);
+    const ErrorCurve curve = ComputeErrorCurve(traces.at("mix"), truth);
+    table.AddRow({Table::Num(alpha, 2),
+                  Table::Num(curve.mean_rel_error.back(), 3)});
+  }
+
+  std::printf("Ablation — uniform/census mixture weight under noisy external "
+              "knowledge, COUNT(*) at %llu queries (mean of %d runs)\n\n",
+              static_cast<unsigned long long>(budget), runs);
+  table.Print();
+  std::printf("\nExpected shape: a small uniform component costs little when "
+              "the census is good and\ncaps the damage when it is bad; pure "
+              "uniform pays the full Figure-11 cell-size skew.\n");
+  return 0;
+}

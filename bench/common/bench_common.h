@@ -1,0 +1,89 @@
+#ifndef LBSAGG_BENCH_COMMON_BENCH_COMMON_H_
+#define LBSAGG_BENCH_COMMON_BENCH_COMMON_H_
+
+// Shared driver for the paper-reproduction benchmarks (bench/fig*.cc,
+// bench/table1_online.cc). Each benchmark binary prints the series of one
+// figure/table of §6 of "Aggregate Estimations over Location Based
+// Services" (PVLDB 8(10), 2015); this header holds the common experiment
+// plumbing: standard scenarios, multi-run sweeps of the three estimators,
+// and the query-cost-vs-relative-error tables the paper plots.
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/aggregate.h"
+#include "core/lnr_agg.h"
+#include "core/lr_agg.h"
+#include "core/nno_baseline.h"
+#include "core/runner.h"
+#include "core/sampler.h"
+#include "lbs/client.h"
+#include "lbs/server.h"
+#include "workload/scenarios.h"
+
+namespace lbsagg {
+namespace bench {
+
+// Standard benchmark scale. The paper ran against the USA portion of
+// OpenStreetMap and the live services; we run laptop-scale synthetic
+// equivalents with the same shape (see DESIGN.md).
+struct BenchConfig {
+  int num_pois = 6000;
+  int runs = 15;          // the paper averages 25 runs per data point
+  uint64_t budget = 15000;
+  int k = 5;
+  uint64_t seed_base = 42;
+};
+
+// One estimator family to sweep.
+struct EstimatorSpec {
+  std::string name;
+  // Builds and runs one estimator run to the budget; returns its trace.
+  std::function<RunResult(uint64_t seed, uint64_t budget)> run;
+};
+
+// Runs `runs` independent repetitions of each estimator family and returns
+// the per-family traces. Runs execute in parallel across hardware threads —
+// every run builds its own client, and the shared server/sampler are
+// immutable after construction.
+std::map<std::string, std::vector<RunResult>> SweepEstimators(
+    const std::vector<EstimatorSpec>& specs, int runs, uint64_t budget,
+    uint64_t seed_base);
+
+// Prints the paper's figure format: rows = target relative error, columns =
+// query cost needed by each family (linearly interpolated; ">budget" when a
+// family never reaches the target).
+void PrintCostVersusErrorTable(
+    const std::string& title,
+    const std::map<std::string, std::vector<RunResult>>& traces, double truth,
+    const std::vector<double>& error_targets = {0.5, 0.4, 0.3, 0.2, 0.15,
+                                                0.1});
+
+// Prints mean relative error at evenly spaced query-cost checkpoints.
+void PrintErrorVersusCostTable(
+    const std::string& title,
+    const std::map<std::string, std::vector<RunResult>>& traces, double truth,
+    int checkpoints = 8);
+
+// Convenience builders for the three estimator families over a fixed server.
+// All pointers must outlive the returned spec.
+EstimatorSpec MakeLrSpec(const std::string& name, LbsServer* server,
+                         const QuerySampler* sampler, AggregateSpec aggregate,
+                         int k, LrAggOptions options = {});
+EstimatorSpec MakeLnrSpec(const std::string& name, LbsServer* server,
+                          const QuerySampler* sampler, AggregateSpec aggregate,
+                          int k, LnrAggOptions options = {});
+EstimatorSpec MakeNnoSpec(const std::string& name, LbsServer* server,
+                          AggregateSpec aggregate, int k,
+                          NnoOptions options = {});
+
+// LNR benchmarks use aggregate-grade search precision (§4: the bias is
+// O(ε); meter-scale edges would burn the budget on one sample).
+LnrAggOptions DefaultLnrBenchOptions();
+
+}  // namespace bench
+}  // namespace lbsagg
+
+#endif  // LBSAGG_BENCH_COMMON_BENCH_COMMON_H_

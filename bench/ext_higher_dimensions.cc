@@ -1,0 +1,50 @@
+// Extension (§5.4): the paper notes the LR machinery "readily applies" to
+// kNN interfaces over higher-dimensional points. This bench demonstrates
+// unbiased COUNT estimation over a 3-D hidden dataset: Theorem 1 with
+// bisector planes + polytope vertex enumeration, finished by the §3.2.4
+// Monte-Carlo trial estimator so no exact polytope volume is ever needed.
+
+#include <cstdio>
+
+#include "core/lr3_agg.h"
+#include "lbs3/lbs3.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+int main() {
+  using namespace lbsagg;
+
+  const Box3 box({0, 0, 0}, {1000, 1000, 1000});
+  Dataset3 dataset(box);
+  Rng rng(2015);
+  const int n = 500;
+  for (int i = 0; i < n; ++i) dataset.Add(box.SamplePoint(rng));
+
+  Table table({"budget (queries)", "mean estimate", "mean rel. error",
+               "runs"});
+  for (const int samples : {25, 50, 100, 200}) {
+    RunningStats estimates;
+    double rel = 0.0;
+    uint64_t queries = 0;
+    const int runs = 10;
+    for (int r = 0; r < runs; ++r) {
+      Lr3Client client(&dataset, 3);
+      Lr3AggOptions opts;
+      opts.seed = 100 + r;
+      Lr3AggEstimator est(&client, opts);
+      for (int i = 0; i < samples; ++i) est.Step();
+      estimates.Add(est.Estimate());
+      rel += RelativeError(est.Estimate(), n) / runs;
+      queries += client.queries_used() / runs;
+    }
+    table.AddRow({Table::Int(static_cast<long long>(queries)),
+                  Table::Num(estimates.mean(), 1), Table::Num(rel, 3),
+                  Table::Int(runs)});
+  }
+
+  std::printf("Extension §5.4 — COUNT(*) over a 3-D kNN interface "
+              "(500 tuples in a 1000^3 region; Theorem 1 with bisector "
+              "planes + Monte-Carlo trials)\n\n");
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Figure 12: unbiasedness / convergence traces. The running estimate of
+// COUNT(restaurants in US) is plotted against query cost for the three
+// algorithms. Expected shape: LR-LBS-AGG and LNR-LBS-AGG converge quickly
+// to the ground truth; LR-LBS-NNO oscillates with far higher variance.
+
+#include <cstdio>
+
+#include "common/bench_common.h"
+#include "util/table.h"
+
+int main() {
+  using namespace lbsagg;
+  using namespace lbsagg::bench;
+
+  BenchConfig config;
+  config.budget = 25000;
+  config.runs = 10;
+
+  UsaOptions uopts;
+  uopts.num_pois = config.num_pois;
+  const UsaScenario usa = BuildUsaScenario(uopts);
+  LbsServer server(usa.dataset.get(), {.max_k = config.k});
+  CensusSampler sampler(&usa.census);
+
+  const AggregateSpec spec = AggregateSpec::CountWhere(
+      ColumnEquals(usa.columns.category, "restaurant"), "COUNT(restaurants)");
+  const double truth =
+      usa.dataset->GroundTruthCount(CategoryIs(usa.columns, "restaurant"));
+
+  const auto traces = SweepEstimators(
+      {
+          MakeNnoSpec("LR-LBS-NNO", &server, spec, config.k),
+          MakeLrSpec("LR-LBS-AGG", &server, &sampler, spec, config.k),
+          MakeLnrSpec("LNR-LBS-AGG", &server, &sampler, spec, config.k,
+                      DefaultLnrBenchOptions()),
+      },
+      config.runs, config.budget, config.seed_base);
+
+  std::printf("Figure 12 — estimate trace vs query cost, "
+              "COUNT(restaurants), ground truth = %.0f (mean of %d runs)\n\n",
+              truth, config.runs);
+
+  Table table({"queries", "LR-LBS-NNO", "LR-LBS-AGG", "LNR-LBS-AGG",
+               "ground truth"});
+  const int checkpoints = 10;
+  for (int i = 1; i <= checkpoints; ++i) {
+    const uint64_t cost = config.budget * i / checkpoints;
+    std::vector<std::string> row = {
+        Table::Int(static_cast<long long>(cost))};
+    for (const char* name : {"LR-LBS-NNO", "LR-LBS-AGG", "LNR-LBS-AGG"}) {
+      double mean = 0.0;
+      const auto& runs = traces.at(name);
+      for (const RunResult& run : runs) {
+        mean += EstimateAtCost(run.trace, cost) / runs.size();
+      }
+      row.push_back(Table::Num(mean, 0));
+    }
+    row.push_back(Table::Num(truth, 0));
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+
+  std::printf("\n");
+  PrintErrorVersusCostTable(
+      "Mean relative error at the same checkpoints:", traces, truth);
+
+  std::printf("Final-estimate spread across runs (min..max):\n");
+  for (const auto& [name, runs] : traces) {
+    double lo = 1e300, hi = -1e300;
+    for (const RunResult& run : runs) {
+      lo = std::min(lo, run.final_estimate);
+      hi = std::max(hi, run.final_estimate);
+    }
+    std::printf("  %-12s %.0f .. %.0f\n", name.c_str(), lo, hi);
+  }
+  return 0;
+}

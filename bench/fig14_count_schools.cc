@@ -1,0 +1,36 @@
+// Figure 14: query cost vs relative error for COUNT(schools in US), the
+// three algorithms. Expected shape: LR-LBS-AGG cheapest at every error
+// level; LNR-LBS-AGG beats LR-LBS-NNO despite never seeing a coordinate.
+
+#include "common/bench_common.h"
+
+int main() {
+  using namespace lbsagg;
+  using namespace lbsagg::bench;
+
+  BenchConfig config;
+  UsaOptions uopts;
+  uopts.num_pois = config.num_pois;
+  const UsaScenario usa = BuildUsaScenario(uopts);
+  LbsServer server(usa.dataset.get(), {.max_k = config.k});
+  CensusSampler sampler(&usa.census);
+
+  const AggregateSpec spec = AggregateSpec::CountWhere(
+      ColumnEquals(usa.columns.category, "school"), "COUNT(schools)");
+  const double truth =
+      usa.dataset->GroundTruthCount(CategoryIs(usa.columns, "school"));
+
+  const auto traces = SweepEstimators(
+      {
+          MakeNnoSpec("LR-LBS-NNO", &server, spec, config.k),
+          MakeLrSpec("LR-LBS-AGG", &server, &sampler, spec, config.k),
+          MakeLnrSpec("LNR-LBS-AGG", &server, &sampler, spec, config.k,
+                      DefaultLnrBenchOptions()),
+      },
+      config.runs, config.budget, config.seed_base);
+
+  PrintCostVersusErrorTable(
+      "Figure 14 — query cost vs relative error, COUNT(schools in US)",
+      traces, truth);
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Figure 15: query cost vs relative error for COUNT(restaurants in US) —
+// like Figure 14 but on the dominant, denser category.
+
+#include "common/bench_common.h"
+
+int main() {
+  using namespace lbsagg;
+  using namespace lbsagg::bench;
+
+  BenchConfig config;
+  UsaOptions uopts;
+  uopts.num_pois = config.num_pois;
+  const UsaScenario usa = BuildUsaScenario(uopts);
+  LbsServer server(usa.dataset.get(), {.max_k = config.k});
+  CensusSampler sampler(&usa.census);
+
+  const AggregateSpec spec = AggregateSpec::CountWhere(
+      ColumnEquals(usa.columns.category, "restaurant"), "COUNT(restaurants)");
+  const double truth =
+      usa.dataset->GroundTruthCount(CategoryIs(usa.columns, "restaurant"));
+
+  const auto traces = SweepEstimators(
+      {
+          MakeNnoSpec("LR-LBS-NNO", &server, spec, config.k),
+          MakeLrSpec("LR-LBS-AGG", &server, &sampler, spec, config.k),
+          MakeLnrSpec("LNR-LBS-AGG", &server, &sampler, spec, config.k,
+                      DefaultLnrBenchOptions()),
+      },
+      config.runs, config.budget, config.seed_base);
+
+  PrintCostVersusErrorTable(
+      "Figure 15 — query cost vs relative error, COUNT(restaurants in US)",
+      traces, truth);
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Figure 20: ablation of the §3.2 error-reduction strategies. Variants add
+// the techniques one at a time in the order of the paper:
+//   AGG-0  baseline Algorithm 1 (top-1 cells from the whole region)
+//   AGG-1  + faster initialization (§3.2.1)
+//   AGG-2  + leveraging history (§3.2.2)
+//   AGG-3  + adaptive top-h selection (§3.2.3)
+//   AGG    + Monte-Carlo upper/lower bounds (§3.2.4) — the full algorithm
+
+#include "common/bench_common.h"
+
+int main() {
+  using namespace lbsagg;
+  using namespace lbsagg::bench;
+
+  BenchConfig config;
+  config.budget = 15000;
+
+  UsaOptions uopts;
+  uopts.num_pois = config.num_pois;
+  const UsaScenario usa = BuildUsaScenario(uopts);
+  LbsServer server(usa.dataset.get(), {.max_k = config.k});
+  CensusSampler sampler(&usa.census);
+  const AggregateSpec spec = AggregateSpec::CountWhere(
+      ColumnEquals(usa.columns.category, "restaurant"), "COUNT(restaurants)");
+  const double truth =
+      usa.dataset->GroundTruthCount(CategoryIs(usa.columns, "restaurant"));
+
+  LrAggOptions agg0;
+  agg0.adaptive_h = false;
+  agg0.fixed_h = 1;
+  agg0.cell.fast_init = false;
+  agg0.cell.use_history = false;
+  agg0.cell.monte_carlo = false;
+
+  LrAggOptions agg1 = agg0;
+  agg1.cell.fast_init = true;
+
+  LrAggOptions agg2 = agg1;
+  agg2.cell.use_history = true;
+
+  LrAggOptions agg3 = agg2;
+  agg3.adaptive_h = true;
+
+  LrAggOptions full = agg3;
+  full.cell.monte_carlo = true;
+
+  const auto traces = SweepEstimators(
+      {
+          MakeLrSpec("LR-LBS-AGG-0", &server, &sampler, spec, config.k, agg0),
+          MakeLrSpec("LR-LBS-AGG-1", &server, &sampler, spec, config.k, agg1),
+          MakeLrSpec("LR-LBS-AGG-2", &server, &sampler, spec, config.k, agg2),
+          MakeLrSpec("LR-LBS-AGG-3", &server, &sampler, spec, config.k, agg3),
+          MakeLrSpec("LR-LBS-AGG", &server, &sampler, spec, config.k, full),
+      },
+      config.runs, config.budget, config.seed_base);
+
+  PrintCostVersusErrorTable(
+      "Figure 20 — query savings of the error-reduction strategies "
+      "(COUNT(restaurants); each variant adds one technique)",
+      traces, truth);
+  return 0;
+}

@@ -1,0 +1,129 @@
+// The paper's WeChat/Weibo demonstration (Table 1): estimating the number of
+// users and their gender ratio over LNR services that return only ranked
+// ids — no locations — using Algorithm LNR-LBS-AGG.
+
+#include <cstdio>
+
+#include "core/aggregate.h"
+#include "core/lnr_agg.h"
+#include "core/runner.h"
+#include "core/sampler.h"
+#include "lbs/client.h"
+#include "lbs/server.h"
+#include "util/table.h"
+#include "workload/scenarios.h"
+
+namespace {
+
+struct ServiceResult {
+  double users = 0.0;
+  double male_share = 0.0;
+  double ratio_num = 0.0;
+  double ratio_den = 0.0;
+  uint64_t queries = 0;
+};
+
+ServiceResult EstimateService(const lbsagg::ChinaScenario& scenario,
+                              int k, uint64_t budget, uint64_t seed) {
+  using namespace lbsagg;
+  LbsServer server(scenario.dataset.get(), {.max_k = k});
+  CensusSampler sampler(&scenario.census);
+
+  // Aggregate-grade precision: edges a few meters off barely move a cell's
+  // area, while localization-grade δ would burn the budget on one sample
+  // (Theorem 2 bias shrinks only logarithmically anyway).
+  LnrAggOptions opts;
+  opts.seed = seed;
+  opts.cell.search.delta_fraction = 1e-6;
+  opts.cell.search.delta_prime_fraction = 1e-4;
+
+  LnrClient count_client(&server, {.k = k, .budget = budget / 2});
+  LnrAggEstimator count_est(&count_client, &sampler, AggregateSpec::Count(),
+                            opts);
+  const RunResult count_run =
+      RunWithBudget(MakeHandle(&count_est), count_client.budget());
+
+  // The gender share is a ratio: AVG(male_indicator) shares samples between
+  // numerator and denominator and converges far faster than the quotient of
+  // two independent COUNTs.
+  LnrClient ratio_client(&server, {.k = k, .budget = budget / 2});
+  LnrAggEstimator ratio_est(
+      &ratio_client, &sampler,
+      AggregateSpec::Avg(scenario.columns.male_indicator, "AVG(male)"), opts);
+  RunWithBudget(MakeHandle(&ratio_est), ratio_client.budget());
+
+  ServiceResult r;
+  r.users = count_run.final_estimate;
+  r.male_share = ratio_est.NumeratorMean();   // pooled by the caller
+  r.queries = count_run.queries + ratio_client.queries_used();
+  // Stash the denominator in male_share's pair: see EstimateAveraged.
+  r.ratio_num = ratio_est.NumeratorMean();
+  r.ratio_den = ratio_est.DenominatorMean();
+  return r;
+}
+
+// The paper reports each data point as the average of 25 runs (§6.1); this
+// demo averages a few to keep the runtime interactive.
+ServiceResult EstimateAveraged(const lbsagg::ChinaScenario& scenario, int k,
+                               uint64_t budget_per_run, int runs) {
+  ServiceResult total;
+  for (int r = 0; r < runs; ++r) {
+    const ServiceResult one =
+        EstimateService(scenario, k, budget_per_run, 1000 + r);
+    total.users += one.users / runs;
+    total.ratio_num += one.ratio_num;
+    total.ratio_den += one.ratio_den;
+    total.queries += one.queries;
+  }
+  // Combined (pooled) ratio: less small-sample bias than averaging ratios.
+  total.male_share =
+      total.ratio_den > 0 ? total.ratio_num / total.ratio_den : 0.0;
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  using namespace lbsagg;
+
+  // WeChat-like: 67.1% male users, k = 50 interface.
+  ChinaOptions wechat;
+  wechat.num_users = 15000;
+  wechat.male_fraction = 0.671;
+  wechat.seed = 101;
+  const ChinaScenario wechat_scenario = BuildChinaScenario(wechat);
+
+  // Weibo-like: 50.4% male users, k = 100 interface.
+  ChinaOptions weibo;
+  weibo.num_users = 12000;
+  weibo.male_fraction = 0.504;
+  weibo.seed = 202;
+  const ChinaScenario weibo_scenario = BuildChinaScenario(weibo);
+
+  Table table({"service", "users (est)", "users (truth)", "M:F (est)",
+               "M:F (truth)", "queries"});
+
+  const ServiceResult wc = EstimateAveraged(wechat_scenario, 10, 20000, 10);
+  table.AddRow({"WeChat-like", Table::Num(wc.users, 0),
+                Table::Num(wechat_scenario.dataset->GroundTruthCount(), 0),
+                Table::Num(100 * wc.male_share, 1) + ":" +
+                    Table::Num(100 * (1 - wc.male_share), 1),
+                "67.1:32.9",
+                Table::Int(static_cast<long long>(wc.queries))});
+
+  const ServiceResult wb = EstimateAveraged(weibo_scenario, 10, 20000, 10);
+  table.AddRow({"Weibo-like", Table::Num(wb.users, 0),
+                Table::Num(weibo_scenario.dataset->GroundTruthCount(), 0),
+                Table::Num(100 * wb.male_share, 1) + ":" +
+                    Table::Num(100 * (1 - wb.male_share), 1),
+                "50.4:49.6",
+                Table::Int(static_cast<long long>(wb.queries))});
+
+  std::printf("LNR-LBS-AGG over rank-only social services (no locations "
+              "returned), 10 runs x 20000 queries per service:\n\n");
+  table.Print();
+  std::printf("\nNote: inverse-probability weights over clustered users are "
+              "heavy-tailed, so per-run\nspread is large; the paper's Table 1 "
+              "averages 25 runs of 10000 queries on the real services.\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+#include "core/aggregate.h"
+
+#include "util/check.h"
+
+namespace lbsagg {
+
+AggregateSpec AggregateSpec::Count() {
+  AggregateSpec spec;
+  spec.kind = Kind::kCount;
+  spec.name = "COUNT(*)";
+  return spec;
+}
+
+AggregateSpec AggregateSpec::CountWhere(ReturnedTuplePredicate condition,
+                                        std::string name) {
+  AggregateSpec spec;
+  spec.kind = Kind::kCount;
+  spec.condition = std::move(condition);
+  spec.name = std::move(name);
+  return spec;
+}
+
+AggregateSpec AggregateSpec::Sum(int value_column, std::string name) {
+  AggregateSpec spec;
+  spec.kind = Kind::kSum;
+  spec.value_column = value_column;
+  spec.name = std::move(name);
+  return spec;
+}
+
+AggregateSpec AggregateSpec::SumWhere(int value_column,
+                                      ReturnedTuplePredicate condition,
+                                      std::string name) {
+  AggregateSpec spec = Sum(value_column, std::move(name));
+  spec.condition = std::move(condition);
+  return spec;
+}
+
+AggregateSpec AggregateSpec::Avg(int value_column, std::string name) {
+  AggregateSpec spec;
+  spec.kind = Kind::kAvg;
+  spec.value_column = value_column;
+  spec.name = std::move(name);
+  return spec;
+}
+
+AggregateSpec AggregateSpec::AvgWhere(int value_column,
+                                      ReturnedTuplePredicate condition,
+                                      std::string name) {
+  AggregateSpec spec = Avg(value_column, std::move(name));
+  spec.condition = std::move(condition);
+  return spec;
+}
+
+bool AggregateSpec::Passes(const LbsClient& client, int id) const {
+  return !condition || condition(client, id);
+}
+
+double AggregateSpec::NumeratorValue(const LbsClient& client, int id) const {
+  if (!Passes(client, id)) return 0.0;
+  if (kind == Kind::kCount) return 1.0;
+  LBSAGG_CHECK_GE(value_column, 0) << "SUM/AVG needs a value column";
+  return client.NumericAttribute(id, value_column);
+}
+
+double AggregateSpec::DenominatorValue(const LbsClient& client, int id) const {
+  return Passes(client, id) ? 1.0 : 0.0;
+}
+
+ReturnedTuplePredicate ColumnEquals(int column, std::string expected) {
+  return [column, expected = std::move(expected)](const LbsClient& client,
+                                                  int id) {
+    const AttrValue v = client.Attribute(id, column);
+    const std::string* s = std::get_if<std::string>(&v);
+    return s != nullptr && *s == expected;
+  };
+}
+
+ReturnedTuplePredicate ColumnIsTrue(int column) {
+  return [column](const LbsClient& client, int id) {
+    const AttrValue v = client.Attribute(id, column);
+    const bool* b = std::get_if<bool>(&v);
+    return b != nullptr && *b;
+  };
+}
+
+ReturnedTuplePredicate ColumnAtLeast(int column, double threshold) {
+  return [column, threshold](const LbsClient& client, int id) {
+    const AttrValue v = client.Attribute(id, column);
+    const double* d = std::get_if<double>(&v);
+    return d != nullptr && *d >= threshold;
+  };
+}
+
+ReturnedTuplePredicate And(ReturnedTuplePredicate a,
+                           ReturnedTuplePredicate b) {
+  return [a = std::move(a), b = std::move(b)](const LbsClient& client,
+                                              int id) {
+    return a(client, id) && b(client, id);
+  };
+}
+
+}  // namespace lbsagg

@@ -1,0 +1,80 @@
+#ifndef LBSAGG_CORE_AGGREGATE_H_
+#define LBSAGG_CORE_AGGREGATE_H_
+
+#include <functional>
+#include <string>
+
+#include "geometry/vec2.h"
+#include "lbs/client.h"
+
+namespace lbsagg {
+
+// Predicate over a *returned* tuple, evaluated through the restricted client
+// interface (only returned attributes are accessible). This models the
+// "post-processed" selection conditions of §5.1 — conditions the LBS cannot
+// evaluate server-side.
+using ReturnedTuplePredicate = std::function<bool(const LbsClient&, int id)>;
+
+// An aggregate query: SELECT AGGR(t) FROM D WHERE Cond (§2.3).
+//
+// The struct captures AGGR and the post-processed part of Cond; pass-through
+// conditions are installed on the client via SetPassThroughFilter() and are
+// invisible here. AVG is estimated as SUM/COUNT by the estimators (§1.3).
+struct AggregateSpec {
+  enum class Kind { kCount, kSum, kAvg };
+
+  Kind kind = Kind::kCount;
+  int value_column = -1;              // numeric column for kSum / kAvg
+  ReturnedTuplePredicate condition;   // may be null (no condition)
+  std::string name = "COUNT(*)";      // for reports
+
+  // Optional selection condition over the tuple's *location* (§2.3: "we
+  // support the specification of a tuple's location as part of Cond — even
+  // when such a location is not returned"). LR estimators evaluate it on
+  // the returned coordinates; LNR estimators first localize the tuple
+  // (§4.3) and evaluate it on the inferred position.
+  std::function<bool(const Vec2&)> position_condition;
+
+  // --- Factories -----------------------------------------------------------
+
+  static AggregateSpec Count();
+  static AggregateSpec CountWhere(ReturnedTuplePredicate condition,
+                                  std::string name);
+  static AggregateSpec Sum(int value_column, std::string name);
+  static AggregateSpec SumWhere(int value_column,
+                                ReturnedTuplePredicate condition,
+                                std::string name);
+  static AggregateSpec Avg(int value_column, std::string name);
+  static AggregateSpec AvgWhere(int value_column,
+                                ReturnedTuplePredicate condition,
+                                std::string name);
+
+  // True if the returned tuple passes the (post-processed) condition.
+  bool Passes(const LbsClient& client, int id) const;
+
+  // The numerator value of the tuple: 0 when the condition fails, otherwise
+  // 1 for COUNT and the column value for SUM/AVG.
+  double NumeratorValue(const LbsClient& client, int id) const;
+
+  // The denominator value (only meaningful for kAvg): 0 when the condition
+  // fails, 1 otherwise.
+  double DenominatorValue(const LbsClient& client, int id) const;
+};
+
+// --- Common predicates ------------------------------------------------------
+
+// String column equality, e.g. category == "school".
+ReturnedTuplePredicate ColumnEquals(int column, std::string expected);
+
+// Boolean column is true, e.g. open_sunday.
+ReturnedTuplePredicate ColumnIsTrue(int column);
+
+// Numeric column >= threshold, e.g. rating >= 4.
+ReturnedTuplePredicate ColumnAtLeast(int column, double threshold);
+
+// Conjunction of two predicates.
+ReturnedTuplePredicate And(ReturnedTuplePredicate a, ReturnedTuplePredicate b);
+
+}  // namespace lbsagg
+
+#endif  // LBSAGG_CORE_AGGREGATE_H_

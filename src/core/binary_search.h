@@ -1,0 +1,123 @@
+#ifndef LBSAGG_CORE_BINARY_SEARCH_H_
+#define LBSAGG_CORE_BINARY_SEARCH_H_
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "geometry/line.h"
+#include "lbs/client.h"
+
+namespace lbsagg {
+
+// Parameters of the Appendix-A binary search. δ is the along-ray segment
+// tolerance and δ' the lateral offset of the two tilted rays; the maximum
+// edge error obeys Theorem 3: ε ≤ max(2δ', b·sin(arctan(δ/δ'))). Both are
+// expressed as fractions of the bounding-box diagonal.
+struct BinarySearchOptions {
+  double delta_fraction = 1e-9;
+  double delta_prime_fraction = 1e-5;
+  int max_steps = 80;  // cap per one-dimensional search
+};
+
+// Which membership predicate defines the cell being traced:
+//  * kTop1 — "the tuple is the number-one result" (convex top-1 cell);
+//  * kTopK — "the tuple appears anywhere in the top-k" (top-k cell, §4.2).
+enum class CellMembership {
+  kTop1,
+  kTopK,
+};
+
+// One inferred Voronoi edge (Algorithm 7 output).
+struct EdgeEstimate {
+  // Estimated edge line, oriented so the cell side (containing c1) has
+  // Side < 0.
+  Line edge;
+  // The tuple just beyond the edge (t' in the paper); -1 for a box edge.
+  int neighbor_id = -1;
+  bool is_box_edge = false;
+  // Witness locations: `near` returns the focal tuple, `far` does not (and
+  // returns neighbor_id). Used by §4.2 and by tuple localization (§4.3).
+  Vec2 near_witness;
+  Vec2 far_witness;
+};
+
+// Outcome of a generic one-dimensional membership search.
+struct FlipPoint {
+  Vec2 midpoint;             // midpoint of the final δ-segment
+  Vec2 near;                 // last location where the predicate held
+  Vec2 far;                  // last location where it did not
+  std::vector<int> far_ids;  // query result at `far`
+  std::vector<int> near_ids; // query result at `near`
+};
+
+// The Appendix-A binary search primitive over an LNR interface: infers
+// Voronoi edges of a tuple's cell from ranked ids alone, to arbitrary
+// precision, in O(log(b/δ)) queries per one-dimensional search.
+class LnrEdgeFinder {
+ public:
+  LnrEdgeFinder(LnrClient* client, BinarySearchOptions options,
+                CellMembership membership);
+
+  // Finds the Voronoi edge of tuple `id` intersecting the half-line from c1
+  // through c2 (Algorithm 7). Requires the membership predicate to hold at
+  // c1. Issues up to 3·log(b/δ) queries. Returns nullopt when c1 turns out
+  // not to return the tuple (caller raced/struck an edge exactly).
+  std::optional<EdgeEstimate> FindEdgeOnRay(int id, const Vec2& c1,
+                                            const Vec2& c2);
+
+  // Generic primitive: binary-searches segment (a, b) for the flip point of
+  // an arbitrary predicate over ranked result ids. Verifies pred(a) && !pred(b)
+  // first (2 queries) and returns nullopt when they do not straddle.
+  std::optional<FlipPoint> FindFlipOnSegment(
+      const std::function<bool(const std::vector<int>&)>& predicate,
+      const Vec2& a, const Vec2& b);
+
+  // Estimates the straight boundary line separating the predicate's true
+  // and false regions near the segment (true_pt, false_pt).
+  //
+  // Robust variant of the Algorithm-7 two-point construction for the
+  // concave top-k case (§4.2), where a long second segment can latch onto a
+  // *different* branch of the boundary: three flip points are taken within
+  // a window of half-width `baseline` around the main crossing, shrinking
+  // the window until they are collinear — which certifies that all three
+  // lie on the same straight boundary piece. Returns nullopt when no window
+  // verifies (e.g. the boundary is tightly curved or the anchors race).
+  // The caller orients the returned line. The optional `validator` is
+  // applied to every flip used (e.g. "t's rank moved by exactly one" — the
+  // signature of a genuine B(t, t'') crossing); flips failing it are
+  // discarded, shrinking the window.
+  std::optional<Line> FindBoundaryLine(
+      const std::function<bool(const std::vector<int>&)>& predicate,
+      const Vec2& true_pt, const Vec2& false_pt, double baseline,
+      const std::function<bool(const FlipPoint&)>& validator = nullptr);
+
+  // The membership predicate applied to a raw ranked-id result.
+  bool IsMember(const std::vector<int>& ids, int id) const;
+
+  // Observer invoked with every (location, ranked ids) answer the finder
+  // receives. Lets callers harvest co-occurrence information from the many
+  // queries a binary search issues (§4.2 needs the set of tuples seen
+  // together with the focal one).
+  using QueryObserver =
+      std::function<void(const Vec2&, const std::vector<int>&)>;
+  void SetObserver(QueryObserver observer) { observer_ = std::move(observer); }
+
+  double delta() const { return delta_; }
+  double delta_prime() const { return delta_prime_; }
+
+ private:
+  // Issues one query, notifying the observer.
+  std::vector<int> Probe(const Vec2& p);
+
+  LnrClient* client_;
+  BinarySearchOptions options_;
+  CellMembership membership_;
+  QueryObserver observer_;
+  double delta_;
+  double delta_prime_;
+};
+
+}  // namespace lbsagg
+
+#endif  // LBSAGG_CORE_BINARY_SEARCH_H_

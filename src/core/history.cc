@@ -1,0 +1,57 @@
+#include "core/history.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace lbsagg {
+
+void History::Record(int id, const Vec2& pos) {
+  auto [it, inserted] = by_id_.emplace(id, pos);
+  if (inserted) entries_.push_back({id, pos});
+}
+
+const Vec2& History::Position(int id) const {
+  const auto it = by_id_.find(id);
+  LBSAGG_CHECK(it != by_id_.end()) << "unknown tuple " << id;
+  return it->second;
+}
+
+std::vector<Vec2> History::OtherPositions(int excluded_id) const {
+  std::vector<Vec2> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    if (e.id != excluded_id) out.push_back(e.pos);
+  }
+  return out;
+}
+
+std::vector<Vec2> History::NearestOtherPositions(const Vec2& p,
+                                                 int excluded_id,
+                                                 size_t limit) const {
+  std::vector<std::pair<double, Vec2>> dists;
+  dists.reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    if (e.id == excluded_id) continue;
+    dists.push_back({SquaredDistance(p, e.pos), e.pos});
+  }
+  const size_t keep = std::min(limit, dists.size());
+  std::partial_sort(dists.begin(), dists.begin() + keep, dists.end(),
+                    [](const auto& a, const auto& b) {
+                      return a.first < b.first;
+                    });
+  std::vector<Vec2> out;
+  out.reserve(keep);
+  for (size_t i = 0; i < keep; ++i) out.push_back(dists[i].second);
+  return out;
+}
+
+double History::UpperBoundCellArea(int id, const Vec2& pos, const Box& box,
+                                   int h, size_t max_constraints) const {
+  const std::vector<Vec2> others =
+      NearestOtherPositions(pos, id, max_constraints);
+  if (others.empty()) return box.Area();
+  return ComputeTopkRegion(pos, others, box, h).area;
+}
+
+}  // namespace lbsagg

@@ -1,0 +1,58 @@
+#ifndef LBSAGG_CORE_HISTORY_H_
+#define LBSAGG_CORE_HISTORY_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "geometry/box.h"
+#include "geometry/topk_region.h"
+#include "geometry/vec2.h"
+
+namespace lbsagg {
+
+// Store of every tuple location observed so far across queries (§3.2.2,
+// "Leverage history on Voronoi-cell computation"). LBS tuples are static, so
+// once a tuple's location is seen it can seed the initial Voronoi cell of
+// every later computation and provide the upper bounds λ_h(t) used by the
+// adaptive-h variance reduction (§3.2.3).
+class History {
+ public:
+  History() = default;
+
+  // Records a tuple location (idempotent).
+  void Record(int id, const Vec2& pos);
+
+  bool Known(int id) const { return by_id_.count(id) > 0; }
+  const Vec2& Position(int id) const;
+  size_t size() const { return entries_.size(); }
+
+  // Positions of all known tuples except `excluded_id` (-1 = none).
+  std::vector<Vec2> OtherPositions(int excluded_id) const;
+
+  // Positions of the `limit` known tuples nearest to `p`, excluding
+  // `excluded_id`. Linear scan — history sizes stay in the thousands and
+  // this is query-free offline work, which the paper treats as free
+  // relative to interface calls (§2.1).
+  std::vector<Vec2> NearestOtherPositions(const Vec2& p, int excluded_id,
+                                          size_t limit) const;
+
+  // Upper bound λ_h on the area of the top-h Voronoi cell of the tuple at
+  // `pos` (§3.2.3): the cell computed from a subset of the database always
+  // contains the true cell, so its area from history is a valid bound. At
+  // most `max_constraints` nearest history tuples are used (a looser bound
+  // is still a bound).
+  double UpperBoundCellArea(int id, const Vec2& pos, const Box& box, int h,
+                            size_t max_constraints = 64) const;
+
+ private:
+  struct Entry {
+    int id;
+    Vec2 pos;
+  };
+  std::vector<Entry> entries_;
+  std::unordered_map<int, Vec2> by_id_;
+};
+
+}  // namespace lbsagg
+
+#endif  // LBSAGG_CORE_HISTORY_H_

@@ -1,0 +1,98 @@
+#ifndef LBSAGG_CORE_LNR_AGG_H_
+#define LBSAGG_CORE_LNR_AGG_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/aggregate.h"
+#include "core/lnr_cell.h"
+#include "core/localize.h"
+#include "core/lr_agg.h"  // TracePoint
+#include "core/sampler.h"
+#include "lbs/client.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace lbsagg {
+
+// Per-run diagnostics of the rank-only estimator.
+struct LnrAggDiagnostics {
+  size_t rounds = 0;
+  size_t cells_inferred = 0;  // cells actually computed via binary search
+  size_t cache_hits = 0;      // samples served from the probability cache
+};
+
+// Configuration of Algorithm LNR-LBS-AGG (§4).
+struct LnrAggOptions {
+  // When true and the interface k > 1, each sample infers the top-k cell of
+  // every returned tuple (§4.2); otherwise only the top-1 tuple's convex
+  // cell is used.
+  bool use_topk_cells = false;
+
+  LnrCellOptions cell;
+  LocalizeOptions localize;
+
+  // §3.2.2 adapted to LNR: cache each tuple's inferred cell probability
+  // across samples (the service is static, so it never changes). Disable
+  // only for ablation.
+  bool reuse_cell_probabilities = true;
+
+  uint64_t seed = 3;
+};
+
+// Algorithm LNR-LBS-AGG: SUM/COUNT (and AVG as SUM/COUNT) estimation over a
+// rank-only kNN interface. The estimate carries a sampling bias bounded by
+// Theorem 2 that shrinks as the binary-search tolerance δ does — it can be
+// made arbitrarily small at O(log(1/ε)) extra queries per edge.
+class LnrAggEstimator {
+ public:
+  LnrAggEstimator(LnrClient* client, const QuerySampler* sampler,
+                  const AggregateSpec& aggregate, LnrAggOptions options = {});
+
+  // One sampling round: one random location; cells of the used tuples are
+  // inferred from ranks alone.
+  void Step();
+
+  double Estimate() const;
+
+  // Per-round means of the Horvitz–Thompson numerator and denominator.
+  // Pooling these across independent runs gives a combined ratio estimator
+  // whose small-sample bias shrinks with the total sample count (averaging
+  // per-run ratios would not).
+  double NumeratorMean() const { return numerator_.mean(); }
+  double DenominatorMean() const { return denominator_.mean(); }
+
+  double ConfidenceHalfWidth(double z = 1.96) const;
+  size_t rounds() const { return numerator_.count(); }
+  uint64_t queries_used() const { return client_->queries_used(); }
+  const LnrAggDiagnostics& diagnostics() const { return diagnostics_; }
+  const std::vector<TracePoint>& trace() const { return trace_; }
+
+ private:
+  // Horvitz–Thompson contribution of one tuple given its inferred cell
+  // probability; handles the optional position condition via localization.
+  void AccumulateTuple(int id, const Vec2& q0, double probability,
+                       double* numerator, double* denominator);
+
+  LnrClient* client_;
+  const QuerySampler* sampler_;
+  AggregateSpec aggregate_;
+  LnrAggOptions options_;
+  LnrCellComputer cell_computer_;
+  Localizer localizer_;
+  // §3.2.2 adapted to LNR: the service is static, so a tuple's inferred
+  // cell probability never changes — computing it once per tuple makes
+  // every later sample of the same tuple free. Big-cell (rural) tuples are
+  // exactly the ones resampled most often.
+  std::unordered_map<int, double> top1_probability_cache_;
+  std::unordered_map<int, double> topk_probability_cache_;
+  Rng rng_;
+  RunningStats numerator_;
+  RunningStats denominator_;
+  LnrAggDiagnostics diagnostics_;
+  std::vector<TracePoint> trace_;
+};
+
+}  // namespace lbsagg
+
+#endif  // LBSAGG_CORE_LNR_AGG_H_

@@ -1,0 +1,62 @@
+#ifndef LBSAGG_CORE_LOCALIZE_H_
+#define LBSAGG_CORE_LOCALIZE_H_
+
+#include <optional>
+
+#include "core/lnr_cell.h"
+#include "lbs/client.h"
+
+namespace lbsagg {
+
+struct LocalizeOptions {
+  LnrCellOptions cell;
+  // Radius (as a fraction of the box diagonal) of the probe circle used to
+  // identify the two neighboring cells around a Voronoi vertex. Must be
+  // well above the vertex position error (~edge error ε), or the inferred
+  // d2 direction is dominated by noise.
+  double probe_radius_fraction = 1e-3;
+  // Points probed on the circle.
+  int probe_points = 12;
+  // The d2 bisector is fixed by two flip points: one at the probe radius
+  // and one `baseline_factor`× farther out, which divides its direction
+  // error by the same factor.
+  double baseline_factor = 40.0;
+};
+
+// Tuple position computation over an LNR interface (§4.3).
+//
+// Once the top-1 Voronoi cell of a tuple is known, each cell vertex o sits
+// at equal distance from t and two neighbors t2, t3, and the three incident
+// bisectors d1 = B(t,t2), d3 = B(t,t3), d2 = B(t2,t3) satisfy the
+// reflection identity θ(o→t) = φ(d1) − φ(d2) + φ(d3) (mod π). d2 costs one
+// extra binary search per vertex; intersecting the rays from two vertices
+// yields the exact position — up to the edge-inference error ε and any
+// obfuscation the service applies (Figure 21).
+class Localizer {
+ public:
+  Localizer(LnrClient* client, LocalizeOptions options = {});
+
+  // Full pipeline: infer the cell of the tuple that is top-1 at q0, then
+  // compute its position. Returns nullopt when the cell has fewer than two
+  // usable vertices or the probes fail.
+  std::optional<Vec2> Locate(int id, const Vec2& q0);
+
+  // Position from an already-computed top-1 cell (saves the cell queries).
+  std::optional<Vec2> LocateWithCell(int id, const LnrCellResult& cell);
+
+ private:
+  // Direction (unit vector) of the ray o → t, or nullopt when the vertex
+  // could not be resolved. d1/d3 are the incident cell edges with their
+  // far-side neighbor tuples.
+  std::optional<Vec2> RayDirectionAtVertex(int id, const LnrCellResult& cell,
+                                           const Vec2& o, const Line& d1,
+                                           int d1_neighbor, const Line& d3,
+                                           int d3_neighbor);
+
+  LnrClient* client_;
+  LocalizeOptions options_;
+};
+
+}  // namespace lbsagg
+
+#endif  // LBSAGG_CORE_LOCALIZE_H_

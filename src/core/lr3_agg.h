@@ -1,0 +1,75 @@
+#ifndef LBSAGG_CORE_LR3_AGG_H_
+#define LBSAGG_CORE_LR3_AGG_H_
+
+// §5.4: the LR machinery in three dimensions. Theorem 1 carries over
+// verbatim — the Voronoi cell of a tuple computed from a subset of tuples
+// contains the true cell, and any strict container has a vertex exposing an
+// unseen tuple — with bisector *planes* instead of lines and polytope
+// vertex enumeration instead of polygon clipping.
+//
+// The one piece that does NOT carry over cheaply is exact polytope volume.
+// It is not needed: the §3.2.4 Monte-Carlo trial estimator only requires
+// (a) a region that provably contains the cell and has a known volume — the
+// axis bounding box of the cell's vertices — and (b) a membership test.
+// Trials drawn uniformly from that box give E[#trials] = vol(box)/vol(cell),
+// keeping the Horvitz–Thompson estimate exactly unbiased without ever
+// computing vol(cell).
+
+#include <cstdint>
+#include <vector>
+
+#include "core/lr_agg.h"  // TracePoint
+#include "geometry3d/polytope3.h"
+#include "lbs3/lbs3.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace lbsagg {
+
+struct Lr3AggOptions {
+  // Theorem-1 refinement rounds before switching to Monte-Carlo trials
+  // (3-D cells have many vertices; a couple of rounds tighten the polytope
+  // enough that trials mostly hit).
+  int refine_rounds = 3;
+  // Safety cap on the vertices queried per round (cells of m constraints
+  // have O(m³) candidate vertices; querying the nearest suffices to expose
+  // unseen tuples quickly).
+  int max_vertex_queries_per_round = 48;
+  uint64_t seed = 11;
+};
+
+// COUNT/SUM estimation over a 3-D location-returned kNN interface.
+class Lr3AggEstimator {
+ public:
+  // `client` must outlive the estimator. SUM uses the per-tuple values of
+  // the dataset; pass value ≡ 1 tuples for COUNT.
+  Lr3AggEstimator(Lr3Client* client, Lr3AggOptions options = {});
+
+  // One sampling round (top-1 tuple of a uniform random location).
+  void Step();
+
+  double Estimate() const {
+    return stats_.count() == 0 ? 0.0 : stats_.mean();
+  }
+  double ConfidenceHalfWidth(double z = 1.96) const {
+    return stats_.ConfidenceHalfWidth(z);
+  }
+  size_t rounds() const { return stats_.count(); }
+  uint64_t queries_used() const { return client_->queries_used(); }
+  const std::vector<TracePoint>& trace() const { return trace_; }
+
+  // Exposed for tests: unbiased multiplier with E[...] = 1/p(t) for the
+  // top-1 cell of tuple `id`.
+  double InverseProbability(int id, const Vec3& pos);
+
+ private:
+  Lr3Client* client_;
+  Lr3AggOptions options_;
+  Rng rng_;
+  RunningStats stats_;
+  std::vector<TracePoint> trace_;
+};
+
+}  // namespace lbsagg
+
+#endif  // LBSAGG_CORE_LR3_AGG_H_

@@ -1,0 +1,268 @@
+#include "core/lr_cell.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "geometry/circle.h"
+#include "geometry/polygon.h"
+#include "util/check.h"
+
+namespace lbsagg {
+
+namespace {
+
+// Quantized location key for deduplicating vertex queries across rounds.
+struct LocKey {
+  int64_t x, y;
+  bool operator==(const LocKey&) const = default;
+};
+struct LocKeyHash {
+  size_t operator()(const LocKey& k) const {
+    return std::hash<int64_t>()(k.x * 0x9e3779b97f4a7c15ll ^ k.y);
+  }
+};
+
+LocKey MakeKey(const Vec2& p, double grid) {
+  return {static_cast<int64_t>(std::llround(p.x / grid)),
+          static_cast<int64_t>(std::llround(p.y / grid))};
+}
+
+// §5.3: restore nearest-neighbor order under non-distance (prominence)
+// ranking — every rank test below means distance rank. No-op for plain
+// distance-ranked services.
+std::vector<LrClient::Item> QueryByDistance(LrClient* client, const Vec2& q) {
+  std::vector<LrClient::Item> items = client->Query(q);
+  std::stable_sort(items.begin(), items.end(),
+                   [](const LrClient::Item& a, const LrClient::Item& b) {
+                     return a.distance < b.distance;
+                   });
+  return items;
+}
+
+}  // namespace
+
+LrCellComputer::LrCellComputer(LrClient* client, History* history,
+                               const QuerySampler* sampler,
+                               LrCellOptions options)
+    : client_(client),
+      history_(history),
+      sampler_(sampler),
+      options_(options) {
+  LBSAGG_CHECK(client_ != nullptr);
+  LBSAGG_CHECK(history_ != nullptr);
+  LBSAGG_CHECK(sampler_ != nullptr);
+}
+
+LrCellComputer::LoopOutcome LrCellComputer::RefineCell(int id, const Vec2& pos,
+                                                       int h,
+                                                       bool allow_early_stop) {
+  LBSAGG_CHECK_GE(h, 1);
+  LBSAGG_CHECK_LE(h, client_->k());
+  const Box& box = client_->region();
+  const double grid =
+      std::max({1.0, std::abs(box.hi.x), std::abs(box.hi.y)}) * 1e-9;
+
+  // §5.3 maximum coverage radius: the inclusion region of t is its top-h
+  // cell intersected with the d_max disc around t (queries farther away
+  // never return t even when it is nearest). The disc enters as the convex
+  // domain of the region computation.
+  ConvexPolygon domain = ConvexPolygon::FromBox(box);
+  if (std::isfinite(client_->max_radius())) {
+    const ConvexPolygon disc =
+        InscribedCirclePolygon(pos, client_->max_radius());
+    for (size_t i = 0; i < disc.size() && !domain.IsEmpty(); ++i) {
+      const Vec2& a = disc.vertices()[i];
+      const Vec2& b = disc.vertices()[(i + 1) % disc.size()];
+      // The disc polygon is CCW, so its interior is Side > 0 of
+      // Through(a, b); orient the half-plane to keep it.
+      domain = domain.Clip(HalfPlane(Line::Through(b, a)));
+    }
+    LBSAGG_CHECK(!domain.IsEmpty());
+  }
+
+  LoopOutcome out;
+
+  // Known constraint positions (real tuples other than the focal one).
+  // Deduplicated by quantized position: history seeds carry no id, so the
+  // position is the identity that matters for the bisectors.
+  std::vector<Vec2> known;
+  std::unordered_set<LocKey, LocKeyHash> known_keys;
+  auto add_known = [&](const Vec2& p) {
+    if (known_keys.insert(MakeKey(p, grid)).second) {
+      known.push_back(p);
+      return true;
+    }
+    return false;
+  };
+
+  // §3.2.2: seed from history.
+  std::vector<Vec2> seed_positions;
+  if (options_.use_history) {
+    seed_positions =
+        history_->NearestOtherPositions(pos, id, options_.history_neighbors);
+  }
+
+  // §3.2.1 Fast-Init: when we know nothing around t, probe a small box
+  // around it first. The fake tuples only steer the first queries; they are
+  // never part of D'.
+  if (options_.fast_init && seed_positions.empty()) {
+    double halfwidth =
+        options_.fast_init_fraction *
+        Distance(box.lo, box.hi);
+    const Vec2 fakes[4] = {pos + Vec2{halfwidth, halfwidth},
+                           pos + Vec2{-halfwidth, halfwidth},
+                           pos + Vec2{-halfwidth, -halfwidth},
+                           pos + Vec2{halfwidth, -halfwidth}};
+    const TopkRegion fake_region = ComputeTopkRegion(
+        pos, std::vector<Vec2>(fakes, fakes + 4), domain, h);
+    for (const Vec2& v : fake_region.BoundaryVertices()) {
+      const std::vector<LrClient::Item> items = QueryByDistance(client_, v);
+      ++out.queries;
+      for (const LrClient::Item& item : items) {
+        history_->Record(item.id, item.location);
+        if (item.id != id) add_known(item.location);
+      }
+    }
+    // If the box was too small (only t itself returned), `known` stays
+    // empty and the loop below reverts to the plain design — exactly the
+    // "wasting nothing but four queries" fallback of Algorithm 2.
+  }
+
+  for (const Vec2& p : seed_positions) add_known(p);
+
+  std::unordered_map<LocKey, bool, LocKeyHash> queried;  // value: t in top-h
+  double prev_area = std::numeric_limits<double>::infinity();
+
+  while (true) {
+    ++out.rounds;
+    LBSAGG_CHECK_LE(out.rounds, options_.max_rounds)
+        << "Voronoi refinement did not converge";
+
+    TopkRegion region = ComputeTopkRegion(pos, known, domain, h);
+    LBSAGG_CHECK(!region.IsEmpty());
+
+    // §3.2.4 early stop: the bounding region barely shrank last round.
+    if (allow_early_stop && out.rounds > options_.mc_min_rounds &&
+        prev_area < std::numeric_limits<double>::infinity()) {
+      const double shrink = (prev_area - region.area) / region.area;
+      if (shrink < options_.mc_shrink_threshold) {
+        out.region = std::move(region);
+        out.exact = false;
+        return out;
+      }
+    }
+    prev_area = region.area;
+
+    bool new_tuple = false;
+    for (const Vec2& v : region.BoundaryVertices()) {
+      const LocKey key = MakeKey(v, grid);
+      if (queried.count(key)) continue;
+      const std::vector<LrClient::Item> items = QueryByDistance(client_, v);
+      ++out.queries;
+      bool t_in_top_h = false;
+      bool t_in_result = false;
+      for (size_t i = 0; i < items.size(); ++i) {
+        const LrClient::Item& item = items[i];
+        history_->Record(item.id, item.location);
+        if (item.id == id) {
+          t_in_result = true;
+          if (static_cast<int>(i) < h) t_in_top_h = true;
+          continue;
+        }
+        if (add_known(item.location)) new_tuple = true;
+      }
+      queried.emplace(key, t_in_top_h);
+      if (t_in_top_h) out.confirmed_in_cell.push_back(v);
+      if (t_in_result) out.confirmed_cover.push_back(v);
+    }
+
+    if (!new_tuple) {
+      // Theorem 1: every vertex of the current region returns only known
+      // tuples — the region is the exact top-h Voronoi cell.
+      out.region = std::move(region);
+      out.exact = true;
+      return out;
+    }
+  }
+}
+
+LrCellComputer::Result LrCellComputer::ComputeInverseProbability(int id,
+                                                                 const Vec2& pos,
+                                                                 int h,
+                                                                 Rng& rng) {
+  LoopOutcome outcome = RefineCell(id, pos, h, options_.monte_carlo);
+
+  Result result;
+  result.queries = outcome.queries;
+  result.rounds = outcome.rounds;
+  result.region_area = outcome.region.area;
+  result.exact = outcome.exact;
+
+  const double region_prob = sampler_->RegionProbability(outcome.region);
+  LBSAGG_CHECK_GT(region_prob, 0.0);
+
+  if (outcome.exact) {
+    result.inv_probability = 1.0 / region_prob;
+    return result;
+  }
+
+  // §3.2.4 Monte-Carlo trials: draw f-distributed points from the bounding
+  // region V' until one lands in the true cell. E[#trials] = P(V')/P(V), so
+  // trials / P(V') is an unbiased estimate of 1/P(V).
+  //
+  // Lower-bound shortcuts (query-free hits):
+  //  * h == 1: the convex hull of vertices confirmed inside the (convex)
+  //    cell is contained in the cell.
+  //  * any h: if the disc C(x, d(x,t)) fits inside a confirmed cover circle
+  //    C(v, d(v,t)), every tuple that can affect t's rank at x has been
+  //    observed, so the rank test against history is exact.
+  ConvexPolygon hull;
+  if (h == 1 && outcome.confirmed_in_cell.size() >= 3) {
+    hull = ConvexPolygon::ConvexHull(outcome.confirmed_in_cell);
+  }
+  std::vector<Circle> cover;
+  cover.reserve(outcome.confirmed_cover.size());
+  for (const Vec2& v : outcome.confirmed_cover) {
+    cover.emplace_back(v, Distance(v, pos));
+  }
+  const std::vector<Vec2> history_others = history_->OtherPositions(id);
+
+  int trials = 0;
+  while (true) {
+    ++trials;
+    LBSAGG_CHECK_LE(trials, 1000000) << "Monte-Carlo trials runaway";
+    const Vec2 x = sampler_->SampleFromRegion(outcome.region, rng);
+
+    if (!hull.IsEmpty() && hull.Contains(x)) break;  // inside the cell
+
+    if (DiscCoveredBySingle(Circle(x, Distance(x, pos)), cover)) {
+      // Rank of t at x is fully determined by history.
+      if (RankAt(x, pos, history_others) < h) break;
+      continue;
+    }
+
+    const std::vector<LrClient::Item> items = QueryByDistance(client_, x);
+    ++result.queries;
+    bool hit = false;
+    for (size_t i = 0; i < items.size(); ++i) {
+      history_->Record(items[i].id, items[i].location);
+      if (items[i].id == id && static_cast<int>(i) < h) hit = true;
+    }
+    if (hit) break;
+  }
+
+  result.mc_trials = trials;
+  result.inv_probability = static_cast<double>(trials) / region_prob;
+  return result;
+}
+
+TopkRegion LrCellComputer::ComputeExactCell(int id, const Vec2& pos, int h) {
+  LoopOutcome outcome = RefineCell(id, pos, h, /*allow_early_stop=*/false);
+  LBSAGG_CHECK(outcome.exact);
+  return std::move(outcome.region);
+}
+
+}  // namespace lbsagg

@@ -1,0 +1,47 @@
+#include "core/mixture_sampler.h"
+
+#include "util/check.h"
+
+namespace lbsagg {
+
+MixtureSampler::MixtureSampler(const QuerySampler* uniform,
+                               const QuerySampler* weighted,
+                               double uniform_weight)
+    : uniform_(uniform), weighted_(weighted), uniform_weight_(uniform_weight) {
+  LBSAGG_CHECK(uniform_ != nullptr);
+  LBSAGG_CHECK(weighted_ != nullptr);
+  LBSAGG_CHECK_GE(uniform_weight_, 0.0);
+  LBSAGG_CHECK_LE(uniform_weight_, 1.0);
+}
+
+Vec2 MixtureSampler::Sample(Rng& rng) const {
+  if (rng.Bernoulli(uniform_weight_)) return uniform_->Sample(rng);
+  return weighted_->Sample(rng);
+}
+
+double MixtureSampler::RegionProbability(const TopkRegion& region) const {
+  return uniform_weight_ * uniform_->RegionProbability(region) +
+         (1.0 - uniform_weight_) * weighted_->RegionProbability(region);
+}
+
+double MixtureSampler::RegionProbability(const ConvexPolygon& polygon) const {
+  return uniform_weight_ * uniform_->RegionProbability(polygon) +
+         (1.0 - uniform_weight_) * weighted_->RegionProbability(polygon);
+}
+
+Vec2 MixtureSampler::SampleFromRegion(const TopkRegion& region,
+                                      Rng& rng) const {
+  // Conditional mixture: pick the component proportionally to its share of
+  // the region's probability, then sample that component conditioned on the
+  // region.
+  const double pu = uniform_weight_ * uniform_->RegionProbability(region);
+  const double pw =
+      (1.0 - uniform_weight_) * weighted_->RegionProbability(region);
+  LBSAGG_CHECK_GT(pu + pw, 0.0);
+  if (rng.Uniform01() * (pu + pw) < pu) {
+    return uniform_->SampleFromRegion(region, rng);
+  }
+  return weighted_->SampleFromRegion(region, rng);
+}
+
+}  // namespace lbsagg

@@ -1,0 +1,38 @@
+#ifndef LBSAGG_CORE_MIXTURE_SAMPLER_H_
+#define LBSAGG_CORE_MIXTURE_SAMPLER_H_
+
+#include "core/sampler.h"
+
+namespace lbsagg {
+
+// Defensive mixture of two query-location distributions (§5.2 context):
+// with probability `uniform_weight` draw uniformly, otherwise from the
+// weighted sampler. External knowledge (a census) can be arbitrarily wrong
+// without breaking unbiasedness, but a census that *misses* a populated
+// area would leave its tuples with near-zero inclusion probability and thus
+// explosive Horvitz–Thompson weights; the uniform component floors every
+// location's density — the standard importance-sampling safeguard.
+//
+// Region probabilities stay exact: the mixture pdf integrates as the convex
+// combination of the component integrals.
+class MixtureSampler : public QuerySampler {
+ public:
+  // Both samplers must cover the same box and outlive the mixture.
+  MixtureSampler(const QuerySampler* uniform, const QuerySampler* weighted,
+                 double uniform_weight);
+
+  Vec2 Sample(Rng& rng) const override;
+  double RegionProbability(const TopkRegion& region) const override;
+  double RegionProbability(const ConvexPolygon& polygon) const override;
+  Vec2 SampleFromRegion(const TopkRegion& region, Rng& rng) const override;
+  const Box& box() const override { return uniform_->box(); }
+
+ private:
+  const QuerySampler* uniform_;
+  const QuerySampler* weighted_;
+  double uniform_weight_;
+};
+
+}  // namespace lbsagg
+
+#endif  // LBSAGG_CORE_MIXTURE_SAMPLER_H_

@@ -1,0 +1,125 @@
+#include "core/nno_baseline.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace lbsagg {
+
+NnoEstimator::NnoEstimator(LrClient* client, const AggregateSpec& aggregate,
+                           NnoOptions options)
+    : client_(client),
+      aggregate_(aggregate),
+      options_(options),
+      rng_(options.seed) {
+  LBSAGG_CHECK(client_ != nullptr);
+  LBSAGG_CHECK_GE(options_.ring_points, 3);
+  LBSAGG_CHECK_GE(options_.area_samples, 1);
+}
+
+double NnoEstimator::EstimateCellArea(int id, const Vec2& pos) {
+  const Box& box = client_->region();
+
+  // Grow a disc around t until a probe ring no longer returns t anywhere —
+  // heuristic containment of V(t), as in the bias-prone prior approach.
+  double radius =
+      options_.init_radius_factor * 1e-4 * Distance(box.lo, box.hi);
+  for (int round = 0; round < options_.max_growth_rounds; ++round) {
+    bool any_hit = false;
+    for (int i = 0; i < options_.ring_points; ++i) {
+      const double angle = 2.0 * M_PI * (i + 0.5 * (round % 2)) /
+                           options_.ring_points;
+      const Vec2 probe =
+          box.Clamp(pos + Vec2{std::cos(angle), std::sin(angle)} * radius);
+      const std::vector<LrClient::Item> items = client_->Query(probe);
+      if (!items.empty() && items.front().id == id) {
+        any_hit = true;
+        break;
+      }
+    }
+    if (!any_hit) break;
+    radius *= 2.0;
+  }
+
+  // Multi-scale Monte-Carlo area estimate: membership probes in dyadic
+  // annuli from `radius` down, so the estimate keeps relative precision
+  // whether the cell fills the disc or only its very center. The estimate
+  // of |V(t)| is (roughly) unbiased; the estimator 1/|V̂| is not — the
+  // inherent bias of [10] that LR-LBS-AGG eliminates.
+  constexpr int kLevels = 8;
+  const int per_level = std::max(2, options_.area_samples / kLevels);
+  double area = 0.0;
+  double outer = radius;
+  for (int level = 0; level < kLevels; ++level) {
+    const double inner = outer * 0.5;
+    int hits = 0;
+    int in_box = 0;
+    for (int i = 0; i < per_level; ++i) {
+      // Uniform in the annulus (inner, outer].
+      const double u = rng_.Uniform01();
+      const double r =
+          std::sqrt(inner * inner + u * (outer * outer - inner * inner));
+      const double angle = rng_.Uniform(0.0, 2.0 * M_PI);
+      const Vec2 probe = pos + Vec2{std::cos(angle), std::sin(angle)} * r;
+      if (!box.Contains(probe)) continue;  // free: outside the region
+      ++in_box;
+      const std::vector<LrClient::Item> items = client_->Query(probe);
+      if (!items.empty() && items.front().id == id) ++hits;
+    }
+    const double annulus = M_PI * (outer * outer - inner * inner);
+    if (per_level > 0) {
+      // The out-of-box share of the annulus contributes no area.
+      area += annulus * hits / per_level;
+    }
+    (void)in_box;
+    outer = inner;
+  }
+  // The innermost disc is t's immediate neighborhood: count it as owned.
+  area += M_PI * outer * outer;
+  return area;
+}
+
+void NnoEstimator::Step() {
+  const Box& box = client_->region();
+  const Vec2 q = box.SamplePoint(rng_);
+  const std::vector<LrClient::Item> items = client_->Query(q);
+  if (items.empty()) {
+    numerator_.Add(0.0);
+    denominator_.Add(0.0);
+    trace_.push_back({client_->queries_used(), Estimate()});
+    return;
+  }
+
+  // Top-1 only — the remaining k-1 results are discarded by this method.
+  const LrClient::Item& top = items.front();
+  const bool position_ok = !aggregate_.position_condition ||
+                           aggregate_.position_condition(top.location);
+  const double numerator_value =
+      position_ok ? aggregate_.NumeratorValue(*client_, top.id) : 0.0;
+  const double denominator_value =
+      position_ok ? aggregate_.DenominatorValue(*client_, top.id) : 0.0;
+
+  double round_numerator = 0.0;
+  double round_denominator = 0.0;
+  if (numerator_value != 0.0 || denominator_value != 0.0) {
+    const double area = EstimateCellArea(top.id, top.location);
+    const double inv_p = box.Area() / area;
+    round_numerator = numerator_value * inv_p;
+    round_denominator = denominator_value * inv_p;
+  }
+  numerator_.Add(round_numerator);
+  denominator_.Add(round_denominator);
+  trace_.push_back({client_->queries_used(), Estimate()});
+}
+
+double NnoEstimator::Estimate() const {
+  if (numerator_.count() == 0) return 0.0;
+  if (aggregate_.kind == AggregateSpec::Kind::kAvg) {
+    if (denominator_.mean() == 0.0) return 0.0;
+    return numerator_.mean() / denominator_.mean();
+  }
+  return numerator_.mean();
+}
+
+}  // namespace lbsagg

@@ -1,0 +1,103 @@
+#include "core/runner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace lbsagg {
+
+RunResult RunWithBudget(const EstimatorHandle& handle, uint64_t budget,
+                        size_t max_rounds) {
+  LBSAGG_CHECK_GT(budget, 0u);
+  RunResult result;
+  size_t rounds = 0;
+  while (handle.queries_used() < budget && rounds < max_rounds) {
+    handle.step();
+    ++rounds;
+    result.trace.push_back({handle.queries_used(), handle.estimate()});
+  }
+  result.final_estimate = handle.estimate();
+  result.queries = handle.queries_used();
+  return result;
+}
+
+RunResult RunUntilConfidence(const EstimatorHandle& handle,
+                             double target_fraction, uint64_t budget,
+                             size_t min_rounds) {
+  LBSAGG_CHECK(handle.confidence_half_width != nullptr)
+      << "estimator does not report confidence intervals";
+  LBSAGG_CHECK_GT(target_fraction, 0.0);
+  RunResult result;
+  size_t rounds = 0;
+  while (handle.queries_used() < budget) {
+    handle.step();
+    ++rounds;
+    result.trace.push_back({handle.queries_used(), handle.estimate()});
+    if (rounds < min_rounds) continue;
+    const double estimate = handle.estimate();
+    if (estimate != 0.0 &&
+        handle.confidence_half_width() <=
+            target_fraction * std::abs(estimate)) {
+      break;
+    }
+  }
+  result.final_estimate = handle.estimate();
+  result.queries = handle.queries_used();
+  return result;
+}
+
+double EstimateAtCost(const std::vector<TracePoint>& trace, uint64_t cost) {
+  double estimate = 0.0;
+  for (const TracePoint& p : trace) {
+    if (p.queries > cost) break;
+    estimate = p.estimate;
+  }
+  return estimate;
+}
+
+ErrorCurve ComputeErrorCurve(const std::vector<RunResult>& runs, double truth,
+                             int num_checkpoints) {
+  LBSAGG_CHECK(!runs.empty());
+  LBSAGG_CHECK_GE(num_checkpoints, 2);
+  uint64_t max_cost = std::numeric_limits<uint64_t>::max();
+  for (const RunResult& run : runs) {
+    max_cost = std::min(max_cost, run.queries);
+  }
+  LBSAGG_CHECK_GT(max_cost, 0u);
+
+  ErrorCurve curve;
+  curve.checkpoints.reserve(num_checkpoints);
+  curve.mean_rel_error.reserve(num_checkpoints);
+  for (int i = 1; i <= num_checkpoints; ++i) {
+    const uint64_t c = static_cast<uint64_t>(
+        static_cast<double>(max_cost) * i / num_checkpoints);
+    double total = 0.0;
+    for (const RunResult& run : runs) {
+      total += RelativeError(EstimateAtCost(run.trace, c), truth);
+    }
+    curve.checkpoints.push_back(c);
+    curve.mean_rel_error.push_back(total / runs.size());
+  }
+  return curve;
+}
+
+double QueryCostForError(const ErrorCurve& curve, double target) {
+  LBSAGG_CHECK(!curve.checkpoints.empty());
+  for (size_t i = 0; i < curve.checkpoints.size(); ++i) {
+    if (curve.mean_rel_error[i] <= target) {
+      if (i == 0) return static_cast<double>(curve.checkpoints[0]);
+      // Linear interpolation between the straddling checkpoints.
+      const double e0 = curve.mean_rel_error[i - 1];
+      const double e1 = curve.mean_rel_error[i];
+      const double c0 = static_cast<double>(curve.checkpoints[i - 1]);
+      const double c1 = static_cast<double>(curve.checkpoints[i]);
+      if (e0 <= e1) return c1;
+      const double frac = (e0 - target) / (e0 - e1);
+      return c0 + frac * (c1 - c0);
+    }
+  }
+  return static_cast<double>(curve.checkpoints.back());
+}
+
+}  // namespace lbsagg

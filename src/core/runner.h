@@ -1,0 +1,84 @@
+#ifndef LBSAGG_CORE_RUNNER_H_
+#define LBSAGG_CORE_RUNNER_H_
+
+#include <functional>
+#include <vector>
+
+#include "core/lr_agg.h"  // TracePoint
+#include "util/stats.h"
+
+namespace lbsagg {
+
+// Type-erased handle over any estimator (LrAggEstimator, LnrAggEstimator,
+// NnoEstimator, ...) so the experiment driver can sweep them uniformly.
+struct EstimatorHandle {
+  std::function<void()> step;
+  std::function<double()> estimate;
+  std::function<uint64_t()> queries_used;
+  // Optional: 95% confidence half-width of the current estimate.
+  std::function<double()> confidence_half_width;
+};
+
+// Wraps a concrete estimator type exposing Step()/Estimate()/queries_used()
+// and, when available, ConfidenceHalfWidth().
+template <typename Estimator>
+EstimatorHandle MakeHandle(Estimator* estimator) {
+  EstimatorHandle handle{
+      [estimator] { estimator->Step(); },
+      [estimator] { return estimator->Estimate(); },
+      [estimator] { return estimator->queries_used(); },
+      nullptr,
+  };
+  if constexpr (requires { estimator->ConfidenceHalfWidth(); }) {
+    handle.confidence_half_width = [estimator] {
+      return estimator->ConfidenceHalfWidth();
+    };
+  }
+  return handle;
+}
+
+// One run: estimate trace until the query budget is reached.
+struct RunResult {
+  std::vector<TracePoint> trace;
+  double final_estimate = 0.0;
+  uint64_t queries = 0;
+};
+
+// Steps the estimator until `budget` queries have been issued (the round in
+// flight when the budget trips is allowed to finish — the paper's soft
+// rate-limit semantics) or `max_rounds` sampling rounds completed.
+RunResult RunWithBudget(const EstimatorHandle& handle, uint64_t budget,
+                        size_t max_rounds = 1u << 20);
+
+// Steps the estimator until the 95% confidence half-width falls below
+// `target_fraction` of the current estimate (the practical stopping rule of
+// §2.3: approximate the population variance with the Bessel-corrected
+// sample variance), after at least `min_rounds` rounds; `budget` still
+// bounds the run. Requires a handle with confidence_half_width.
+RunResult RunUntilConfidence(const EstimatorHandle& handle,
+                             double target_fraction, uint64_t budget,
+                             size_t min_rounds = 30);
+
+// The running estimate of a trace at query cost `c` (last round completed at
+// or before c; 0 before the first round).
+double EstimateAtCost(const std::vector<TracePoint>& trace, uint64_t cost);
+
+// Mean relative error across runs at each query-cost checkpoint. The
+// checkpoints are `num_checkpoints` evenly spaced costs up to the smallest
+// final cost across runs.
+struct ErrorCurve {
+  std::vector<uint64_t> checkpoints;
+  std::vector<double> mean_rel_error;
+};
+ErrorCurve ComputeErrorCurve(const std::vector<RunResult>& runs, double truth,
+                             int num_checkpoints = 60);
+
+// Smallest checkpointed query cost at which the mean relative error drops
+// to `target` (linear interpolation between checkpoints). Returns the last
+// checkpoint cost when the target is never reached (callers report it as a
+// lower bound).
+double QueryCostForError(const ErrorCurve& curve, double target);
+
+}  // namespace lbsagg
+
+#endif  // LBSAGG_CORE_RUNNER_H_

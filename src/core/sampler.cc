@@ -1,0 +1,126 @@
+#include "core/sampler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geometry/line.h"
+#include "util/check.h"
+
+namespace lbsagg {
+
+Vec2 QuerySampler::SampleFromRegion(const TopkRegion& region, Rng& rng) const {
+  // Correct only for uniform densities; samplers with non-uniform f must
+  // override (CensusSampler does, with rejection sampling).
+  LBSAGG_CHECK(!region.IsEmpty());
+  return region.SamplePoint(rng);
+}
+
+double UniformSampler::RegionProbability(const TopkRegion& region) const {
+  return region.area / box_.Area();
+}
+
+double UniformSampler::RegionProbability(const ConvexPolygon& polygon) const {
+  return polygon.Area() / box_.Area();
+}
+
+Vec2 UniformSampler::SampleFromRegion(const TopkRegion& region,
+                                      Rng& rng) const {
+  return region.SamplePoint(rng);
+}
+
+namespace {
+
+// Clips `piece` to the grid cells it overlaps and accumulates
+// area(piece ∩ cell) * density(cell).
+double PieceWeight(const ConvexPolygon& piece, const CensusGrid& census) {
+  if (piece.IsEmpty()) return 0.0;
+  const Box piece_box = piece.BoundingBox();
+  const Box& gbox = census.box();
+  const double cw = gbox.width() / census.nx();
+  const double ch = gbox.height() / census.ny();
+  const int ix_lo = std::clamp(
+      static_cast<int>(std::floor((piece_box.lo.x - gbox.lo.x) / cw)), 0,
+      census.nx() - 1);
+  const int ix_hi = std::clamp(
+      static_cast<int>(std::floor((piece_box.hi.x - gbox.lo.x) / cw)), 0,
+      census.nx() - 1);
+  const int iy_lo = std::clamp(
+      static_cast<int>(std::floor((piece_box.lo.y - gbox.lo.y) / ch)), 0,
+      census.ny() - 1);
+  const int iy_hi = std::clamp(
+      static_cast<int>(std::floor((piece_box.hi.y - gbox.lo.y) / ch)), 0,
+      census.ny() - 1);
+
+  double weight = 0.0;
+  for (int iy = iy_lo; iy <= iy_hi; ++iy) {
+    // Clip once per row, then per column, to keep the work proportional to
+    // the number of overlapped cells.
+    const double y0 = gbox.lo.y + iy * ch;
+    ConvexPolygon row = piece
+        .Clip(HalfPlane(Line({0.0, -1.0}, -y0)))           // y >= y0
+        .Clip(HalfPlane(Line({0.0, 1.0}, y0 + ch)));       // y <= y0 + ch
+    if (row.IsEmpty()) continue;
+    for (int ix = ix_lo; ix <= ix_hi; ++ix) {
+      const double x0 = gbox.lo.x + ix * cw;
+      const ConvexPolygon cellpoly = row
+          .Clip(HalfPlane(Line({-1.0, 0.0}, -x0)))         // x >= x0
+          .Clip(HalfPlane(Line({1.0, 0.0}, x0 + cw)));     // x <= x0 + cw
+      if (cellpoly.IsEmpty()) continue;
+      weight += cellpoly.Area() * census.CellDensity(ix, iy);
+    }
+  }
+  return weight;
+}
+
+}  // namespace
+
+double CensusSampler::RegionProbability(const TopkRegion& region) const {
+  double weight = 0.0;
+  for (const ConvexPolygon& piece : region.pieces) {
+    weight += PieceWeight(piece, *census_);
+  }
+  return weight / census_->TotalWeight();
+}
+
+double CensusSampler::RegionProbability(const ConvexPolygon& polygon) const {
+  return PieceWeight(polygon, *census_) / census_->TotalWeight();
+}
+
+Vec2 CensusSampler::SampleFromRegion(const TopkRegion& region,
+                                     Rng& rng) const {
+  LBSAGG_CHECK(!region.IsEmpty());
+  // Rejection sampling: uniform proposal over the region, acceptance
+  // proportional to density / density_max over the region's bounding cells.
+  const Box rbox = region.BoundingBox();
+  double f_max = 0.0;
+  const Box& gbox = census_->box();
+  const double cw = gbox.width() / census_->nx();
+  const double ch = gbox.height() / census_->ny();
+  const int ix_lo = std::clamp(
+      static_cast<int>(std::floor((rbox.lo.x - gbox.lo.x) / cw)), 0,
+      census_->nx() - 1);
+  const int ix_hi = std::clamp(
+      static_cast<int>(std::floor((rbox.hi.x - gbox.lo.x) / cw)), 0,
+      census_->nx() - 1);
+  const int iy_lo = std::clamp(
+      static_cast<int>(std::floor((rbox.lo.y - gbox.lo.y) / ch)), 0,
+      census_->ny() - 1);
+  const int iy_hi = std::clamp(
+      static_cast<int>(std::floor((rbox.hi.y - gbox.lo.y) / ch)), 0,
+      census_->ny() - 1);
+  for (int iy = iy_lo; iy <= iy_hi; ++iy) {
+    for (int ix = ix_lo; ix <= ix_hi; ++ix) {
+      f_max = std::max(f_max, census_->CellDensity(ix, iy));
+    }
+  }
+  LBSAGG_CHECK_GT(f_max, 0.0);
+  for (int attempt = 0; attempt < 100000; ++attempt) {
+    const Vec2 p = region.SamplePoint(rng);
+    if (rng.Uniform01() * f_max <= census_->DensityAt(p)) return p;
+  }
+  // Densities are floored at a positive value, so this is unreachable in
+  // practice; fall back to an unweighted point rather than looping forever.
+  return region.SamplePoint(rng);
+}
+
+}  // namespace lbsagg

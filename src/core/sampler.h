@@ -1,0 +1,78 @@
+#ifndef LBSAGG_CORE_SAMPLER_H_
+#define LBSAGG_CORE_SAMPLER_H_
+
+#include <memory>
+
+#include "geometry/box.h"
+#include "geometry/polygon.h"
+#include "geometry/topk_region.h"
+#include "util/rng.h"
+#include "workload/census.h"
+
+namespace lbsagg {
+
+// Distribution of the random query locations that drive the estimators.
+//
+// The Horvitz–Thompson weights require the *exact* inclusion probability
+// p(t) = ∫_{V_h(t)} f(q) dq of each sampled tuple's top-h Voronoi cell
+// (Eq. (1), §3.1 and §5.2): an estimator stays unbiased under any sampling
+// density as long as this integral is computed exactly, which is why the
+// interface exposes RegionProbability() instead of a plain pdf.
+class QuerySampler {
+ public:
+  virtual ~QuerySampler() = default;
+
+  // Draws a query location with the sampler's density f.
+  virtual Vec2 Sample(Rng& rng) const = 0;
+
+  // ∫_region f — the probability that Sample() lands in the region.
+  virtual double RegionProbability(const TopkRegion& region) const = 0;
+  virtual double RegionProbability(const ConvexPolygon& polygon) const = 0;
+
+  // Draws a point with density f conditioned on the region (used by the
+  // §3.2.4 Monte-Carlo trials so they stay unbiased under weighted
+  // sampling). Default implementation: rejection against Sample().
+  virtual Vec2 SampleFromRegion(const TopkRegion& region, Rng& rng) const;
+
+  // The region the sampler covers.
+  virtual const Box& box() const = 0;
+};
+
+// Uniform sampling over the bounding region: f = 1/|B| (§3.1 baseline).
+class UniformSampler : public QuerySampler {
+ public:
+  explicit UniformSampler(const Box& box) : box_(box) {}
+
+  Vec2 Sample(Rng& rng) const override { return box_.SamplePoint(rng); }
+  double RegionProbability(const TopkRegion& region) const override;
+  double RegionProbability(const ConvexPolygon& polygon) const override;
+  Vec2 SampleFromRegion(const TopkRegion& region, Rng& rng) const override;
+  const Box& box() const override { return box_; }
+
+ private:
+  Box box_;
+};
+
+// External-knowledge weighted sampling (§5.2): query locations are drawn
+// with density proportional to a census population grid. Region
+// probabilities are computed exactly by clipping every convex piece of the
+// region against the grid cells, so estimates remain unbiased even when the
+// census poorly matches the true tuple density.
+class CensusSampler : public QuerySampler {
+ public:
+  // `census` must outlive the sampler.
+  explicit CensusSampler(const CensusGrid* census) : census_(census) {}
+
+  Vec2 Sample(Rng& rng) const override { return census_->Sample(rng); }
+  double RegionProbability(const TopkRegion& region) const override;
+  double RegionProbability(const ConvexPolygon& polygon) const override;
+  Vec2 SampleFromRegion(const TopkRegion& region, Rng& rng) const override;
+  const Box& box() const override { return census_->box(); }
+
+ private:
+  const CensusGrid* census_;
+};
+
+}  // namespace lbsagg
+
+#endif  // LBSAGG_CORE_SAMPLER_H_

@@ -1,0 +1,73 @@
+#ifndef LBSAGG_GEOMETRY_BOX_H_
+#define LBSAGG_GEOMETRY_BOX_H_
+
+#include <algorithm>
+
+#include "geometry/vec2.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace lbsagg {
+
+// Axis-aligned bounding box. The paper's region of interest `B` / `V0` —
+// every Voronoi cell is implicitly clipped to a Box so that its area is
+// finite (Definition 1).
+struct Box {
+  Vec2 lo;
+  Vec2 hi;
+
+  Box() = default;
+  Box(Vec2 lo_in, Vec2 hi_in) : lo(lo_in), hi(hi_in) {
+    LBSAGG_CHECK_LE(lo.x, hi.x);
+    LBSAGG_CHECK_LE(lo.y, hi.y);
+  }
+
+  double width() const { return hi.x - lo.x; }
+  double height() const { return hi.y - lo.y; }
+  double Area() const { return width() * height(); }
+  double Perimeter() const { return 2.0 * (width() + height()); }
+  Vec2 Center() const { return Midpoint(lo, hi); }
+
+  bool Contains(const Vec2& p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y;
+  }
+
+  // Strict interior test with margin `eps`.
+  bool ContainsInterior(const Vec2& p, double eps = 0.0) const {
+    return p.x > lo.x + eps && p.x < hi.x - eps && p.y > lo.y + eps &&
+           p.y < hi.y - eps;
+  }
+
+  // The four corners in counter-clockwise order starting at lo.
+  void Corners(Vec2 out[4]) const {
+    out[0] = lo;
+    out[1] = {hi.x, lo.y};
+    out[2] = hi;
+    out[3] = {lo.x, hi.y};
+  }
+
+  // Grows the box symmetrically by `margin` on every side.
+  Box Expanded(double margin) const {
+    return Box({lo.x - margin, lo.y - margin}, {hi.x + margin, hi.y + margin});
+  }
+
+  // Smallest box containing both this box and `p`.
+  Box Including(const Vec2& p) const {
+    return Box({std::min(lo.x, p.x), std::min(lo.y, p.y)},
+               {std::max(hi.x, p.x), std::max(hi.y, p.y)});
+  }
+
+  // Uniform random point inside the box.
+  Vec2 SamplePoint(Rng& rng) const {
+    return {rng.Uniform(lo.x, hi.x), rng.Uniform(lo.y, hi.y)};
+  }
+
+  // Clamps p into the box.
+  Vec2 Clamp(const Vec2& p) const {
+    return {std::clamp(p.x, lo.x, hi.x), std::clamp(p.y, lo.y, hi.y)};
+  }
+};
+
+}  // namespace lbsagg
+
+#endif  // LBSAGG_GEOMETRY_BOX_H_

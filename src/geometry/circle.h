@@ -1,0 +1,50 @@
+#ifndef LBSAGG_GEOMETRY_CIRCLE_H_
+#define LBSAGG_GEOMETRY_CIRCLE_H_
+
+#include <cmath>
+#include <vector>
+
+#include "geometry/vec2.h"
+
+namespace lbsagg {
+
+// Circle (disc) with center and radius. Used by the lower-bound region of
+// §3.2.4: a confirmed Voronoi vertex v of tuple t certifies that the disc
+// C(v, d(v,t)) contains no unseen tuple.
+struct Circle {
+  Vec2 center;
+  double radius = 0.0;
+
+  Circle() = default;
+  Circle(Vec2 center_in, double radius_in)
+      : center(center_in), radius(radius_in) {}
+
+  bool Contains(const Vec2& p) const {
+    return SquaredDistance(center, p) <= radius * radius;
+  }
+
+  // True if the disc `inner` lies entirely inside this disc:
+  // d(centers) + r_inner <= r_outer.
+  bool ContainsDisc(const Circle& inner) const {
+    return Distance(center, inner.center) + inner.radius <= radius;
+  }
+
+  double Area() const { return M_PI * radius * radius; }
+};
+
+// Safe (sufficient, not necessary) test that the disc `probe` is covered by
+// the union of `cover`. Returns true only when `probe` fits entirely inside
+// a single covering disc. Used for the §3.2.4 lower bound where a false
+// negative merely costs one extra query, while a false positive would break
+// unbiasedness.
+inline bool DiscCoveredBySingle(const Circle& probe,
+                                const std::vector<Circle>& cover) {
+  for (const Circle& c : cover) {
+    if (c.ContainsDisc(probe)) return true;
+  }
+  return false;
+}
+
+}  // namespace lbsagg
+
+#endif  // LBSAGG_GEOMETRY_CIRCLE_H_

@@ -1,0 +1,244 @@
+#include "geometry/delaunay.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "geometry/predicates.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace lbsagg {
+
+namespace {
+
+// Super-triangle scale relative to the point span. Large enough that the
+// synthetic vertices behave like points at infinity for every realistic
+// circumcircle.
+constexpr double kSuperScale = 1e5;
+
+}  // namespace
+
+Delaunay::Delaunay(const std::vector<Vec2>& points) : points_(points) {
+  LBSAGG_CHECK_GE(points_.size(), 3u) << "Delaunay needs at least 3 points";
+
+  // Enclosing super-triangle.
+  Vec2 lo = points_[0], hi = points_[0];
+  for (const Vec2& p : points_) {
+    lo.x = std::min(lo.x, p.x);
+    lo.y = std::min(lo.y, p.y);
+    hi.x = std::max(hi.x, p.x);
+    hi.y = std::max(hi.y, p.y);
+  }
+  const Vec2 center = Midpoint(lo, hi);
+  const double span = std::max({hi.x - lo.x, hi.y - lo.y, 1e-9});
+  const double r = kSuperScale * span;
+  super_[0] = center + Vec2{0.0, 2.0 * r};
+  super_[1] = center + Vec2{-1.7320508075688772 * r, -r};
+  super_[2] = center + Vec2{1.7320508075688772 * r, -r};
+
+  Tri root;
+  root.v[0] = -1;
+  root.v[1] = -2;
+  root.v[2] = -3;
+  root.nbr[0] = root.nbr[1] = root.nbr[2] = -1;
+  tris_.push_back(root);
+
+  // Randomized insertion order for expected O(n) cavity sizes.
+  std::vector<int> order(points_.size());
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(0x5eedu ^ points_.size());
+  for (size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.UniformInt(i)]);
+  }
+
+  int hint = 0;
+  for (int idx : order) Insert(idx, &hint);
+
+  // Build the neighbor lists over real vertices.
+  neighbors_.assign(points_.size(), {});
+  for (const Tri& t : tris_) {
+    if (!t.alive) continue;
+    for (int e = 0; e < 3; ++e) {
+      const int a = t.v[(e + 1) % 3];
+      const int b = t.v[(e + 2) % 3];
+      if (a >= 0 && b >= 0) {
+        neighbors_[a].push_back(b);
+        neighbors_[b].push_back(a);
+      }
+    }
+  }
+  for (auto& list : neighbors_) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+  }
+}
+
+Vec2 Delaunay::VertexPos(int v) const {
+  if (v >= 0) return points_[v];
+  return super_[-v - 1];
+}
+
+int Delaunay::Locate(const Vec2& p, int hint) const {
+  int cur = hint;
+  if (cur < 0 || cur >= static_cast<int>(tris_.size()) || !tris_[cur].alive) {
+    cur = -1;
+    for (size_t i = tris_.size(); i-- > 0;) {
+      if (tris_[i].alive) {
+        cur = static_cast<int>(i);
+        break;
+      }
+    }
+    LBSAGG_CHECK_GE(cur, 0);
+  }
+  size_t steps = 0;
+  const size_t max_steps = 64 + 8 * tris_.size();
+  int start_edge = 0;
+  while (true) {
+    LBSAGG_CHECK_LT(steps++, max_steps) << "point location walk did not halt";
+    const Tri& t = tris_[cur];
+    int next = -1;
+    for (int i = 0; i < 3; ++i) {
+      const int e = (i + start_edge) % 3;
+      const Vec2 a = VertexPos(t.v[(e + 1) % 3]);
+      const Vec2 b = VertexPos(t.v[(e + 2) % 3]);
+      if (Orient2d(a, b, p) < 0) {
+        next = t.nbr[e];
+        break;
+      }
+    }
+    if (next < 0) return cur;
+    cur = next;
+    start_edge = static_cast<int>(steps % 3);
+  }
+}
+
+bool Delaunay::InCircumcircle(const Tri& t, const Vec2& p) const {
+  return InCircle(VertexPos(t.v[0]), VertexPos(t.v[1]), VertexPos(t.v[2]),
+                  p) > 0;
+}
+
+void Delaunay::Insert(int point_index, int* hint) {
+  const Vec2 p = points_[point_index];
+  const int containing = Locate(p, *hint);
+
+  for (int v : tris_[containing].v) {
+    if (v >= 0) {
+      LBSAGG_CHECK(points_[v] != p)
+          << "duplicate point at index " << point_index
+          << " — jitter the dataset into general position first";
+    }
+  }
+
+  // Grow the cavity of triangles whose circumcircle contains p.
+  std::vector<int> bad;
+  std::vector<int> stack = {containing};
+  std::vector<char> in_bad(tris_.size(), 0);
+  in_bad[containing] = 1;
+  while (!stack.empty()) {
+    const int ti = stack.back();
+    stack.pop_back();
+    bad.push_back(ti);
+    for (int e = 0; e < 3; ++e) {
+      const int nb = tris_[ti].nbr[e];
+      if (nb < 0 || in_bad[nb]) continue;
+      if (InCircumcircle(tris_[nb], p)) {
+        in_bad[nb] = 1;
+        stack.push_back(nb);
+      }
+    }
+  }
+
+  // Collect the boundary edges of the cavity in triangle orientation.
+  struct BoundaryEdge {
+    int a, b;     // directed edge (CCW along the cavity boundary)
+    int outside;  // triangle beyond the edge, or -1
+  };
+  std::vector<BoundaryEdge> boundary;
+  for (int ti : bad) {
+    const Tri& t = tris_[ti];
+    for (int e = 0; e < 3; ++e) {
+      const int nb = t.nbr[e];
+      if (nb >= 0 && in_bad[nb]) continue;
+      boundary.push_back({t.v[(e + 1) % 3], t.v[(e + 2) % 3], nb});
+    }
+  }
+  LBSAGG_CHECK_GE(boundary.size(), 3u);
+
+  for (int ti : bad) tris_[ti].alive = false;
+
+  // Retriangulate the star of p. Spoke linking: spokes[vertex] remembers the
+  // new triangle incident to the directed spoke (p -> vertex).
+  struct Spoke {
+    int tri = -1;
+    int edge = -1;
+  };
+  std::vector<std::pair<int, Spoke>> open_spokes;  // keyed by far vertex
+  auto find_spoke = [&](int v) -> Spoke* {
+    for (auto& [key, spoke] : open_spokes) {
+      if (key == v && spoke.tri >= 0) return &spoke;
+    }
+    return nullptr;
+  };
+
+  int first_new = -1;
+  for (const BoundaryEdge& be : boundary) {
+    Tri nt;
+    nt.v[0] = point_index;
+    nt.v[1] = be.a;
+    nt.v[2] = be.b;
+    nt.nbr[0] = be.outside;  // across edge (a, b)
+    nt.nbr[1] = -1;          // across edge (b, p) — spoke to b
+    nt.nbr[2] = -1;          // across edge (p, a) — spoke to a
+    const int nt_index = static_cast<int>(tris_.size());
+    if (first_new < 0) first_new = nt_index;
+
+    if (be.outside >= 0) {
+      Tri& out = tris_[be.outside];
+      for (int e = 0; e < 3; ++e) {
+        const int oa = out.v[(e + 1) % 3];
+        const int ob = out.v[(e + 2) % 3];
+        if ((oa == be.b && ob == be.a) || (oa == be.a && ob == be.b)) {
+          out.nbr[e] = nt_index;
+          break;
+        }
+      }
+    }
+
+    // Link the two spokes with previously created new triangles.
+    for (int side = 1; side <= 2; ++side) {
+      const int far = (side == 1) ? be.b : be.a;
+      if (Spoke* other = find_spoke(far)) {
+        nt.nbr[side] = other->tri;
+        tris_[other->tri].nbr[other->edge] = nt_index;
+        other->tri = -1;  // consumed
+      } else {
+        open_spokes.push_back({far, Spoke{nt_index, side}});
+      }
+    }
+    tris_.push_back(nt);
+  }
+
+  for (const auto& [key, spoke] : open_spokes) {
+    LBSAGG_CHECK_EQ(spoke.tri, -1) << "unmatched cavity spoke";
+  }
+  *hint = first_new;
+}
+
+const std::vector<int>& Delaunay::Neighbors(int i) const {
+  LBSAGG_CHECK_GE(i, 0);
+  LBSAGG_CHECK_LT(static_cast<size_t>(i), neighbors_.size());
+  return neighbors_[i];
+}
+
+std::vector<std::array<int, 3>> Delaunay::Triangles() const {
+  std::vector<std::array<int, 3>> out;
+  for (const Tri& t : tris_) {
+    if (!t.alive) continue;
+    if (t.v[0] < 0 || t.v[1] < 0 || t.v[2] < 0) continue;
+    out.push_back({t.v[0], t.v[1], t.v[2]});
+  }
+  return out;
+}
+
+}  // namespace lbsagg

@@ -1,0 +1,205 @@
+#include "geometry/fortune.h"
+
+#include <algorithm>
+#include <cmath>
+#include <list>
+#include <queue>
+#include <set>
+#include <unordered_map>
+
+#include "geometry/predicates.h"
+#include "util/check.h"
+
+namespace lbsagg {
+
+namespace {
+
+// Parabola of points equidistant from `site` and the horizontal directrix
+// y = d (site above the directrix).
+double ParabolaY(const Vec2& site, double d, double x) {
+  const double dy = site.y - d;
+  if (dy <= 0) return site.y;  // degenerate: vertical ray at site.x
+  const double dx = x - site.x;
+  return dx * dx / (2.0 * dy) + (site.y + d) / 2.0;
+}
+
+}  // namespace
+
+FortuneSweep::FortuneSweep(const std::vector<Vec2>& points)
+    : points_(points) {
+  LBSAGG_CHECK_GE(points_.size(), 2u);
+
+  struct Arc {
+    int site;
+    uint64_t stamp = 0;  // bumped whenever the arc's circle event dies
+  };
+  using Beach = std::list<Arc>;
+  Beach beach;
+
+  struct Event {
+    double y;  // processed in decreasing order
+    bool is_site;
+    int site = -1;       // site events
+    uint64_t stamp = 0;  // circle events: key into the live-event registry
+  };
+  struct EventLess {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.y != b.y) return a.y < b.y;  // max-heap on y
+      return a.is_site < b.is_site;     // site events first on ties
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, EventLess> events;
+
+  double scale = 1.0;
+  for (size_t i = 0; i < points_.size(); ++i) {
+    scale = std::max({scale, std::abs(points_[i].x), std::abs(points_[i].y)});
+    for (size_t j = i + 1; j < points_.size(); ++j) {
+      LBSAGG_CHECK(points_[i] != points_[j])
+          << "duplicate site at index " << j;
+    }
+    Event e;
+    e.y = points_[i].y;
+    e.is_site = true;
+    e.site = static_cast<int>(i);
+    events.push(e);
+  }
+  const double eps = scale * 1e-12;
+
+  std::set<std::pair<int, int>> edge_set;
+  auto add_edge = [&](int a, int b) {
+    if (a == b) return;
+    edge_set.insert({std::min(a, b), std::max(a, b)});
+  };
+
+  uint64_t stamp_counter = 0;
+  // Registry of live circle events: stamp → the arc that would vanish.
+  // Events in the queue carry only the stamp, so a stale event can be
+  // recognized without touching a possibly-erased iterator.
+  std::unordered_map<uint64_t, Beach::iterator> scheduled;
+  auto cancel_event = [&](Beach::iterator it) {
+    if (it->stamp != 0) {
+      scheduled.erase(it->stamp);
+      it->stamp = 0;
+    }
+  };
+
+  // Breakpoint between the left arc of `p` and the right arc of `q` at
+  // directrix d: the parabola intersection where the lower envelope hands
+  // over from p (left) to q (right) — selected numerically, which is
+  // immune to the usual root-choice sign errors.
+  auto breakpoint_x = [&](const Vec2& p, const Vec2& q, double d) {
+    if (std::abs(p.y - q.y) < eps) return (p.x + q.x) / 2.0;
+    if (p.y - d < eps) return p.x;  // p's arc is a vertical sliver
+    if (q.y - d < eps) return q.x;
+    const double z1 = 2.0 * (p.y - d);
+    const double z2 = 2.0 * (q.y - d);
+    const double a = 1.0 / z1 - 1.0 / z2;
+    const double b = -2.0 * (p.x / z1 - q.x / z2);
+    const double c = (p.x * p.x + p.y * p.y - d * d) / z1 -
+                     (q.x * q.x + q.y * q.y - d * d) / z2;
+    const double disc = std::max(0.0, b * b - 4.0 * a * c);
+    const double root = std::sqrt(disc);
+    const double x1 = (-b + root) / (2.0 * a);
+    const double x2 = (-b - root) / (2.0 * a);
+    const double h = std::max(eps * 1e3, 1e-9 * (std::abs(x1) + 1.0));
+    for (const double x : {x1, x2}) {
+      if (ParabolaY(p, d, x - h) <= ParabolaY(q, d, x - h) + eps &&
+          ParabolaY(p, d, x + h) + eps >= ParabolaY(q, d, x + h)) {
+        return x;
+      }
+    }
+    return x1;  // degenerate tie: either root works
+  };
+
+  // Schedules a circle event for the arc at `it` if its neighbors converge.
+  auto check_circle = [&](Beach::iterator it, double sweep_y) {
+    if (it == beach.begin()) return;
+    const auto prev = std::prev(it);
+    const auto next = std::next(it);
+    if (next == beach.end()) return;
+    const int a = prev->site, b = it->site, c = next->site;
+    if (a == b || b == c || a == c) return;
+    // Breakpoints converge only for a right turn a → b → c.
+    if (Orient2d(points_[a], points_[b], points_[c]) >= 0) return;
+    const Vec2 center = Circumcenter(points_[a], points_[b], points_[c]);
+    const double radius = Distance(center, points_[b]);
+    const double event_y = center.y - radius;
+    if (event_y > sweep_y + eps) return;  // already passed
+    cancel_event(it);
+    it->stamp = ++stamp_counter;
+    scheduled.emplace(it->stamp, it);
+    Event e;
+    e.y = event_y;
+    e.is_site = false;
+    e.stamp = it->stamp;
+    events.push(e);
+  };
+
+  while (!events.empty()) {
+    const Event e = events.top();
+    events.pop();
+
+    if (e.is_site) {
+      const int s = e.site;
+      const Vec2& sp = points_[s];
+      if (beach.empty()) {
+        beach.push_back({s});
+        continue;
+      }
+      // Find the arc vertically above the new site: walk the breakpoints
+      // until one passes the site's x.
+      Beach::iterator above = beach.begin();
+      while (std::next(above) != beach.end()) {
+        const double bp = breakpoint_x(
+            points_[above->site], points_[std::next(above)->site], sp.y);
+        if (sp.x <= bp) break;
+        ++above;
+      }
+      // Kill the split arc's circle event and split it in three.
+      cancel_event(above);
+      const int old_site = above->site;
+      // beach: ... [above(old)] ... → ... [old] [s] [old] ...
+      const auto right = beach.insert(std::next(above), {old_site});
+      beach.insert(right, {s});
+      add_edge(s, old_site);
+      check_circle(above, sp.y);
+      check_circle(right, sp.y);
+      continue;
+    }
+
+    // Circle event: drop the shrinking arc if the event is still live.
+    const auto entry = scheduled.find(e.stamp);
+    if (entry == scheduled.end()) continue;  // stale
+    Beach::iterator arc = entry->second;
+    scheduled.erase(entry);
+    arc->stamp = 0;
+    LBSAGG_CHECK(arc != beach.begin());
+    const auto prev = std::prev(arc);
+    const auto next = std::next(arc);
+    LBSAGG_CHECK(next != beach.end());
+    triangles_.push_back({prev->site, arc->site, next->site});
+    add_edge(prev->site, arc->site);
+    add_edge(arc->site, next->site);
+    add_edge(prev->site, next->site);
+    cancel_event(prev);
+    cancel_event(next);
+    beach.erase(arc);
+    check_circle(prev, e.y);
+    check_circle(next, e.y);
+  }
+
+  neighbors_.assign(points_.size(), {});
+  for (const auto& [a, b] : edge_set) {
+    neighbors_[a].push_back(b);
+    neighbors_[b].push_back(a);
+  }
+  for (auto& list : neighbors_) std::sort(list.begin(), list.end());
+}
+
+const std::vector<int>& FortuneSweep::Neighbors(int i) const {
+  LBSAGG_CHECK_GE(i, 0);
+  LBSAGG_CHECK_LT(static_cast<size_t>(i), neighbors_.size());
+  return neighbors_[i];
+}
+
+}  // namespace lbsagg

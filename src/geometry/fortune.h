@@ -1,0 +1,53 @@
+#ifndef LBSAGG_GEOMETRY_FORTUNE_H_
+#define LBSAGG_GEOMETRY_FORTUNE_H_
+
+#include <array>
+#include <vector>
+
+#include "geometry/vec2.h"
+
+namespace lbsagg {
+
+// Fortune's sweep-line algorithm — the alternative Voronoi construction the
+// paper names for Leverage-History (§3.2.2, "more sophisticated approaches
+// such as Fortune's algorithm [15]").
+//
+// The sweep emits the *Delaunay* structure: a triangle per circle event and
+// an edge per beach-line adjacency, which is everything the library needs
+// (Voronoi cells are reconstructed by clipping against the neighbors'
+// bisectors, exactly as with the Bowyer–Watson backend). The beach line is
+// a plain ordered sequence with linear arc lookup — O(n²) worst case, which
+// is fine for the ground-truth/cross-check role this backend plays; the
+// incremental Delaunay in geometry/delaunay.h remains the production path.
+//
+// Precision: the sweep uses double-precision circumcenters and breakpoints
+// (no exact-arithmetic fallback), which is exact on the library's test
+// workloads up to roughly a thousand sites but can misorder events for
+// nearly-cocircular quadruples in very dense clusters beyond that.
+class FortuneSweep {
+ public:
+  // Runs the sweep over distinct points in general position (no two sites
+  // on one horizontal line at equal y is handled; exact duplicates are
+  // rejected).
+  explicit FortuneSweep(const std::vector<Vec2>& points);
+
+  size_t num_points() const { return points_.size(); }
+
+  // Indices of the Delaunay neighbors of point i (sorted, unique).
+  const std::vector<int>& Neighbors(int i) const;
+
+  // Triangles recorded at circle events (each is Delaunay; interior
+  // triangles only — the convex-hull fan is implied by the edges).
+  const std::vector<std::array<int, 3>>& Triangles() const {
+    return triangles_;
+  }
+
+ private:
+  std::vector<Vec2> points_;
+  std::vector<std::vector<int>> neighbors_;
+  std::vector<std::array<int, 3>> triangles_;
+};
+
+}  // namespace lbsagg
+
+#endif  // LBSAGG_GEOMETRY_FORTUNE_H_

@@ -1,0 +1,144 @@
+#ifndef LBSAGG_GEOMETRY_LINE_H_
+#define LBSAGG_GEOMETRY_LINE_H_
+
+#include <cmath>
+#include <limits>
+#include <optional>
+
+#include "geometry/box.h"
+#include "geometry/vec2.h"
+
+namespace lbsagg {
+
+// Infinite line in implicit form: { p : Dot(normal, p) == offset }.
+// `normal` need not be unit length; all predicates are scale-invariant
+// except distance helpers, which normalize on demand.
+struct Line {
+  Vec2 normal;
+  double offset = 0.0;
+
+  Line() = default;
+  Line(Vec2 normal_in, double offset_in)
+      : normal(normal_in), offset(offset_in) {}
+
+  // Line through two distinct points.
+  static Line Through(const Vec2& a, const Vec2& b) {
+    const Vec2 n = Perp(b - a);
+    return Line(n, Dot(n, a));
+  }
+
+  // Perpendicular bisector of the segment (a, b): the locus equidistant from
+  // a and b. Its normal points from a toward b, so Side(a) < 0 < Side(b).
+  static Line Bisector(const Vec2& a, const Vec2& b) {
+    const Vec2 n = b - a;
+    return Line(n, Dot(n, Midpoint(a, b)));
+  }
+
+  // Signed side value: negative on the side the normal points away from,
+  // zero on the line, positive on the normal side. Not a distance unless the
+  // normal is unit length.
+  double Side(const Vec2& p) const { return Dot(normal, p) - offset; }
+
+  // Euclidean distance from p to the line.
+  double DistanceTo(const Vec2& p) const {
+    return std::abs(Side(p)) / Norm(normal);
+  }
+
+  // Orthogonal projection of p onto the line.
+  Vec2 Project(const Vec2& p) const {
+    return p - normal * (Side(p) / SquaredNorm(normal));
+  }
+
+  // Direction of the line (perpendicular to the normal).
+  Vec2 Direction() const { return Perp(normal); }
+
+  // Angle of the line's direction in [0, pi).
+  double Angle() const {
+    const Vec2 d = Direction();
+    double a = std::atan2(d.y, d.x);
+    if (a < 0) a += M_PI;
+    if (a >= M_PI) a -= M_PI;
+    return a;
+  }
+
+  // Intersection with another line; nullopt if (nearly) parallel.
+  std::optional<Vec2> Intersect(const Line& other) const {
+    const double det = Cross(normal, other.normal);
+    if (std::abs(det) < 1e-30) return std::nullopt;
+    // Solve normal·p = offset, other.normal·p = other.offset by Cramer.
+    const double x = (offset * other.normal.y - other.offset * normal.y) / det;
+    const double y = (normal.x * other.offset - other.normal.x * offset) / det;
+    return Vec2{x, y};
+  }
+
+  // Reflection of point p across the line.
+  Vec2 Reflect(const Vec2& p) const {
+    return p - normal * (2.0 * Side(p) / SquaredNorm(normal));
+  }
+};
+
+// Segment between two points.
+struct Segment {
+  Vec2 a;
+  Vec2 b;
+
+  Segment() = default;
+  Segment(Vec2 a_in, Vec2 b_in) : a(a_in), b(b_in) {}
+
+  double Length() const { return Distance(a, b); }
+  Vec2 Midpoint() const { return lbsagg::Midpoint(a, b); }
+  Vec2 Lerp(double t) const { return a + (b - a) * t; }
+};
+
+// Half-line from `origin` in direction `dir` (need not be unit length).
+struct Ray {
+  Vec2 origin;
+  Vec2 dir;
+
+  Ray() = default;
+  Ray(Vec2 origin_in, Vec2 dir_in) : origin(origin_in), dir(dir_in) {}
+
+  Vec2 At(double t) const { return origin + dir * t; }
+
+  // Largest t >= 0 such that At(t) stays inside `box`. Requires the origin to
+  // be inside the box; returns 0 if the direction immediately exits.
+  double ExitParam(const Box& box) const {
+    double t_max = std::numeric_limits<double>::infinity();
+    auto limit = [&](double o, double d, double lo, double hi) {
+      if (d > 0) {
+        t_max = std::min(t_max, (hi - o) / d);
+      } else if (d < 0) {
+        t_max = std::min(t_max, (lo - o) / d);
+      }
+    };
+    limit(origin.x, dir.x, box.lo.x, box.hi.x);
+    limit(origin.y, dir.y, box.lo.y, box.hi.y);
+    if (!std::isfinite(t_max) || t_max < 0) return 0.0;
+    return t_max;
+  }
+};
+
+// Closed half-plane { p : Side(p) <= 0 }, i.e. the side of `line` the normal
+// points away from. Clipping a convex polygon against half-planes is the
+// basic operation of all Voronoi computations in the library: the Voronoi
+// cell of `t` is the intersection of HalfPlane::Closer(t, t') over the other
+// tuples t'.
+struct HalfPlane {
+  Line line;
+
+  HalfPlane() = default;
+  explicit HalfPlane(Line line_in) : line(line_in) {}
+
+  // The half-plane of points at least as close to `a` as to `b`.
+  static HalfPlane Closer(const Vec2& a, const Vec2& b) {
+    return HalfPlane(Line::Bisector(a, b));
+  }
+
+  bool Contains(const Vec2& p, double eps = 0.0) const {
+    return line.Side(p) <= eps;
+  }
+};
+
+}  // namespace lbsagg
+
+#endif  // LBSAGG_GEOMETRY_LINE_H_

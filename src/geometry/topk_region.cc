@@ -1,0 +1,266 @@
+#include "geometry/topk_region.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace lbsagg {
+
+namespace {
+
+// Quantized endpoint key used to match shared edges between adjacent pieces.
+struct PointKey {
+  int64_t x;
+  int64_t y;
+  bool operator==(const PointKey&) const = default;
+};
+
+struct EdgeKey {
+  PointKey a;
+  PointKey b;
+  bool operator==(const EdgeKey&) const = default;
+};
+
+struct EdgeKeyHash {
+  size_t operator()(const EdgeKey& k) const {
+    uint64_t h = 0xcbf29ce484222325ull;
+    auto mix = [&h](uint64_t v) {
+      h ^= v;
+      h *= 0x100000001b3ull;
+    };
+    mix(static_cast<uint64_t>(k.a.x));
+    mix(static_cast<uint64_t>(k.a.y));
+    mix(static_cast<uint64_t>(k.b.x));
+    mix(static_cast<uint64_t>(k.b.y));
+    return static_cast<size_t>(h);
+  }
+};
+
+struct PointKeyHash {
+  size_t operator()(const PointKey& k) const {
+    return EdgeKeyHash()(EdgeKey{k, k});
+  }
+};
+
+PointKey Quantize(const Vec2& p, double grid) {
+  return {static_cast<int64_t>(std::llround(p.x / grid)),
+          static_cast<int64_t>(std::llround(p.y / grid))};
+}
+
+EdgeKey UndirectedKey(const PointKey& a, const PointKey& b) {
+  if (a.x < b.x || (a.x == b.x && a.y < b.y)) return {a, b};
+  return {b, a};
+}
+
+struct Piece {
+  ConvexPolygon poly;
+  int closer_count = 0;
+};
+
+}  // namespace
+
+int RankAt(const Vec2& q, const Vec2& focal, const std::vector<Vec2>& others) {
+  const double d2 = SquaredDistance(q, focal);
+  int rank = 0;
+  for (const Vec2& o : others) {
+    if (SquaredDistance(q, o) < d2) ++rank;
+  }
+  return rank;
+}
+
+std::vector<Vec2> TopkRegion::BoundaryVertices() const {
+  if (boundary_edges.empty()) return {};
+  double scale = 1.0;
+  for (const Segment& s : boundary_edges) {
+    scale = std::max({scale, std::abs(s.a.x), std::abs(s.a.y),
+                      std::abs(s.b.x), std::abs(s.b.y)});
+  }
+  const double grid = scale * 1e-9;
+  std::unordered_set<PointKey, PointKeyHash> seen;
+  std::vector<Vec2> vertices;
+  for (const Segment& s : boundary_edges) {
+    for (const Vec2& p : {s.a, s.b}) {
+      if (seen.insert(Quantize(p, grid)).second) vertices.push_back(p);
+    }
+  }
+  return vertices;
+}
+
+Vec2 TopkRegion::SamplePoint(Rng& rng) const {
+  LBSAGG_CHECK(!pieces.empty());
+  std::vector<double> areas(pieces.size());
+  for (size_t i = 0; i < pieces.size(); ++i) areas[i] = pieces[i].Area();
+  const size_t idx = rng.Categorical(areas);
+  return pieces[idx].SamplePoint(rng);
+}
+
+bool TopkRegion::Contains(const Vec2& p, double eps) const {
+  for (const ConvexPolygon& piece : pieces) {
+    if (piece.Contains(p, eps)) return true;
+  }
+  return false;
+}
+
+Box TopkRegion::BoundingBox() const {
+  LBSAGG_CHECK(!pieces.empty());
+  Box box = pieces[0].BoundingBox();
+  for (size_t i = 1; i < pieces.size(); ++i) {
+    const Box b = pieces[i].BoundingBox();
+    box = box.Including(b.lo).Including(b.hi);
+  }
+  return box;
+}
+
+TopkRegion ComputeLevelRegionFromLines(const std::vector<Line>& lines,
+                                       const Box& box, int k) {
+  return ComputeLevelRegionFromLines(lines, ConvexPolygon::FromBox(box), k);
+}
+
+TopkRegion ComputeLevelRegionFromLines(const std::vector<Line>& lines,
+                                       const ConvexPolygon& domain, int k) {
+  LBSAGG_CHECK_GE(k, 1);
+  LBSAGG_CHECK(!domain.IsEmpty());
+
+  std::vector<Piece> pieces;
+  pieces.push_back({domain, 0});
+
+  const double area_eps = domain.Area() * 1e-14;
+
+  for (const Line& line : lines) {
+    std::vector<Piece> next;
+    next.reserve(pieces.size() + 4);
+    for (Piece& piece : pieces) {
+      // Classify the piece against the line.
+      bool any_neg = false;
+      bool any_pos = false;
+      for (const Vec2& v : piece.poly.vertices()) {
+        const double s = line.Side(v);
+        if (s < 0) any_neg = true;
+        if (s > 0) any_pos = true;
+        if (any_neg && any_pos) break;
+      }
+      if (!any_pos) {
+        next.push_back(std::move(piece));
+        continue;
+      }
+      if (!any_neg) {
+        piece.closer_count += 1;
+        if (piece.closer_count < k) next.push_back(std::move(piece));
+        continue;
+      }
+      auto [neg, pos] = piece.poly.Split(line);
+      if (!neg.IsEmpty() && neg.Area() > area_eps) {
+        next.push_back({std::move(neg), piece.closer_count});
+      }
+      if (!pos.IsEmpty() && pos.Area() > area_eps &&
+          piece.closer_count + 1 < k) {
+        next.push_back({std::move(pos), piece.closer_count + 1});
+      }
+    }
+    pieces = std::move(next);
+    if (pieces.empty()) break;
+  }
+
+  TopkRegion region;
+  region.pieces.reserve(pieces.size());
+  for (Piece& piece : pieces) {
+    region.area += piece.poly.Area();
+    region.pieces.push_back(std::move(piece.poly));
+  }
+  if (region.pieces.empty()) return region;
+
+  // --- Boundary extraction: cancel interior shared edges. ---
+  const Box rbox = region.BoundingBox();
+  const double scale =
+      std::max({1.0, std::abs(rbox.lo.x), std::abs(rbox.lo.y),
+                std::abs(rbox.hi.x), std::abs(rbox.hi.y)});
+  const double grid = scale * 1e-9;
+  const double len_eps = scale * 1e-12;
+
+  struct EdgeRec {
+    Segment seg;
+    int count = 0;
+  };
+  std::unordered_map<EdgeKey, EdgeRec, EdgeKeyHash> edges;
+  for (const ConvexPolygon& piece : region.pieces) {
+    const auto& vs = piece.vertices();
+    for (size_t i = 0; i < vs.size(); ++i) {
+      const Vec2& a = vs[i];
+      const Vec2& b = vs[(i + 1) % vs.size()];
+      if (Distance(a, b) <= len_eps) continue;
+      const EdgeKey key = UndirectedKey(Quantize(a, grid), Quantize(b, grid));
+      auto [it, inserted] = edges.try_emplace(key, EdgeRec{Segment(a, b), 0});
+      it->second.count += 1;
+    }
+  }
+
+  // Robust second filter: an edge is on the boundary iff nudging its
+  // midpoint to the two sides gives different membership. This corrects the
+  // rare case where adjacent pieces subdivide a shared edge differently and
+  // the hash-cancellation leaves both halves behind.
+  const double nudge = scale * 1e-7;
+  auto in_region = [&](const Vec2& p) {
+    if (!domain.Contains(p, 0.0)) return false;
+    int count = 0;
+    for (const Line& line : lines) {
+      if (line.Side(p) > 0 && ++count >= k) return false;
+    }
+    return true;
+  };
+  for (auto& [key, rec] : edges) {
+    if (rec.count != 1) continue;  // interior (shared) edge
+    const Vec2 mid = rec.seg.Midpoint();
+    const Vec2 n = Normalized(Perp(rec.seg.b - rec.seg.a));
+    const bool side1 = in_region(mid + n * nudge);
+    const bool side2 = in_region(mid - n * nudge);
+    if (side1 != side2) region.boundary_edges.push_back(rec.seg);
+  }
+
+  return region;
+}
+
+TopkRegion ComputeTopkRegion(const Vec2& focal,
+                             const std::vector<Vec2>& others, const Box& box,
+                             int k) {
+  return ComputeTopkRegion(focal, others, ConvexPolygon::FromBox(box), k);
+}
+
+TopkRegion ComputeTopkRegion(const Vec2& focal,
+                             const std::vector<Vec2>& others,
+                             const ConvexPolygon& domain, int k) {
+  // Sort bisectors by distance to the focal point: near points prune pieces
+  // earliest and keep the live piece count small.
+  std::vector<Vec2> sorted;
+  sorted.reserve(others.size());
+  for (const Vec2& o : others) {
+    if (SquaredDistance(o, focal) > 0.0) sorted.push_back(o);
+  }
+  std::sort(sorted.begin(), sorted.end(), [&](const Vec2& a, const Vec2& b) {
+    return SquaredDistance(a, focal) < SquaredDistance(b, focal);
+  });
+
+  std::vector<Line> lines;
+  lines.reserve(sorted.size());
+  for (const Vec2& o : sorted) {
+    lines.push_back(Line::Bisector(focal, o));  // Side < 0 <=> closer to t
+  }
+  return ComputeLevelRegionFromLines(lines, domain, k);
+}
+
+ConvexPolygon InscribedCirclePolygon(const Vec2& center, double radius,
+                                     int sides) {
+  LBSAGG_CHECK_GE(sides, 8);
+  LBSAGG_CHECK_GT(radius, 0.0);
+  std::vector<Vec2> vertices;
+  vertices.reserve(sides);
+  for (int i = 0; i < sides; ++i) {
+    const double a = 2.0 * M_PI * i / sides;
+    vertices.push_back(center + Vec2{std::cos(a), std::sin(a)} * radius);
+  }
+  return ConvexPolygon(std::move(vertices));
+}
+
+}  // namespace lbsagg

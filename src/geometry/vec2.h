@@ -1,0 +1,92 @@
+#ifndef LBSAGG_GEOMETRY_VEC2_H_
+#define LBSAGG_GEOMETRY_VEC2_H_
+
+#include <cmath>
+#include <ostream>
+
+namespace lbsagg {
+
+// 2-D point / vector with double coordinates. This is the coordinate type of
+// every location in the library: tuple positions, query points, polygon
+// vertices.
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2() = default;
+  constexpr Vec2(double x_in, double y_in) : x(x_in), y(y_in) {}
+
+  constexpr Vec2 operator+(const Vec2& o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(const Vec2& o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const { return {x / s, y / s}; }
+  constexpr Vec2 operator-() const { return {-x, -y}; }
+
+  Vec2& operator+=(const Vec2& o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+  Vec2& operator-=(const Vec2& o) {
+    x -= o.x;
+    y -= o.y;
+    return *this;
+  }
+  Vec2& operator*=(double s) {
+    x *= s;
+    y *= s;
+    return *this;
+  }
+
+  friend constexpr bool operator==(const Vec2& a, const Vec2& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+  friend constexpr bool operator!=(const Vec2& a, const Vec2& b) {
+    return !(a == b);
+  }
+
+  friend constexpr Vec2 operator*(double s, const Vec2& v) { return v * s; }
+  friend std::ostream& operator<<(std::ostream& os, const Vec2& v) {
+    return os << "(" << v.x << ", " << v.y << ")";
+  }
+};
+
+// Dot product.
+constexpr double Dot(const Vec2& a, const Vec2& b) {
+  return a.x * b.x + a.y * b.y;
+}
+
+// 2-D cross product (z-component of the 3-D cross product).
+constexpr double Cross(const Vec2& a, const Vec2& b) {
+  return a.x * b.y - a.y * b.x;
+}
+
+inline double SquaredNorm(const Vec2& v) { return Dot(v, v); }
+inline double Norm(const Vec2& v) { return std::sqrt(SquaredNorm(v)); }
+
+inline double SquaredDistance(const Vec2& a, const Vec2& b) {
+  return SquaredNorm(a - b);
+}
+inline double Distance(const Vec2& a, const Vec2& b) { return Norm(a - b); }
+
+// Unit vector in the direction of v. Requires |v| > 0.
+inline Vec2 Normalized(const Vec2& v) { return v / Norm(v); }
+
+// v rotated 90° counter-clockwise.
+constexpr Vec2 Perp(const Vec2& v) { return {-v.y, v.x}; }
+
+// v rotated by `angle` radians counter-clockwise.
+inline Vec2 Rotated(const Vec2& v, double angle) {
+  const double c = std::cos(angle);
+  const double s = std::sin(angle);
+  return {c * v.x - s * v.y, s * v.x + c * v.y};
+}
+
+// Midpoint of the segment (a, b).
+constexpr Vec2 Midpoint(const Vec2& a, const Vec2& b) {
+  return {(a.x + b.x) * 0.5, (a.y + b.y) * 0.5};
+}
+
+}  // namespace lbsagg
+
+#endif  // LBSAGG_GEOMETRY_VEC2_H_

@@ -1,0 +1,91 @@
+#include "geometry3d/polytope3.h"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+
+#include "util/check.h"
+
+namespace lbsagg {
+
+std::vector<Halfspace3> BoxHalfspaces(const Box3& box) {
+  return {
+      {{+1, 0, 0}, box.hi.x}, {{-1, 0, 0}, -box.lo.x},
+      {{0, +1, 0}, box.hi.y}, {{0, -1, 0}, -box.lo.y},
+      {{0, 0, +1}, box.hi.z}, {{0, 0, -1}, -box.lo.z},
+  };
+}
+
+bool PolytopeContains(const std::vector<Halfspace3>& planes, const Vec3& p,
+                      double eps) {
+  for (const Halfspace3& h : planes) {
+    if (h.Side(p) > eps * std::max(1.0, Norm(h.normal))) return false;
+  }
+  return true;
+}
+
+namespace {
+
+// Solves the 3x3 system n_i · p = o_i by Cramer's rule; nullopt when the
+// planes are (nearly) dependent.
+std::optional<Vec3> IntersectThree(const Halfspace3& a, const Halfspace3& b,
+                                   const Halfspace3& c) {
+  const Vec3 bc = Cross(b.normal, c.normal);
+  const double det = Dot(a.normal, bc);
+  const double scale = Norm(a.normal) * Norm(b.normal) * Norm(c.normal);
+  if (std::abs(det) < 1e-12 * std::max(scale, 1e-300)) return std::nullopt;
+  const Vec3 ca = Cross(c.normal, a.normal);
+  const Vec3 ab = Cross(a.normal, b.normal);
+  return (bc * a.offset + ca * b.offset + ab * c.offset) / det;
+}
+
+}  // namespace
+
+std::vector<Vec3> EnumeratePolytopeVertices(
+    const std::vector<Halfspace3>& planes) {
+  std::vector<Vec3> vertices;
+  const size_t m = planes.size();
+  double scale = 1.0;
+  for (const Halfspace3& h : planes) {
+    scale = std::max(scale, std::abs(h.offset) / std::max(Norm(h.normal),
+                                                          1e-300));
+  }
+  const double merge_eps = scale * 1e-9;
+  const double contain_eps = scale * 1e-9;
+
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = i + 1; j < m; ++j) {
+      for (size_t l = j + 1; l < m; ++l) {
+        const std::optional<Vec3> p =
+            IntersectThree(planes[i], planes[j], planes[l]);
+        if (!p.has_value()) continue;
+        if (!PolytopeContains(planes, *p, contain_eps)) continue;
+        bool duplicate = false;
+        for (const Vec3& v : vertices) {
+          if (Distance(v, *p) <= merge_eps) {
+            duplicate = true;
+            break;
+          }
+        }
+        if (!duplicate) vertices.push_back(*p);
+      }
+    }
+  }
+  return vertices;
+}
+
+Box3 BoundingBox3(const std::vector<Vec3>& points) {
+  LBSAGG_CHECK(!points.empty());
+  Vec3 lo = points[0], hi = points[0];
+  for (const Vec3& p : points) {
+    lo.x = std::min(lo.x, p.x);
+    lo.y = std::min(lo.y, p.y);
+    lo.z = std::min(lo.z, p.z);
+    hi.x = std::max(hi.x, p.x);
+    hi.y = std::max(hi.y, p.y);
+    hi.z = std::max(hi.z, p.z);
+  }
+  return Box3(lo, hi);
+}
+
+}  // namespace lbsagg

@@ -1,0 +1,53 @@
+#ifndef LBSAGG_GEOMETRY3D_POLYTOPE3_H_
+#define LBSAGG_GEOMETRY3D_POLYTOPE3_H_
+
+#include <vector>
+
+#include "geometry3d/vec3.h"
+
+namespace lbsagg {
+
+// Halfspace { p : Dot(normal, p) <= offset } in 3-D. The Voronoi cell of a
+// d-dimensional tuple is an intersection of bisector halfspaces, exactly as
+// in 2-D (§5.4).
+struct Halfspace3 {
+  Vec3 normal;
+  double offset = 0.0;
+
+  Halfspace3() = default;
+  Halfspace3(Vec3 normal_in, double offset_in)
+      : normal(normal_in), offset(offset_in) {}
+
+  // Points at least as close to `a` as to `b`.
+  static Halfspace3 Closer(const Vec3& a, const Vec3& b) {
+    const Vec3 n = b - a;
+    return Halfspace3(n, Dot(n, Midpoint(a, b)));
+  }
+
+  double Side(const Vec3& p) const { return Dot(normal, p) - offset; }
+  bool Contains(const Vec3& p, double eps = 0.0) const {
+    return Side(p) <= eps;
+  }
+};
+
+// The six halfspaces of an axis box.
+std::vector<Halfspace3> BoxHalfspaces(const Box3& box);
+
+// True if p satisfies every halfspace (with slack eps scaled per plane).
+bool PolytopeContains(const std::vector<Halfspace3>& planes, const Vec3& p,
+                      double eps = 1e-9);
+
+// Vertices of the convex polytope ∩ planes, by enumerating plane triples
+// (O(m³) — the Theorem-1 loops keep m at a few dozen). Near-duplicate
+// vertices are merged. Returns an empty vector for empty or unbounded
+// polytopes (callers always include the box halfspaces, so boundedness is
+// guaranteed in practice).
+std::vector<Vec3> EnumeratePolytopeVertices(
+    const std::vector<Halfspace3>& planes);
+
+// Axis-aligned bounding box of a point set. Requires a non-empty set.
+Box3 BoundingBox3(const std::vector<Vec3>& points);
+
+}  // namespace lbsagg
+
+#endif  // LBSAGG_GEOMETRY3D_POLYTOPE3_H_

@@ -1,0 +1,85 @@
+#ifndef LBSAGG_GEOMETRY3D_VEC3_H_
+#define LBSAGG_GEOMETRY3D_VEC3_H_
+
+// 3-D geometry for the §5.4 extension: the paper notes that Theorem 1 and
+// the LR machinery apply unchanged to kNN interfaces over d-dimensional
+// points with Euclidean ranking. This directory provides the minimal 3-D
+// substrate: vectors, axis boxes, halfspaces and convex-polytope vertex
+// enumeration.
+
+#include <cmath>
+#include <ostream>
+
+#include "util/rng.h"
+
+namespace lbsagg {
+
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(double x_in, double y_in, double z_in)
+      : x(x_in), y(y_in), z(z_in) {}
+
+  constexpr Vec3 operator+(const Vec3& o) const {
+    return {x + o.x, y + o.y, z + o.z};
+  }
+  constexpr Vec3 operator-(const Vec3& o) const {
+    return {x - o.x, y - o.y, z - o.z};
+  }
+  constexpr Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  constexpr Vec3 operator/(double s) const { return {x / s, y / s, z / s}; }
+
+  friend constexpr bool operator==(const Vec3& a, const Vec3& b) {
+    return a.x == b.x && a.y == b.y && a.z == b.z;
+  }
+  friend std::ostream& operator<<(std::ostream& os, const Vec3& v) {
+    return os << "(" << v.x << ", " << v.y << ", " << v.z << ")";
+  }
+};
+
+constexpr double Dot(const Vec3& a, const Vec3& b) {
+  return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+
+constexpr Vec3 Cross(const Vec3& a, const Vec3& b) {
+  return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z,
+          a.x * b.y - a.y * b.x};
+}
+
+inline double SquaredNorm(const Vec3& v) { return Dot(v, v); }
+inline double Norm(const Vec3& v) { return std::sqrt(SquaredNorm(v)); }
+inline double SquaredDistance(const Vec3& a, const Vec3& b) {
+  return SquaredNorm(a - b);
+}
+inline double Distance(const Vec3& a, const Vec3& b) { return Norm(a - b); }
+constexpr Vec3 Midpoint(const Vec3& a, const Vec3& b) {
+  return {(a.x + b.x) * 0.5, (a.y + b.y) * 0.5, (a.z + b.z) * 0.5};
+}
+
+// Axis-aligned 3-D box (the bounded region B of Definition 1 in 3-D).
+struct Box3 {
+  Vec3 lo;
+  Vec3 hi;
+
+  Box3() = default;
+  Box3(Vec3 lo_in, Vec3 hi_in) : lo(lo_in), hi(hi_in) {}
+
+  double Volume() const {
+    return (hi.x - lo.x) * (hi.y - lo.y) * (hi.z - lo.z);
+  }
+  bool Contains(const Vec3& p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y &&
+           p.z >= lo.z && p.z <= hi.z;
+  }
+  Vec3 SamplePoint(Rng& rng) const {
+    return {rng.Uniform(lo.x, hi.x), rng.Uniform(lo.y, hi.y),
+            rng.Uniform(lo.z, hi.z)};
+  }
+};
+
+}  // namespace lbsagg
+
+#endif  // LBSAGG_GEOMETRY3D_VEC3_H_

@@ -1,0 +1,52 @@
+#include "lbs/attribute.h"
+
+#include "util/check.h"
+
+namespace lbsagg {
+
+AttrType TypeOf(const AttrValue& value) {
+  if (std::holds_alternative<double>(value)) return AttrType::kDouble;
+  if (std::holds_alternative<std::string>(value)) return AttrType::kString;
+  return AttrType::kBool;
+}
+
+std::string ToString(const AttrValue& value) {
+  if (const double* d = std::get_if<double>(&value)) {
+    return std::to_string(*d);
+  }
+  if (const std::string* s = std::get_if<std::string>(&value)) return *s;
+  return std::get<bool>(value) ? "true" : "false";
+}
+
+int Schema::AddColumn(const std::string& name, AttrType type) {
+  LBSAGG_CHECK(!Find(name).has_value()) << "duplicate column " << name;
+  columns_.push_back({name, type});
+  return static_cast<int>(columns_.size()) - 1;
+}
+
+std::optional<int> Schema::Find(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return static_cast<int>(i);
+  }
+  return std::nullopt;
+}
+
+int Schema::Require(const std::string& name) const {
+  const std::optional<int> col = Find(name);
+  LBSAGG_CHECK(col.has_value()) << "missing column " << name;
+  return *col;
+}
+
+const std::string& Schema::name(int col) const {
+  LBSAGG_CHECK_GE(col, 0);
+  LBSAGG_CHECK_LT(static_cast<size_t>(col), columns_.size());
+  return columns_[col].name;
+}
+
+AttrType Schema::type(int col) const {
+  LBSAGG_CHECK_GE(col, 0);
+  LBSAGG_CHECK_LT(static_cast<size_t>(col), columns_.size());
+  return columns_[col].type;
+}
+
+}  // namespace lbsagg

@@ -1,0 +1,57 @@
+#ifndef LBSAGG_LBS_ATTRIBUTE_H_
+#define LBSAGG_LBS_ATTRIBUTE_H_
+
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace lbsagg {
+
+// Type of a tuple attribute column.
+enum class AttrType {
+  kDouble,
+  kString,
+  kBool,
+};
+
+// One attribute value. LBS tuples carry non-location attributes — POI name,
+// review rating, school enrollment, user gender — that aggregates are
+// evaluated over and selection conditions filter on (§2.1, §2.3).
+using AttrValue = std::variant<double, std::string, bool>;
+
+// Returns the AttrType tag of a value.
+AttrType TypeOf(const AttrValue& value);
+
+// Human-readable rendering (for examples and debugging).
+std::string ToString(const AttrValue& value);
+
+// Column layout shared by all tuples of a dataset. Columns are added once
+// at dataset construction; lookups by name are used at experiment-definition
+// time only (hot paths use the integer column id).
+class Schema {
+ public:
+  // Adds a column and returns its id. Duplicate names are rejected.
+  int AddColumn(const std::string& name, AttrType type);
+
+  // Column id for `name`, or nullopt.
+  std::optional<int> Find(const std::string& name) const;
+
+  // Column id for `name`; check-fails when absent.
+  int Require(const std::string& name) const;
+
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  const std::string& name(int col) const;
+  AttrType type(int col) const;
+
+ private:
+  struct Column {
+    std::string name;
+    AttrType type;
+  };
+  std::vector<Column> columns_;
+};
+
+}  // namespace lbsagg
+
+#endif  // LBSAGG_LBS_ATTRIBUTE_H_

@@ -1,0 +1,161 @@
+#ifndef LBSAGG_LBS_CLIENT_H_
+#define LBSAGG_LBS_CLIENT_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "lbs/server.h"
+
+namespace lbsagg {
+
+// Client-side configuration.
+struct ClientOptions {
+  // Number of results requested per query (clamped to the server's max_k).
+  int k = 1;
+
+  // Query budget; 0 = unlimited. The budget is *soft*: a query issued while
+  // over budget still succeeds (a cell computation mid-flight may finish),
+  // but estimators consult HasBudget() before starting new work, which is
+  // how the paper's fixed-budget experiments operate.
+  uint64_t budget = 0;
+};
+
+// Base of the restricted public interfaces. Owns query accounting — the
+// paper's No. 1 performance metric (§2.1) is the number of interface calls,
+// and every Query() on any derived client increments the counter exactly
+// once.
+class LbsClient {
+ public:
+  // `server` must outlive the client.
+  LbsClient(const LbsServer* server, ClientOptions options);
+  virtual ~LbsClient() = default;
+
+  int k() const { return k_; }
+  uint64_t queries_used() const { return queries_used_; }
+  void ResetQueryCount() { queries_used_ = 0; }
+
+  // True if `upcoming` more queries fit in the budget (always true when the
+  // budget is unlimited).
+  bool HasBudget(uint64_t upcoming = 1) const;
+  uint64_t budget() const { return options_.budget; }
+
+  // Appends a pass-through selection condition to every future query
+  // (§5.1, e.g. NAME = 'Starbucks' on Google Places). Pass nullptr to clear.
+  void SetPassThroughFilter(TupleFilter filter);
+
+  // Attribute access for tuples the service returned: both LR and LNR
+  // interfaces return non-location attributes (name, rating, gender, …).
+  const Schema& schema() const { return server_->dataset().schema(); }
+  AttrValue Attribute(int id, int col) const;
+  double NumericAttribute(int id, int col) const;
+
+  // Bounding region of the service (public knowledge: the area of interest).
+  const Box& region() const { return server_->dataset().box(); }
+
+  // Maximum coverage radius d_max — a documented interface restriction
+  // (§5.3: Google Maps 50 km, Weibo 11 km), hence public knowledge the
+  // estimation algorithms may use. Infinity when unrestricted.
+  double max_radius() const { return server_->options().max_radius; }
+
+  // Diagnostics: record every query location (off by default; the log can
+  // grow large). Used by the visualization example to show where an
+  // estimator actually spends its budget.
+  void EnableQueryLog() { log_queries_ = true; }
+  const std::vector<Vec2>& query_log() const { return query_log_; }
+
+ protected:
+  // Issues one counted query.
+  std::vector<ServerHit> RawQuery(const Vec2& q);
+
+  const LbsServer* server_;
+
+ private:
+  ClientOptions options_;
+  int k_;
+  TupleFilter filter_;
+  uint64_t queries_used_ = 0;
+  bool log_queries_ = false;
+  std::vector<Vec2> query_log_;
+};
+
+// Location-Returned LBS interface (Google Maps): ranked ids + precise
+// locations + distances.
+class LrClient : public LbsClient {
+ public:
+  struct Item {
+    int id = -1;
+    Vec2 location;
+    double distance = 0.0;
+  };
+
+  using LbsClient::LbsClient;
+
+  // Top-k nearest tuples with locations, nearest first. Virtual so that
+  // derived clients can synthesize the same contract from poorer
+  // interfaces (see TrilaterationClient).
+  virtual std::vector<Item> Query(const Vec2& q);
+};
+
+// LR-by-trilateration (§2.1): services like Skout and Momo return ranked
+// ids and precise *distances* but no coordinates. Three queries recover
+// each tuple's location exactly, after which every LR algorithm applies
+// unchanged — this client performs the recovery transparently (caching each
+// tuple's inferred position, since the service is static).
+class TrilaterationClient : public LrClient {
+ public:
+  using LrClient::LrClient;
+
+  // Same contract as LrClient::Query, but every location is *inferred* by
+  // trilateration rather than returned by the service. Tuples whose
+  // location cannot be pinned down (they fall out of the top-k at every
+  // probe offset) are dropped from the result.
+  std::vector<Item> Query(const Vec2& q) override;
+
+  // Number of tuples whose positions have been inferred so far.
+  size_t inferred_positions() const { return position_cache_.size(); }
+
+ private:
+  // Distance to `id` at probe location `p`, if the service still ranks it.
+  std::optional<double> ProbeDistance(const Vec2& p, int id);
+
+  std::unordered_map<int, Vec2> position_cache_;
+};
+
+// Location-Not-Returned LBS interface (WeChat, Sina Weibo): a ranked list
+// of tuple ids only.
+class LnrClient : public LbsClient {
+ public:
+  using LbsClient::LbsClient;
+
+  // Ranked ids of the top-k nearest tuples.
+  std::vector<int> Query(const Vec2& q);
+
+  // Convenience for the binary-search primitives: whether `id` appears in
+  // the result at `q`. Costs one query.
+  bool Returns(const Vec2& q, int id);
+
+  // Convenience: the top-1 id at `q`, or -1 when the result is empty
+  // (max_radius). Costs one query.
+  int Top1(const Vec2& q);
+};
+
+// Distance-returning variant (Skout, Momo): ranked ids + precise distances
+// but no coordinates. §2.1 classifies these as LR-LBS because trilateration
+// recovers locations with 3 queries — see lbs/trilateration.h.
+class DistanceClient : public LbsClient {
+ public:
+  struct Item {
+    int id = -1;
+    double distance = 0.0;
+  };
+
+  using LbsClient::LbsClient;
+
+  std::vector<Item> Query(const Vec2& q);
+};
+
+}  // namespace lbsagg
+
+#endif  // LBSAGG_LBS_CLIENT_H_

@@ -1,0 +1,63 @@
+#include "lbs/trilateration.h"
+
+#include <cmath>
+
+namespace lbsagg {
+
+std::optional<Vec2> Trilaterate(const Vec2 centers[3], const double dists[3]) {
+  // Subtracting the circle equation at centers[0] from the other two gives
+  // two linear equations A p = b.
+  const Vec2 r1 = centers[1] - centers[0];
+  const Vec2 r2 = centers[2] - centers[0];
+  const double det = 2.0 * Cross(r1, r2);
+  const double scale =
+      std::max({1.0, SquaredNorm(r1), SquaredNorm(r2)});
+  if (std::abs(det) < 1e-12 * scale) return std::nullopt;
+
+  const double b1 = SquaredNorm(centers[1]) - SquaredNorm(centers[0]) +
+                    dists[0] * dists[0] - dists[1] * dists[1];
+  const double b2 = SquaredNorm(centers[2]) - SquaredNorm(centers[0]) +
+                    dists[0] * dists[0] - dists[2] * dists[2];
+  // Solve [2 r1; 2 r2] p = [b1; b2] by Cramer's rule.
+  const double x = (b1 * (2.0 * r2.y) - b2 * (2.0 * r1.y)) / (2.0 * det);
+  const double y = ((2.0 * r1.x) * b2 - (2.0 * r2.x) * b1) / (2.0 * det);
+  return Vec2{x, y};
+}
+
+namespace {
+
+// Distance to `id` in a query result, or nullopt when not returned.
+std::optional<double> DistanceToId(const std::vector<DistanceClient::Item>& r,
+                                   int id) {
+  for (const auto& item : r) {
+    if (item.id == id) return item.distance;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<Vec2> LocateByTrilateration(DistanceClient& client, int id,
+                                          const Vec2& q0) {
+  const std::optional<double> d0 = DistanceToId(client.Query(q0), id);
+  if (!d0.has_value()) return std::nullopt;
+  if (*d0 == 0.0) return q0;
+
+  // Probe two perpendicular offsets. If the tuple drops out of the top-k at
+  // a probe (other tuples crowd it out), shrink the offset and retry.
+  double h = 0.5 * *d0;
+  for (int attempt = 0; attempt < 6; ++attempt, h *= 0.5) {
+    const Vec2 q1 = q0 + Vec2{h, 0.0};
+    const std::optional<double> d1 = DistanceToId(client.Query(q1), id);
+    if (!d1.has_value()) continue;
+    const Vec2 q2 = q0 + Vec2{0.0, h};
+    const std::optional<double> d2 = DistanceToId(client.Query(q2), id);
+    if (!d2.has_value()) continue;
+    const Vec2 centers[3] = {q0, q1, q2};
+    const double dists[3] = {*d0, *d1, *d2};
+    if (std::optional<Vec2> p = Trilaterate(centers, dists)) return p;
+  }
+  return std::nullopt;
+}
+
+}  // namespace lbsagg

@@ -1,0 +1,28 @@
+#ifndef LBSAGG_LBS_TRILATERATION_H_
+#define LBSAGG_LBS_TRILATERATION_H_
+
+#include <optional>
+
+#include "geometry/vec2.h"
+#include "lbs/client.h"
+
+namespace lbsagg {
+
+// Solves for the point p with |p − q_i| = d_i, i = 0..2, by linearizing the
+// circle equations. Returns nullopt when the query points are (nearly)
+// collinear. The distances may be slightly inconsistent (noise); the
+// least-constraint linear solution is returned.
+std::optional<Vec2> Trilaterate(const Vec2 centers[3], const double dists[3]);
+
+// Recovers the location of tuple `id` through a distance-returning LBS
+// (§2.1: "one can infer the precise location of a tuple with just 3
+// queries"). `q0` must be a location where the service returns `id`.
+// Issues up to a handful of queries (3 in the common case: q0 plus two
+// probes placed so the tuple stays within range). Returns nullopt when the
+// tuple could not be kept inside the top-k of the probe queries.
+std::optional<Vec2> LocateByTrilateration(DistanceClient& client, int id,
+                                          const Vec2& q0);
+
+}  // namespace lbsagg
+
+#endif  // LBSAGG_LBS_TRILATERATION_H_

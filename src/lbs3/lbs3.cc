@@ -1,0 +1,27 @@
+#include "lbs3/lbs3.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace lbsagg {
+
+std::vector<Lr3Client::Item> Lr3Client::Query(const Vec3& q) {
+  ++queries_used_;
+  std::vector<Item> all;
+  all.reserve(dataset_->size());
+  for (size_t i = 0; i < dataset_->size(); ++i) {
+    const Vec3& p = dataset_->position(static_cast<int>(i));
+    all.push_back({static_cast<int>(i), p, Distance(q, p)});
+  }
+  const size_t keep = std::min<size_t>(k_, all.size());
+  std::partial_sort(all.begin(), all.begin() + keep, all.end(),
+                    [](const Item& a, const Item& b) {
+                      return a.distance < b.distance ||
+                             (a.distance == b.distance && a.id < b.id);
+                    });
+  all.resize(keep);
+  return all;
+}
+
+}  // namespace lbsagg

@@ -1,0 +1,83 @@
+#ifndef LBSAGG_LBS3_LBS3_H_
+#define LBSAGG_LBS3_LBS3_H_
+
+// Minimal 3-D LBS simulation for the §5.4 extension: a hidden set of 3-D
+// points behind a location-returned kNN interface. Attributes are reduced
+// to an optional per-tuple numeric value so SUM/COUNT aggregates work; the
+// full typed-attribute machinery of lbs/ stays 2-D.
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry3d/vec3.h"
+
+namespace lbsagg {
+
+// The hidden 3-D database.
+class Dataset3 {
+ public:
+  explicit Dataset3(const Box3& box) : box_(box) {}
+
+  int Add(const Vec3& pos, double value = 1.0) {
+    positions_.push_back(pos);
+    values_.push_back(value);
+    return static_cast<int>(positions_.size()) - 1;
+  }
+
+  const Box3& box() const { return box_; }
+  size_t size() const { return positions_.size(); }
+  const Vec3& position(int id) const { return positions_[id]; }
+  double value(int id) const { return values_[id]; }
+  const std::vector<Vec3>& positions() const { return positions_; }
+
+  double GroundTruthSum() const {
+    double total = 0.0;
+    for (double v : values_) total += v;
+    return total;
+  }
+
+ private:
+  Box3 box_;
+  std::vector<Vec3> positions_;
+  std::vector<double> values_;
+};
+
+// The restricted 3-D LR interface: ranked nearest tuples with positions,
+// plus the usual query accounting. Brute-force kNN — the simulator answers
+// in microseconds at the scales the extension is exercised at.
+class Lr3Client {
+ public:
+  struct Item {
+    int id = -1;
+    Vec3 position;
+    double distance = 0.0;
+  };
+
+  // `dataset` must outlive the client.
+  Lr3Client(const Dataset3* dataset, int k, uint64_t budget = 0)
+      : dataset_(dataset), k_(k), budget_(budget) {}
+
+  // Top-k nearest tuples, nearest first.
+  std::vector<Item> Query(const Vec3& q);
+
+  // The tuple's aggregate value (a returned attribute).
+  double Value(int id) const { return dataset_->value(id); }
+
+  int k() const { return k_; }
+  const Box3& region() const { return dataset_->box(); }
+  uint64_t queries_used() const { return queries_used_; }
+  bool HasBudget(uint64_t upcoming = 1) const {
+    return budget_ == 0 || queries_used_ + upcoming <= budget_;
+  }
+  uint64_t budget() const { return budget_; }
+
+ private:
+  const Dataset3* dataset_;
+  int k_;
+  uint64_t budget_;
+  uint64_t queries_used_ = 0;
+};
+
+}  // namespace lbsagg
+
+#endif  // LBSAGG_LBS3_LBS3_H_

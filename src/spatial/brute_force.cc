@@ -1,0 +1,43 @@
+#include "spatial/brute_force.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lbsagg {
+
+BruteForceIndex::BruteForceIndex(std::vector<Vec2> points)
+    : points_(std::move(points)) {}
+
+std::vector<Neighbor> BruteForceIndex::Nearest(const Vec2& q, int k) const {
+  return NearestFiltered(q, k, nullptr);
+}
+
+std::vector<Neighbor> BruteForceIndex::NearestFiltered(
+    const Vec2& q, int k, const IndexFilter& filter) const {
+  std::vector<Neighbor> all;
+  all.reserve(points_.size());
+  for (size_t i = 0; i < points_.size(); ++i) {
+    if (filter && !filter(static_cast<int>(i))) continue;
+    all.push_back({static_cast<int>(i), Distance(q, points_[i])});
+  }
+  const size_t keep = std::min<size_t>(k < 0 ? 0 : k, all.size());
+  std::partial_sort(all.begin(), all.begin() + keep, all.end(),
+                    [](const Neighbor& a, const Neighbor& b) {
+                      return a.distance < b.distance ||
+                             (a.distance == b.distance && a.index < b.index);
+                    });
+  all.resize(keep);
+  return all;
+}
+
+std::vector<Neighbor> BruteForceIndex::WithinRadius(const Vec2& q,
+                                                    double radius) const {
+  std::vector<Neighbor> result;
+  for (size_t i = 0; i < points_.size(); ++i) {
+    const double d = Distance(q, points_[i]);
+    if (d <= radius) result.push_back({static_cast<int>(i), d});
+  }
+  return result;
+}
+
+}  // namespace lbsagg

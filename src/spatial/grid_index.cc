@@ -1,0 +1,118 @@
+#include "spatial/grid_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "util/check.h"
+
+namespace lbsagg {
+
+GridIndex::GridIndex(std::vector<Vec2> points, const Box& box,
+                     int cells_per_axis)
+    : points_(std::move(points)), box_(box) {
+  const int n = static_cast<int>(points_.size());
+  const int per_axis =
+      cells_per_axis > 0
+          ? cells_per_axis
+          : std::max(1, static_cast<int>(std::sqrt(static_cast<double>(
+                            std::max(n, 1)))));
+  nx_ = per_axis;
+  ny_ = per_axis;
+  buckets_.resize(static_cast<size_t>(nx_) * ny_);
+  for (int i = 0; i < n; ++i) {
+    buckets_[CellY(points_[i].y) * nx_ + CellX(points_[i].x)].push_back(i);
+  }
+}
+
+int GridIndex::CellX(double x) const {
+  const double w = box_.width();
+  if (w <= 0) return 0;
+  return std::clamp(static_cast<int>((x - box_.lo.x) / w * nx_), 0, nx_ - 1);
+}
+
+int GridIndex::CellY(double y) const {
+  const double h = box_.height();
+  if (h <= 0) return 0;
+  return std::clamp(static_cast<int>((y - box_.lo.y) / h * ny_), 0, ny_ - 1);
+}
+
+std::vector<Neighbor> GridIndex::Nearest(const Vec2& q, int k) const {
+  return NearestFiltered(q, k, nullptr);
+}
+
+std::vector<Neighbor> GridIndex::NearestFiltered(
+    const Vec2& q, int k, const IndexFilter& filter) const {
+  if (k <= 0 || points_.empty()) return {};
+
+  auto cmp = [](const Neighbor& a, const Neighbor& b) {
+    return a.distance < b.distance ||
+           (a.distance == b.distance && a.index < b.index);
+  };
+  std::priority_queue<Neighbor, std::vector<Neighbor>, decltype(cmp)> heap(cmp);
+
+  const int qx = CellX(q.x);
+  const int qy = CellY(q.y);
+  const double cell_w = box_.width() / nx_;
+  const double cell_h = box_.height() / ny_;
+  const double cell_min = std::min(cell_w > 0 ? cell_w : 1e300,
+                                   cell_h > 0 ? cell_h : 1e300);
+  const int max_ring = std::max(nx_, ny_);
+
+  for (int ring = 0; ring <= max_ring; ++ring) {
+    // Stop once the heap is full and no point in this ring (or beyond) can
+    // beat the current k-th: every cell at ring distance r is at least
+    // (r-1) * cell_min away from q.
+    if (heap.size() == static_cast<size_t>(k) &&
+        static_cast<double>(ring - 1) * cell_min > heap.top().distance) {
+      break;
+    }
+    for (int cy = qy - ring; cy <= qy + ring; ++cy) {
+      if (cy < 0 || cy >= ny_) continue;
+      for (int cx = qx - ring; cx <= qx + ring; ++cx) {
+        if (cx < 0 || cx >= nx_) continue;
+        // Only the ring border (interior was handled by smaller rings).
+        if (std::max(std::abs(cx - qx), std::abs(cy - qy)) != ring) continue;
+        for (int index : Bucket(cx, cy)) {
+          if (filter && !filter(index)) continue;
+          const Neighbor candidate{index, Distance(q, points_[index])};
+          if (heap.size() < static_cast<size_t>(k)) {
+            heap.push(candidate);
+          } else if (cmp(candidate, heap.top())) {
+            heap.pop();
+            heap.push(candidate);
+          }
+        }
+      }
+    }
+  }
+
+  std::vector<Neighbor> result(heap.size());
+  for (size_t i = result.size(); i-- > 0;) {
+    result[i] = heap.top();
+    heap.pop();
+  }
+  return result;
+}
+
+std::vector<Neighbor> GridIndex::WithinRadius(const Vec2& q,
+                                              double radius) const {
+  LBSAGG_CHECK_GE(radius, 0.0);
+  std::vector<Neighbor> result;
+  if (points_.empty()) return result;
+  const int cx_lo = CellX(q.x - radius);
+  const int cx_hi = CellX(q.x + radius);
+  const int cy_lo = CellY(q.y - radius);
+  const int cy_hi = CellY(q.y + radius);
+  for (int cy = cy_lo; cy <= cy_hi; ++cy) {
+    for (int cx = cx_lo; cx <= cx_hi; ++cx) {
+      for (int index : Bucket(cx, cy)) {
+        const double d = Distance(q, points_[index]);
+        if (d <= radius) result.push_back({index, d});
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace lbsagg

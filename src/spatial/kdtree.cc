@@ -1,0 +1,97 @@
+#include "spatial/kdtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <queue>
+
+#include "util/check.h"
+
+namespace lbsagg {
+
+KdTree::KdTree(std::vector<Vec2> points) : points_(std::move(points)) {
+  if (points_.empty()) return;
+  std::vector<int> indices(points_.size());
+  std::iota(indices.begin(), indices.end(), 0);
+  nodes_.reserve(points_.size());
+  root_ = Build(indices, 0, static_cast<int>(indices.size()), 0);
+}
+
+int KdTree::Build(std::vector<int>& indices, int lo, int hi, int depth) {
+  if (lo >= hi) return -1;
+  const int axis = depth % 2;
+  const int mid = (lo + hi) / 2;
+  std::nth_element(indices.begin() + lo, indices.begin() + mid,
+                   indices.begin() + hi, [&](int a, int b) {
+                     return axis == 0 ? points_[a].x < points_[b].x
+                                      : points_[a].y < points_[b].y;
+                   });
+  const int node_index = static_cast<int>(nodes_.size());
+  nodes_.push_back(Node{});
+  nodes_[node_index].point = indices[mid];
+  nodes_[node_index].axis = axis;
+  const int left = Build(indices, lo, mid, depth + 1);
+  const int right = Build(indices, mid + 1, hi, depth + 1);
+  nodes_[node_index].left = left;
+  nodes_[node_index].right = right;
+  return node_index;
+}
+
+template <typename Visit>
+void KdTree::Search(int node, const Vec2& q, double& worst,
+                    Visit&& visit) const {
+  if (node < 0) return;
+  const Node& n = nodes_[node];
+  const Vec2& p = points_[n.point];
+  visit(n.point, Distance(q, p));
+  const double diff = n.axis == 0 ? q.x - p.x : q.y - p.y;
+  const int near = diff <= 0 ? n.left : n.right;
+  const int far = diff <= 0 ? n.right : n.left;
+  Search(near, q, worst, visit);
+  if (std::abs(diff) <= worst) Search(far, q, worst, visit);
+}
+
+std::vector<Neighbor> KdTree::Nearest(const Vec2& q, int k) const {
+  return NearestFiltered(q, k, nullptr);
+}
+
+std::vector<Neighbor> KdTree::NearestFiltered(const Vec2& q, int k,
+                                              const IndexFilter& filter) const {
+  if (k <= 0 || root_ < 0) return {};
+  // Bounded max-heap of the best k accepted candidates.
+  auto cmp = [](const Neighbor& a, const Neighbor& b) {
+    return a.distance < b.distance ||
+           (a.distance == b.distance && a.index < b.index);
+  };
+  std::priority_queue<Neighbor, std::vector<Neighbor>, decltype(cmp)> heap(cmp);
+  double worst = std::numeric_limits<double>::infinity();
+  Search(root_, q, worst, [&](int index, double dist) {
+    if (filter && !filter(index)) return;
+    if (heap.size() < static_cast<size_t>(k)) {
+      heap.push({index, dist});
+    } else if (cmp({index, dist}, heap.top())) {
+      heap.pop();
+      heap.push({index, dist});
+    }
+    if (heap.size() == static_cast<size_t>(k)) worst = heap.top().distance;
+  });
+  std::vector<Neighbor> result(heap.size());
+  for (size_t i = result.size(); i-- > 0;) {
+    result[i] = heap.top();
+    heap.pop();
+  }
+  return result;
+}
+
+std::vector<Neighbor> KdTree::WithinRadius(const Vec2& q, double radius) const {
+  LBSAGG_CHECK_GE(radius, 0.0);
+  std::vector<Neighbor> result;
+  double worst = radius;
+  Search(root_, q, worst, [&](int index, double dist) {
+    if (dist <= radius) result.push_back({index, dist});
+  });
+  return result;
+}
+
+}  // namespace lbsagg

@@ -1,0 +1,52 @@
+#ifndef LBSAGG_SPATIAL_KDTREE_H_
+#define LBSAGG_SPATIAL_KDTREE_H_
+
+#include <vector>
+
+#include "spatial/spatial_index.h"
+
+namespace lbsagg {
+
+// 2-D k-d tree with median splits. This is the spatial index behind the
+// simulated LBS server: every kNN query the estimators issue is answered by
+// this structure, so it must be fast (the paper's Google Maps experiments
+// issue tens of thousands of queries per run; our benchmarks issue
+// millions).
+//
+// The tree is immutable after construction; nodes are stored in a flat array
+// in depth-first order for cache-friendly traversal.
+class KdTree : public SpatialIndex {
+ public:
+  // Builds the tree over `points` in O(n log n).
+  explicit KdTree(std::vector<Vec2> points);
+
+  size_t size() const override { return points_.size(); }
+  std::vector<Neighbor> Nearest(const Vec2& q, int k) const override;
+  std::vector<Neighbor> NearestFiltered(const Vec2& q, int k,
+                                        const IndexFilter& filter) const
+      override;
+
+  std::vector<Neighbor> WithinRadius(const Vec2& q,
+                                     double radius) const override;
+
+ private:
+  struct Node {
+    int point = -1;    // index into points_
+    int left = -1;     // child node indices, -1 = leaf side empty
+    int right = -1;
+    int axis = 0;      // 0 = x, 1 = y
+  };
+
+  int Build(std::vector<int>& indices, int lo, int hi, int depth);
+
+  template <typename Visit>
+  void Search(int node, const Vec2& q, double& worst, Visit&& visit) const;
+
+  std::vector<Vec2> points_;
+  std::vector<Node> nodes_;
+  int root_ = -1;
+};
+
+}  // namespace lbsagg
+
+#endif  // LBSAGG_SPATIAL_KDTREE_H_

@@ -1,0 +1,47 @@
+#ifndef LBSAGG_SPATIAL_SPATIAL_INDEX_H_
+#define LBSAGG_SPATIAL_SPATIAL_INDEX_H_
+
+#include <functional>
+#include <vector>
+
+#include "geometry/vec2.h"
+
+namespace lbsagg {
+
+// One kNN search result: the index of the point in the indexed set and its
+// distance to the query location.
+struct Neighbor {
+  int index = -1;
+  double distance = 0.0;
+};
+
+// Accepts or rejects a candidate point index during a filtered search. Used
+// by the LBS server to implement "pass-through" selection conditions (§5.1):
+// e.g. Google Places restricting results to NAME = 'Starbucks'.
+using IndexFilter = std::function<bool(int)>;
+
+// Abstract kNN index over a fixed set of 2-D points. Implementations:
+// KdTree (production) and BruteForceIndex (test oracle).
+class SpatialIndex {
+ public:
+  virtual ~SpatialIndex() = default;
+
+  // Number of indexed points.
+  virtual size_t size() const = 0;
+
+  // The k nearest points to q, sorted by ascending distance. Returns fewer
+  // than k when the index holds fewer points.
+  virtual std::vector<Neighbor> Nearest(const Vec2& q, int k) const = 0;
+
+  // The k nearest points accepted by `filter`. A null filter accepts all.
+  virtual std::vector<Neighbor> NearestFiltered(
+      const Vec2& q, int k, const IndexFilter& filter) const = 0;
+
+  // All points within `radius` of q (inclusive), unsorted.
+  virtual std::vector<Neighbor> WithinRadius(const Vec2& q,
+                                             double radius) const = 0;
+};
+
+}  // namespace lbsagg
+
+#endif  // LBSAGG_SPATIAL_SPATIAL_INDEX_H_

@@ -1,0 +1,58 @@
+#ifndef LBSAGG_UTIL_CHECK_H_
+#define LBSAGG_UTIL_CHECK_H_
+
+#include <sstream>
+#include <string>
+
+namespace lbsagg {
+namespace internal_check {
+
+// Aborts the process with a diagnostic message. Out-of-line so the fast path
+// of LBSAGG_CHECK stays small.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& message);
+
+// Stream-style message collector for LBSAGG_CHECK(...) << "context".
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  [[noreturn]] ~CheckMessageBuilder() {
+    CheckFailed(file_, line_, expr_, stream_.str());
+  }
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_check
+}  // namespace lbsagg
+
+// Always-on invariant check. Unlike assert(), it survives NDEBUG builds:
+// the library's correctness arguments (Theorem 1 loop termination, estimator
+// bookkeeping) rely on these invariants, and silent corruption of a sampling
+// estimate is worse than a crash.
+#define LBSAGG_CHECK(condition)                                         \
+  while (!(condition))                                                  \
+  ::lbsagg::internal_check::CheckMessageBuilder(__FILE__, __LINE__,     \
+                                                #condition)
+
+#define LBSAGG_CHECK_OP(a, op, b) LBSAGG_CHECK((a)op(b))
+#define LBSAGG_CHECK_EQ(a, b) LBSAGG_CHECK_OP(a, ==, b)
+#define LBSAGG_CHECK_NE(a, b) LBSAGG_CHECK_OP(a, !=, b)
+#define LBSAGG_CHECK_LT(a, b) LBSAGG_CHECK_OP(a, <, b)
+#define LBSAGG_CHECK_LE(a, b) LBSAGG_CHECK_OP(a, <=, b)
+#define LBSAGG_CHECK_GT(a, b) LBSAGG_CHECK_OP(a, >, b)
+#define LBSAGG_CHECK_GE(a, b) LBSAGG_CHECK_OP(a, >=, b)
+
+#endif  // LBSAGG_UTIL_CHECK_H_

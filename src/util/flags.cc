@@ -1,0 +1,140 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace lbsagg {
+
+void FlagParser::Add(const std::string& name, Type type, std::string value,
+                     std::string help) {
+  LBSAGG_CHECK(flags_.find(name) == flags_.end())
+      << "duplicate flag " << name;
+  flags_[name] = {type, std::move(value), std::move(help)};
+}
+
+void FlagParser::AddString(const std::string& name, std::string default_value,
+                           std::string help) {
+  Add(name, Type::kString, std::move(default_value), std::move(help));
+}
+
+void FlagParser::AddInt(const std::string& name, int64_t default_value,
+                        std::string help) {
+  Add(name, Type::kInt, std::to_string(default_value), std::move(help));
+}
+
+void FlagParser::AddDouble(const std::string& name, double default_value,
+                           std::string help) {
+  std::ostringstream os;
+  os << default_value;
+  Add(name, Type::kDouble, os.str(), std::move(help));
+}
+
+void FlagParser::AddBool(const std::string& name, bool default_value,
+                         std::string help) {
+  Add(name, Type::kBool, default_value ? "true" : "false", std::move(help));
+}
+
+bool FlagParser::SetValue(const std::string& name, const std::string& value) {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    error_ = "unknown flag --" + name;
+    return false;
+  }
+  Flag& flag = it->second;
+  char* end = nullptr;
+  switch (flag.type) {
+    case Type::kString:
+      break;
+    case Type::kInt:
+      std::strtoll(value.c_str(), &end, 10);
+      if (value.empty() || *end != '\0') {
+        error_ = "flag --" + name + " expects an integer, got '" + value + "'";
+        return false;
+      }
+      break;
+    case Type::kDouble:
+      std::strtod(value.c_str(), &end);
+      if (value.empty() || *end != '\0') {
+        error_ = "flag --" + name + " expects a number, got '" + value + "'";
+        return false;
+      }
+      break;
+    case Type::kBool:
+      if (value != "true" && value != "false") {
+        error_ = "flag --" + name + " expects true/false, got '" + value + "'";
+        return false;
+      }
+      break;
+  }
+  flag.value = value;
+  return true;
+}
+
+bool FlagParser::Parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      if (!SetValue(arg.substr(0, eq), arg.substr(eq + 1))) return false;
+      continue;
+    }
+    const auto it = flags_.find(arg);
+    if (it == flags_.end()) {
+      error_ = "unknown flag --" + arg;
+      return false;
+    }
+    if (it->second.type == Type::kBool) {
+      it->second.value = "true";
+      continue;
+    }
+    if (i + 1 >= argc) {
+      error_ = "flag --" + arg + " is missing its value";
+      return false;
+    }
+    if (!SetValue(arg, argv[++i])) return false;
+  }
+  return true;
+}
+
+std::string FlagParser::GetString(const std::string& name) const {
+  const auto it = flags_.find(name);
+  LBSAGG_CHECK(it != flags_.end()) << "unregistered flag " << name;
+  return it->second.value;
+}
+
+int64_t FlagParser::GetInt(const std::string& name) const {
+  const auto it = flags_.find(name);
+  LBSAGG_CHECK(it != flags_.end() && it->second.type == Type::kInt);
+  return std::strtoll(it->second.value.c_str(), nullptr, 10);
+}
+
+double FlagParser::GetDouble(const std::string& name) const {
+  const auto it = flags_.find(name);
+  LBSAGG_CHECK(it != flags_.end() && it->second.type == Type::kDouble);
+  return std::strtod(it->second.value.c_str(), nullptr);
+}
+
+bool FlagParser::GetBool(const std::string& name) const {
+  const auto it = flags_.find(name);
+  LBSAGG_CHECK(it != flags_.end() && it->second.type == Type::kBool);
+  return it->second.value == "true";
+}
+
+std::string FlagParser::HelpText(const std::string& program) const {
+  std::ostringstream os;
+  os << "Usage: " << program << " [flags]\n";
+  for (const auto& [name, flag] : flags_) {
+    os << "  --" << name << " (default: " << flag.value << ")\n      "
+       << flag.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace lbsagg

@@ -1,0 +1,60 @@
+#ifndef LBSAGG_UTIL_FLAGS_H_
+#define LBSAGG_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lbsagg {
+
+// Minimal command-line flag parser for the tools/ binaries. Flags are
+// `--name=value` or `--name value`; `--name` alone sets a bool flag to
+// true. Unknown flags are an error; positional arguments are collected.
+class FlagParser {
+ public:
+  // Registration (call before Parse). `help` is shown by PrintHelp().
+  void AddString(const std::string& name, std::string default_value,
+                 std::string help);
+  void AddInt(const std::string& name, int64_t default_value,
+              std::string help);
+  void AddDouble(const std::string& name, double default_value,
+                 std::string help);
+  void AddBool(const std::string& name, bool default_value, std::string help);
+
+  // Parses argv. Returns false (and fills error()) on unknown flags or
+  // malformed values.
+  bool Parse(int argc, const char* const* argv);
+
+  const std::string& error() const { return error_; }
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  // Accessors; check-fail on unregistered names or type mismatches.
+  std::string GetString(const std::string& name) const;
+  int64_t GetInt(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+
+  // Usage text: one line per flag with default and help.
+  std::string HelpText(const std::string& program) const;
+
+ private:
+  enum class Type { kString, kInt, kDouble, kBool };
+  struct Flag {
+    Type type;
+    std::string value;  // canonical textual value
+    std::string help;
+  };
+
+  void Add(const std::string& name, Type type, std::string value,
+           std::string help);
+  bool SetValue(const std::string& name, const std::string& value);
+
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+  std::string error_;
+};
+
+}  // namespace lbsagg
+
+#endif  // LBSAGG_UTIL_FLAGS_H_

@@ -1,0 +1,102 @@
+#include "util/svg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace lbsagg {
+
+SvgCanvas::SvgCanvas(const Box& world, double width_px)
+    : world_(world), width_px_(width_px) {
+  LBSAGG_CHECK_GT(width_px, 0.0);
+  LBSAGG_CHECK_GT(world.width(), 0.0);
+  LBSAGG_CHECK_GT(world.height(), 0.0);
+  height_px_ = width_px * world.height() / world.width();
+}
+
+Vec2 SvgCanvas::ToPixels(const Vec2& world) const {
+  const double x = (world.x - world_.lo.x) / world_.width() * width_px_;
+  const double y =
+      (1.0 - (world.y - world_.lo.y) / world_.height()) * height_px_;
+  return {x, y};
+}
+
+void SvgCanvas::AddPolygon(const ConvexPolygon& polygon,
+                           const std::string& fill, const std::string& stroke,
+                           double stroke_width, double fill_opacity) {
+  if (polygon.IsEmpty()) return;
+  std::ostringstream os;
+  os << "<polygon points=\"";
+  for (const Vec2& v : polygon.vertices()) {
+    const Vec2 p = ToPixels(v);
+    os << p.x << "," << p.y << " ";
+  }
+  os << "\" fill=\"" << fill << "\" fill-opacity=\"" << fill_opacity
+     << "\" stroke=\"" << stroke << "\" stroke-width=\"" << stroke_width
+     << "\"/>\n";
+  body_ += os.str();
+}
+
+void SvgCanvas::AddPoint(const Vec2& position, double radius_px,
+                         const std::string& fill) {
+  const Vec2 p = ToPixels(position);
+  std::ostringstream os;
+  os << "<circle cx=\"" << p.x << "\" cy=\"" << p.y << "\" r=\"" << radius_px
+     << "\" fill=\"" << fill << "\"/>\n";
+  body_ += os.str();
+}
+
+void SvgCanvas::AddSegment(const Vec2& a, const Vec2& b,
+                           const std::string& stroke, double stroke_width) {
+  const Vec2 pa = ToPixels(a);
+  const Vec2 pb = ToPixels(b);
+  std::ostringstream os;
+  os << "<line x1=\"" << pa.x << "\" y1=\"" << pa.y << "\" x2=\"" << pb.x
+     << "\" y2=\"" << pb.y << "\" stroke=\"" << stroke << "\" stroke-width=\""
+     << stroke_width << "\"/>\n";
+  body_ += os.str();
+}
+
+void SvgCanvas::AddText(const Vec2& position, const std::string& text,
+                        double size_px, const std::string& fill) {
+  const Vec2 p = ToPixels(position);
+  std::ostringstream os;
+  os << "<text x=\"" << p.x << "\" y=\"" << p.y << "\" font-size=\"" << size_px
+     << "\" fill=\"" << fill << "\" font-family=\"sans-serif\">" << text
+     << "</text>\n";
+  body_ += os.str();
+}
+
+std::string SvgCanvas::ToString() const {
+  std::ostringstream os;
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width_px_
+     << "\" height=\"" << height_px_ << "\" viewBox=\"0 0 " << width_px_ << " "
+     << height_px_ << "\">\n";
+  os << body_;
+  os << "</svg>\n";
+  return os.str();
+}
+
+bool SvgCanvas::WriteFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << ToString();
+  return static_cast<bool>(out);
+}
+
+std::string SvgCanvas::HeatColor(double t) {
+  t = std::clamp(t, 0.0, 1.0);
+  // Light yellow (255, 245, 200) → dark red (150, 10, 20).
+  const int r = static_cast<int>(255 + t * (150 - 255));
+  const int g = static_cast<int>(245 + t * (10 - 245));
+  const int b = static_cast<int>(200 + t * (20 - 200));
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "#%02x%02x%02x", r, g, b);
+  return buf;
+}
+
+}  // namespace lbsagg

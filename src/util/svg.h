@@ -1,0 +1,60 @@
+#ifndef LBSAGG_UTIL_SVG_H_
+#define LBSAGG_UTIL_SVG_H_
+
+#include <string>
+
+#include "geometry/box.h"
+#include "geometry/polygon.h"
+#include "geometry/vec2.h"
+
+namespace lbsagg {
+
+// Minimal SVG writer used to render Voronoi decompositions (the paper's
+// Figure 11 is literally a picture of one) and other diagnostics. World
+// coordinates are mapped from a Box to an SVG viewport with y flipped
+// (SVG y grows downward).
+class SvgCanvas {
+ public:
+  // Canvas over the world box, `width_px` pixels wide (height follows the
+  // box aspect ratio).
+  SvgCanvas(const Box& world, double width_px = 1200.0);
+
+  // A filled polygon with stroke. Colors are SVG color strings.
+  void AddPolygon(const ConvexPolygon& polygon, const std::string& fill,
+                  const std::string& stroke, double stroke_width = 1.0,
+                  double fill_opacity = 1.0);
+
+  // A dot at a world position.
+  void AddPoint(const Vec2& position, double radius_px,
+                const std::string& fill);
+
+  // A line segment.
+  void AddSegment(const Vec2& a, const Vec2& b, const std::string& stroke,
+                  double stroke_width = 1.0);
+
+  // Text label at a world position.
+  void AddText(const Vec2& position, const std::string& text,
+               double size_px = 14.0, const std::string& fill = "black");
+
+  // Full document.
+  std::string ToString() const;
+
+  // Writes the document; returns false on I/O failure.
+  bool WriteFile(const std::string& path) const;
+
+  // A simple sequential colormap (t in [0,1] → light yellow → dark red),
+  // for area-coded cell fills.
+  static std::string HeatColor(double t);
+
+ private:
+  Vec2 ToPixels(const Vec2& world) const;
+
+  Box world_;
+  double width_px_;
+  double height_px_;
+  std::string body_;
+};
+
+}  // namespace lbsagg
+
+#endif  // LBSAGG_UTIL_SVG_H_

@@ -1,0 +1,35 @@
+#ifndef LBSAGG_UTIL_TABLE_H_
+#define LBSAGG_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace lbsagg {
+
+// Minimal fixed-width text table used by the benchmark harness to print the
+// paper's tables and figure series in a uniform, diff-friendly format.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Appends a row; the number of cells must match the header count.
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string Num(double value, int precision = 3);
+  static std::string Int(long long value);
+
+  // Renders the table with aligned columns.
+  std::string ToString() const;
+
+  // Renders and writes to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace lbsagg
+
+#endif  // LBSAGG_UTIL_TABLE_H_

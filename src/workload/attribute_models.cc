@@ -1,0 +1,58 @@
+#include "workload/attribute_models.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lbsagg {
+
+std::string CategoryName(PoiCategory category) {
+  switch (category) {
+    case PoiCategory::kRestaurant:
+      return "restaurant";
+    case PoiCategory::kSchool:
+      return "school";
+    case PoiCategory::kBank:
+      return "bank";
+    case PoiCategory::kCafe:
+      return "cafe";
+  }
+  return "unknown";
+}
+
+PoiCategory SampleCategory(Rng& rng) {
+  const double u = rng.Uniform01();
+  if (u < 0.50) return PoiCategory::kRestaurant;
+  if (u < 0.72) return PoiCategory::kSchool;
+  if (u < 0.85) return PoiCategory::kBank;
+  return PoiCategory::kCafe;
+}
+
+double SampleRating(Rng& rng) {
+  return std::clamp(rng.Normal(3.7, 0.6), 1.0, 5.0);
+}
+
+double SampleEnrollment(Rng& rng) {
+  return std::round(std::exp(rng.Normal(6.0, 0.8)));
+}
+
+std::string SamplePoiName(PoiCategory category, int id, double chain_fraction,
+                          Rng& rng) {
+  if (category == PoiCategory::kRestaurant && rng.Bernoulli(chain_fraction)) {
+    return "Starbucks";
+  }
+  return CategoryName(category) + "-" + std::to_string(id);
+}
+
+double SamplePopularity(Rng& rng) {
+  // Pareto-ish: most POIs obscure, a few famous.
+  const double u = std::max(1e-6, rng.Uniform01());
+  return std::min(1.0, 0.05 / std::pow(u, 0.7));
+}
+
+bool SampleOpenSunday(Rng& rng) { return rng.Bernoulli(0.62); }
+
+std::string SampleGender(double male_fraction, Rng& rng) {
+  return rng.Bernoulli(male_fraction) ? "M" : "F";
+}
+
+}  // namespace lbsagg

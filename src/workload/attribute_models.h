@@ -1,0 +1,54 @@
+#ifndef LBSAGG_WORKLOAD_ATTRIBUTE_MODELS_H_
+#define LBSAGG_WORKLOAD_ATTRIBUTE_MODELS_H_
+
+#include <string>
+
+#include "util/rng.h"
+
+namespace lbsagg {
+
+// Attribute distributions matching the shapes of the paper's enriched
+// OpenStreetMap dataset (§6.1): POIs were joined with Google Maps review
+// ratings and US Census school enrollments; social-network users carry a
+// gender attribute.
+
+// POI categories used by the USA scenario.
+enum class PoiCategory {
+  kRestaurant,
+  kSchool,
+  kBank,
+  kCafe,
+};
+
+// Category name as stored in the dataset's "category" column.
+std::string CategoryName(PoiCategory category);
+
+// Draws a category with realistic mix (restaurants dominate).
+PoiCategory SampleCategory(Rng& rng);
+
+// Review rating in [1, 5]: clipped normal around 3.7 — bounded, mildly
+// left-skewed, like real review scores.
+double SampleRating(Rng& rng);
+
+// School enrollment: log-normal (heavy tail — a few huge schools), rounded
+// to a whole student count.
+double SampleEnrollment(Rng& rng);
+
+// POI display name. Restaurants are a national chain ("Starbucks") with
+// probability `chain_fraction`; everything else gets a unique local name.
+std::string SamplePoiName(PoiCategory category, int id, double chain_fraction,
+                          Rng& rng);
+
+// Popularity score in [0, 1], heavy tailed (used by prominence ranking).
+double SamplePopularity(Rng& rng);
+
+// Open-on-Sunday flag (restaurants mostly are).
+bool SampleOpenSunday(Rng& rng);
+
+// Gender string "M"/"F" with P(male) = male_fraction. The paper estimated
+// 67.1:32.9 on WeChat and 50.4:49.6 on Weibo.
+std::string SampleGender(double male_fraction, Rng& rng);
+
+}  // namespace lbsagg
+
+#endif  // LBSAGG_WORKLOAD_ATTRIBUTE_MODELS_H_

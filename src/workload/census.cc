@@ -1,0 +1,115 @@
+#include "workload/census.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace lbsagg {
+
+CensusGrid::CensusGrid(const Box& box, int nx, int ny)
+    : box_(box), nx_(nx), ny_(ny), density_(nx * ny, 1.0) {
+  LBSAGG_CHECK_GE(nx, 1);
+  LBSAGG_CHECK_GE(ny, 1);
+  RebuildCumulative();
+}
+
+CensusGrid CensusGrid::FromPoints(const Box& box, int nx, int ny,
+                                  const std::vector<Vec2>& points,
+                                  double noise_level, Rng& rng) {
+  CensusGrid grid(box, nx, ny);
+  std::vector<double> counts(nx * ny, 0.0);
+  const double cw = box.width() / nx;
+  const double ch = box.height() / ny;
+  for (const Vec2& p : points) {
+    const int ix = std::clamp(static_cast<int>((p.x - box.lo.x) / cw), 0, nx - 1);
+    const int iy = std::clamp(static_cast<int>((p.y - box.lo.y) / ch), 0, ny - 1);
+    counts[iy * nx + ix] += 1.0;
+  }
+  // 3x3 box blur: census tracts smear population relative to POI hot spots.
+  std::vector<double> blurred(nx * ny, 0.0);
+  for (int iy = 0; iy < ny; ++iy) {
+    for (int ix = 0; ix < nx; ++ix) {
+      double sum = 0.0;
+      int n = 0;
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          const int jx = ix + dx, jy = iy + dy;
+          if (jx < 0 || jx >= nx || jy < 0 || jy >= ny) continue;
+          sum += counts[jy * nx + jx];
+          ++n;
+        }
+      }
+      blurred[iy * nx + ix] = sum / n;
+    }
+  }
+  const double mean =
+      std::max(1e-9, std::accumulate(blurred.begin(), blurred.end(), 0.0) /
+                         blurred.size());
+  for (double& d : blurred) {
+    const double noise = 1.0 + noise_level * (2.0 * rng.Uniform01() - 1.0);
+    // Positive floor keeps every location reachable (§5.2).
+    d = std::max(0.05 * mean, d * noise);
+  }
+  grid.density_ = std::move(blurred);
+  grid.RebuildCumulative();
+  return grid;
+}
+
+void CensusGrid::RebuildCumulative() {
+  cum_weight_.assign(density_.size(), 0.0);
+  double acc = 0.0;
+  const double cell_area = box_.Area() / (nx_ * ny_);
+  for (size_t i = 0; i < density_.size(); ++i) {
+    LBSAGG_CHECK_GT(density_[i], 0.0) << "census density must be positive";
+    acc += density_[i] * cell_area;
+    cum_weight_[i] = acc;
+  }
+  total_weight_ = acc;
+  LBSAGG_CHECK_GT(total_weight_, 0.0);
+}
+
+double CensusGrid::DensityAt(const Vec2& p_in) const {
+  const Vec2 p = box_.Clamp(p_in);
+  const int ix = std::clamp(
+      static_cast<int>((p.x - box_.lo.x) / (box_.width() / nx_)), 0, nx_ - 1);
+  const int iy = std::clamp(
+      static_cast<int>((p.y - box_.lo.y) / (box_.height() / ny_)), 0, ny_ - 1);
+  return density_[CellIndex(ix, iy)];
+}
+
+double CensusGrid::CellDensity(int ix, int iy) const {
+  LBSAGG_CHECK_GE(ix, 0);
+  LBSAGG_CHECK_LT(ix, nx_);
+  LBSAGG_CHECK_GE(iy, 0);
+  LBSAGG_CHECK_LT(iy, ny_);
+  return density_[CellIndex(ix, iy)];
+}
+
+Box CensusGrid::CellBox(int ix, int iy) const {
+  const double cw = box_.width() / nx_;
+  const double ch = box_.height() / ny_;
+  const Vec2 lo{box_.lo.x + ix * cw, box_.lo.y + iy * ch};
+  return Box(lo, lo + Vec2{cw, ch});
+}
+
+double CensusGrid::CellWeight(int ix, int iy) const {
+  return CellDensity(ix, iy) * box_.Area() / (nx_ * ny_);
+}
+
+Vec2 CensusGrid::Sample(Rng& rng) const {
+  const double u = rng.Uniform01() * total_weight_;
+  const auto it = std::lower_bound(cum_weight_.begin(), cum_weight_.end(), u);
+  const int idx = static_cast<int>(std::min<size_t>(
+      it - cum_weight_.begin(), cum_weight_.size() - 1));
+  const int ix = idx % nx_;
+  const int iy = idx / nx_;
+  return CellBox(ix, iy).SamplePoint(rng);
+}
+
+double CensusGrid::Pdf(const Vec2& p) const {
+  return DensityAt(p) / total_weight_;
+}
+
+}  // namespace lbsagg

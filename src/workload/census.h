@@ -1,0 +1,64 @@
+#ifndef LBSAGG_WORKLOAD_CENSUS_H_
+#define LBSAGG_WORKLOAD_CENSUS_H_
+
+#include <vector>
+
+#include "geometry/box.h"
+#include "geometry/vec2.h"
+#include "util/rng.h"
+
+namespace lbsagg {
+
+// Piecewise-constant population density over a grid — the external-knowledge
+// source of §5.2 (the paper used US Census data [1]). Densities are
+// positive everywhere so every location keeps a positive sampling
+// probability, which §5.2 requires for unbiasedness.
+class CensusGrid {
+ public:
+  // Uniform density 1 over the box.
+  CensusGrid(const Box& box, int nx, int ny);
+
+  // Builds a density correlated with — but deliberately not identical to —
+  // the given point set: per-cell counts, box-blur smoothing, multiplicative
+  // noise, and a positive floor. This mirrors how census population tracks
+  // POI density without matching it exactly.
+  static CensusGrid FromPoints(const Box& box, int nx, int ny,
+                               const std::vector<Vec2>& points,
+                               double noise_level, Rng& rng);
+
+  const Box& box() const { return box_; }
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+
+  // Density of the cell containing p (p is clamped into the box).
+  double DensityAt(const Vec2& p) const;
+
+  // Raw cell access.
+  double CellDensity(int ix, int iy) const;
+  Box CellBox(int ix, int iy) const;
+  double CellWeight(int ix, int iy) const;  // density * cell area
+
+  // Σ over cells of density × area, i.e. the normalizer of the sampling pdf.
+  double TotalWeight() const { return total_weight_; }
+
+  // Samples a location with pdf proportional to the density.
+  Vec2 Sample(Rng& rng) const;
+
+  // The normalized pdf value at p: DensityAt(p) / TotalWeight().
+  double Pdf(const Vec2& p) const;
+
+ private:
+  Box box_;
+  int nx_;
+  int ny_;
+  std::vector<double> density_;     // row-major, nx_ * ny_
+  std::vector<double> cum_weight_;  // cumulative cell weights for sampling
+  double total_weight_ = 0.0;
+
+  int CellIndex(int ix, int iy) const { return iy * nx_ + ix; }
+  void RebuildCumulative();
+};
+
+}  // namespace lbsagg
+
+#endif  // LBSAGG_WORKLOAD_CENSUS_H_

@@ -1,0 +1,64 @@
+#include "workload/generators.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace lbsagg {
+
+std::vector<Vec2> GenerateUniform(int n, const Box& box, Rng& rng) {
+  LBSAGG_CHECK_GE(n, 0);
+  std::vector<Vec2> points;
+  points.reserve(n);
+  for (int i = 0; i < n; ++i) points.push_back(box.SamplePoint(rng));
+  return points;
+}
+
+std::vector<Vec2> GenerateClustered(int n, const Box& box,
+                                    const std::vector<ClusterSpec>& clusters,
+                                    double rural_fraction, Rng& rng) {
+  LBSAGG_CHECK_GE(n, 0);
+  LBSAGG_CHECK_GE(rural_fraction, 0.0);
+  LBSAGG_CHECK_LE(rural_fraction, 1.0);
+  LBSAGG_CHECK(!clusters.empty() || rural_fraction == 1.0);
+
+  std::vector<double> weights;
+  weights.reserve(clusters.size());
+  for (const ClusterSpec& c : clusters) weights.push_back(c.weight);
+
+  std::vector<Vec2> points;
+  points.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    if (rural_fraction >= 1.0 || rng.Bernoulli(rural_fraction)) {
+      points.push_back(box.SamplePoint(rng));
+      continue;
+    }
+    const ClusterSpec& c = clusters[rng.Categorical(weights)];
+    const Vec2 p = c.center + Vec2{rng.Normal(0.0, c.sigma),
+                                   rng.Normal(0.0, c.sigma)};
+    points.push_back(box.Clamp(p));
+  }
+  return points;
+}
+
+std::vector<ClusterSpec> MakeZipfClusters(int num_clusters, const Box& box,
+                                          double zipf_s, double base_sigma,
+                                          Rng& rng) {
+  LBSAGG_CHECK_GE(num_clusters, 1);
+  LBSAGG_CHECK_GT(base_sigma, 0.0);
+  std::vector<ClusterSpec> clusters;
+  clusters.reserve(num_clusters);
+  for (int i = 0; i < num_clusters; ++i) {
+    ClusterSpec c;
+    const double margin = base_sigma;
+    c.center = {rng.Uniform(box.lo.x + margin, box.hi.x - margin),
+                rng.Uniform(box.lo.y + margin, box.hi.y - margin)};
+    c.weight = 1.0 / std::pow(static_cast<double>(i + 1), zipf_s);
+    // Big metros sprawl: sigma grows sub-linearly with weight.
+    c.sigma = base_sigma * (0.5 + 1.5 * std::sqrt(c.weight));
+    clusters.push_back(c);
+  }
+  return clusters;
+}
+
+}  // namespace lbsagg

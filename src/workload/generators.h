@@ -1,0 +1,40 @@
+#ifndef LBSAGG_WORKLOAD_GENERATORS_H_
+#define LBSAGG_WORKLOAD_GENERATORS_H_
+
+#include <vector>
+
+#include "geometry/box.h"
+#include "geometry/vec2.h"
+#include "util/rng.h"
+
+namespace lbsagg {
+
+// One population cluster ("city"): a 2-D Gaussian blob.
+struct ClusterSpec {
+  Vec2 center;
+  double sigma = 1.0;   // standard deviation of the blob
+  double weight = 1.0;  // relative share of points
+};
+
+// n points uniform in the box.
+std::vector<Vec2> GenerateUniform(int n, const Box& box, Rng& rng);
+
+// n points from a mixture: with probability `rural_fraction` a point is
+// uniform in the box ("rural"), otherwise drawn from a cluster chosen
+// proportionally to its weight and clamped into the box. This mimics the
+// urban/rural density skew of real POI data (OpenStreetMap USA) which gives
+// Voronoi cells their enormous size spread (paper Figure 11).
+std::vector<Vec2> GenerateClustered(int n, const Box& box,
+                                    const std::vector<ClusterSpec>& clusters,
+                                    double rural_fraction, Rng& rng);
+
+// `num_clusters` city specs with uniform random centers (kept away from the
+// box border by one sigma), Zipf(s) weights — a few huge metros, many small
+// towns — and sigmas growing with the weight.
+std::vector<ClusterSpec> MakeZipfClusters(int num_clusters, const Box& box,
+                                          double zipf_s, double base_sigma,
+                                          Rng& rng);
+
+}  // namespace lbsagg
+
+#endif  // LBSAGG_WORKLOAD_GENERATORS_H_

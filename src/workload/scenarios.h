@@ -1,0 +1,92 @@
+#ifndef LBSAGG_WORKLOAD_SCENARIOS_H_
+#define LBSAGG_WORKLOAD_SCENARIOS_H_
+
+#include <memory>
+
+#include "lbs/dataset.h"
+#include "workload/census.h"
+
+namespace lbsagg {
+
+// ---------------------------------------------------------------------------
+// USA scenario — stands in for the paper's enriched OpenStreetMap USA
+// dataset (§6.1) and the Google Places online experiments (§6.3).
+// ---------------------------------------------------------------------------
+
+struct UsaOptions {
+  // Total POIs; the paper's dataset has O(10^5) POIs; the default keeps unit
+  // tests fast while benchmarks scale it up.
+  int num_pois = 20000;
+  int num_cities = 60;
+  double rural_fraction = 0.12;  // POIs scattered outside cities
+  double zipf_s = 1.0;
+  double starbucks_fraction = 0.055;  // of restaurants
+  uint64_t seed = 2015;
+  int census_nx = 40;
+  int census_ny = 25;
+  double census_noise = 0.3;
+};
+
+// Column names of the USA dataset schema.
+struct UsaColumns {
+  int category;     // string: restaurant / school / bank / cafe
+  int name;         // string: "Starbucks" or a unique local name
+  int rating;       // double in [1,5] (restaurants & cafes; 0 otherwise)
+  int enrollment;   // double (schools; 0 otherwise)
+  int open_sunday;  // bool
+  int popularity;   // double in [0,1], for prominence ranking
+};
+
+struct UsaScenario {
+  // The box is a USA-sized plane in kilometres: 4400 x 2600.
+  std::unique_ptr<Dataset> dataset;
+  CensusGrid census;
+  UsaColumns columns;
+};
+
+// Builds the full scenario. Duplicate locations are jittered away so the
+// dataset is in general position.
+UsaScenario BuildUsaScenario(const UsaOptions& options = {});
+
+// Convenience filters over the USA schema.
+TupleFilter CategoryIs(const UsaColumns& cols, const std::string& category);
+TupleFilter NameIs(const UsaColumns& cols, const std::string& name);
+TupleFilter OpenSunday(const UsaColumns& cols);
+
+// ---------------------------------------------------------------------------
+// China scenario — stands in for the WeChat / Sina Weibo user databases
+// (LNR services) of §6.3.
+// ---------------------------------------------------------------------------
+
+struct ChinaOptions {
+  int num_users = 20000;
+  int num_cities = 50;
+  double rural_fraction = 0.08;
+  double zipf_s = 1.1;
+  double male_fraction = 0.671;  // WeChat-like; use 0.504 for Weibo-like
+  uint64_t seed = 88;
+  int census_nx = 40;
+  int census_ny = 25;
+  double census_noise = 0.3;
+};
+
+struct ChinaColumns {
+  int gender;          // string: "M" / "F"
+  int male_indicator;  // double: 1.0 for male, 0.0 for female (lets the
+                       // gender share be estimated as AVG(male_indicator))
+};
+
+struct ChinaScenario {
+  std::unique_ptr<Dataset> dataset;
+  CensusGrid census;
+  ChinaColumns columns;
+};
+
+ChinaScenario BuildChinaScenario(const ChinaOptions& options = {});
+
+// Filter selecting users of the given gender ("M" or "F").
+TupleFilter GenderIs(const ChinaColumns& cols, const std::string& gender);
+
+}  // namespace lbsagg
+
+#endif  // LBSAGG_WORKLOAD_SCENARIOS_H_

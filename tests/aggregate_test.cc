@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/aggregate.h"
+#include "lbs/client.h"
+#include "lbs/dataset.h"
+#include "lbs/server.h"
+
+namespace lbsagg {
+namespace {
+
+const Box kBox({0, 0}, {100, 100});
+
+Schema MakeSchema() {
+  Schema s;
+  s.AddColumn("name", AttrType::kString);
+  s.AddColumn("value", AttrType::kDouble);
+  s.AddColumn("flag", AttrType::kBool);
+  return s;
+}
+
+// A tiny 3-tuple world with one client, shared by the cases below.
+struct World {
+  Dataset dataset{kBox, MakeSchema()};
+  std::unique_ptr<LbsServer> server;
+  std::unique_ptr<LrClient> client;
+
+  World() {
+    dataset.Add({10, 10}, {std::string("a"), 5.0, true});
+    dataset.Add({20, 20}, {std::string("b"), 7.0, false});
+    dataset.Add({30, 30}, {std::string("a"), 9.0, true});
+    server = std::make_unique<LbsServer>(&dataset, ServerOptions{.max_k = 3});
+    client = std::make_unique<LrClient>(server.get(), ClientOptions{.k = 3});
+  }
+};
+
+TEST(AggregateSpec, CountNumeratorIsIndicator) {
+  World w;
+  const AggregateSpec count = AggregateSpec::Count();
+  EXPECT_DOUBLE_EQ(count.NumeratorValue(*w.client, 0), 1.0);
+  EXPECT_DOUBLE_EQ(count.DenominatorValue(*w.client, 0), 1.0);
+  EXPECT_EQ(count.kind, AggregateSpec::Kind::kCount);
+}
+
+TEST(AggregateSpec, SumReadsColumn) {
+  World w;
+  const AggregateSpec sum = AggregateSpec::Sum(1, "SUM(value)");
+  EXPECT_DOUBLE_EQ(sum.NumeratorValue(*w.client, 0), 5.0);
+  EXPECT_DOUBLE_EQ(sum.NumeratorValue(*w.client, 2), 9.0);
+}
+
+TEST(AggregateSpec, ConditionGatesBothSides) {
+  World w;
+  const AggregateSpec spec = AggregateSpec::SumWhere(
+      1, ColumnEquals(0, "a"), "SUM(value) WHERE name=a");
+  EXPECT_DOUBLE_EQ(spec.NumeratorValue(*w.client, 0), 5.0);
+  EXPECT_DOUBLE_EQ(spec.NumeratorValue(*w.client, 1), 0.0);  // name == "b"
+  EXPECT_DOUBLE_EQ(spec.DenominatorValue(*w.client, 1), 0.0);
+  EXPECT_TRUE(spec.Passes(*w.client, 0));
+  EXPECT_FALSE(spec.Passes(*w.client, 1));
+}
+
+TEST(AggregateSpec, AvgUsesUnitDenominator) {
+  World w;
+  const AggregateSpec avg = AggregateSpec::Avg(1, "AVG(value)");
+  EXPECT_EQ(avg.kind, AggregateSpec::Kind::kAvg);
+  EXPECT_DOUBLE_EQ(avg.NumeratorValue(*w.client, 1), 7.0);
+  EXPECT_DOUBLE_EQ(avg.DenominatorValue(*w.client, 1), 1.0);
+}
+
+TEST(AggregateSpec, SumWithoutColumnDies) {
+  World w;
+  AggregateSpec bad;
+  bad.kind = AggregateSpec::Kind::kSum;
+  EXPECT_DEATH(bad.NumeratorValue(*w.client, 0), "value column");
+}
+
+TEST(Predicates, ColumnEqualsOnStrings) {
+  World w;
+  const ReturnedTuplePredicate pred = ColumnEquals(0, "a");
+  EXPECT_TRUE(pred(*w.client, 0));
+  EXPECT_FALSE(pred(*w.client, 1));
+  // Type-mismatched column: no match rather than a crash.
+  EXPECT_FALSE(ColumnEquals(1, "a")(*w.client, 0));
+}
+
+TEST(Predicates, ColumnIsTrue) {
+  World w;
+  const ReturnedTuplePredicate pred = ColumnIsTrue(2);
+  EXPECT_TRUE(pred(*w.client, 0));
+  EXPECT_FALSE(pred(*w.client, 1));
+  EXPECT_FALSE(ColumnIsTrue(0)(*w.client, 0));  // not a bool column
+}
+
+TEST(Predicates, ColumnAtLeast) {
+  World w;
+  EXPECT_TRUE(ColumnAtLeast(1, 7.0)(*w.client, 1));
+  EXPECT_FALSE(ColumnAtLeast(1, 7.1)(*w.client, 1));
+}
+
+TEST(Predicates, AndCombinator) {
+  World w;
+  const ReturnedTuplePredicate both =
+      And(ColumnEquals(0, "a"), ColumnAtLeast(1, 6.0));
+  EXPECT_FALSE(both(*w.client, 0));  // "a" but value 5
+  EXPECT_FALSE(both(*w.client, 1));  // value 7 but "b"
+  EXPECT_TRUE(both(*w.client, 2));   // "a" and 9
+}
+
+TEST(AggregateSpec, PositionConditionDefaultsToNull) {
+  const AggregateSpec spec = AggregateSpec::Count();
+  EXPECT_FALSE(static_cast<bool>(spec.position_condition));
+}
+
+}  // namespace
+}  // namespace lbsagg

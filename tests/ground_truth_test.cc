@@ -1,0 +1,93 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/ground_truth.h"
+#include "geometry/voronoi_diagram.h"
+#include "util/rng.h"
+
+namespace lbsagg {
+namespace {
+
+const Box kBox({0, 0}, {100, 100});
+
+std::vector<Vec2> RandomPoints(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Vec2> pts;
+  for (int i = 0; i < n; ++i) pts.push_back(kBox.SamplePoint(rng));
+  return pts;
+}
+
+TEST(GroundTruth, MatchesVoronoiDiagramForTop1) {
+  const auto pts = RandomPoints(200, 401);
+  const GroundTruthOracle oracle(pts, kBox);
+  const VoronoiDiagram vd = VoronoiDiagram::Build(pts, kBox);
+  for (int i = 0; i < 200; i += 7) {
+    EXPECT_NEAR(oracle.TopkCellArea(i, 1), vd.Cell(i).Area(),
+                1e-7 * kBox.Area())
+        << i;
+  }
+}
+
+TEST(GroundTruth, MatchesUnprunedComputation) {
+  const auto pts = RandomPoints(60, 403);
+  const GroundTruthOracle oracle(pts, kBox);
+  for (int h : {1, 2, 3}) {
+    for (int i = 0; i < 60; i += 11) {
+      std::vector<Vec2> others;
+      for (int j = 0; j < 60; ++j) {
+        if (j != i) others.push_back(pts[j]);
+      }
+      const TopkRegion direct = ComputeTopkRegion(pts[i], others, kBox, h);
+      EXPECT_NEAR(oracle.TopkCellArea(i, h), direct.area,
+                  1e-7 * kBox.Area())
+          << "i=" << i << " h=" << h;
+    }
+  }
+}
+
+TEST(GroundTruth, TopkAreasSumToKTimesBox) {
+  const auto pts = RandomPoints(40, 407);
+  const GroundTruthOracle oracle(pts, kBox);
+  for (int h : {1, 2}) {
+    double total = 0.0;
+    for (int i = 0; i < 40; ++i) total += oracle.TopkCellArea(i, h);
+    EXPECT_NEAR(total, h * kBox.Area(), 1e-5 * kBox.Area());
+  }
+}
+
+TEST(GroundTruth, InclusionProbabilityNormalized) {
+  const auto pts = RandomPoints(30, 409);
+  const GroundTruthOracle oracle(pts, kBox);
+  double total = 0.0;
+  for (int i = 0; i < 30; ++i) {
+    total += oracle.UniformInclusionProbability(i, 1);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-6);
+}
+
+TEST(GroundTruth, ClusteredPointsStressCertifiedPruning) {
+  // Two dense clusters + sparse outliers: cells span 5 orders of magnitude,
+  // so the pruning radius must adapt per tuple.
+  Rng rng(411);
+  std::vector<Vec2> pts;
+  for (int i = 0; i < 150; ++i) {
+    pts.push_back({rng.Uniform(10, 11), rng.Uniform(10, 11)});
+  }
+  for (int i = 0; i < 150; ++i) {
+    pts.push_back({rng.Uniform(80, 81), rng.Uniform(80, 81)});
+  }
+  pts.push_back({50, 95});
+  const GroundTruthOracle oracle(pts, kBox);
+  const VoronoiDiagram vd = VoronoiDiagram::Build(pts, kBox);
+  double total = 0.0;
+  for (size_t i = 0; i < pts.size(); ++i) {
+    const double area = oracle.TopkCellArea(static_cast<int>(i), 1);
+    EXPECT_NEAR(area, vd.Cell(i).Area(), 1e-6 * kBox.Area()) << i;
+    total += area;
+  }
+  EXPECT_NEAR(total, kBox.Area(), 1e-5 * kBox.Area());
+}
+
+}  // namespace
+}  // namespace lbsagg

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "core/history.h"
+#include "util/rng.h"
+
+namespace lbsagg {
+namespace {
+
+const Box kBox({0, 0}, {100, 100});
+
+TEST(History, RecordIsIdempotent) {
+  History h;
+  h.Record(7, {1, 2});
+  h.Record(7, {1, 2});
+  h.Record(7, {9, 9});  // static service: first position wins
+  EXPECT_EQ(h.size(), 1u);
+  EXPECT_TRUE(h.Known(7));
+  EXPECT_FALSE(h.Known(8));
+  EXPECT_EQ(h.Position(7), Vec2(1, 2));
+}
+
+TEST(History, OtherPositionsExcludesRequestedId) {
+  History h;
+  h.Record(1, {10, 10});
+  h.Record(2, {20, 20});
+  h.Record(3, {30, 30});
+  const auto others = h.OtherPositions(2);
+  EXPECT_EQ(others.size(), 2u);
+  for (const Vec2& p : others) EXPECT_NE(p, Vec2(20, 20));
+  EXPECT_EQ(h.OtherPositions(-1).size(), 3u);
+}
+
+TEST(History, NearestOtherPositionsOrdersByDistance) {
+  History h;
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    h.Record(i, kBox.SamplePoint(rng));
+  }
+  const Vec2 probe{50, 50};
+  const auto nearest = h.NearestOtherPositions(probe, -1, 10);
+  ASSERT_EQ(nearest.size(), 10u);
+  for (size_t i = 1; i < nearest.size(); ++i) {
+    EXPECT_LE(Distance(probe, nearest[i - 1]), Distance(probe, nearest[i]));
+  }
+  // No position in the full set beats the worst of the returned ones.
+  const double worst = Distance(probe, nearest.back());
+  int closer = 0;
+  for (const Vec2& p : h.OtherPositions(-1)) {
+    if (Distance(probe, p) < worst) ++closer;
+  }
+  EXPECT_LE(closer, 10);
+}
+
+TEST(History, NearestOtherPositionsLimitLargerThanSize) {
+  History h;
+  h.Record(1, {10, 10});
+  h.Record(2, {20, 20});
+  EXPECT_EQ(h.NearestOtherPositions({0, 0}, -1, 50).size(), 2u);
+  EXPECT_EQ(h.NearestOtherPositions({0, 0}, 1, 50).size(), 1u);
+}
+
+TEST(History, UpperBoundCellAreaShrinksWithKnowledge) {
+  // λ_h from history bounds the true cell from above and tightens as more
+  // tuples are recorded (§3.2.3).
+  History h;
+  const Vec2 focal{50, 50};
+  EXPECT_DOUBLE_EQ(h.UpperBoundCellArea(0, focal, kBox, 1), kBox.Area());
+  h.Record(1, {70, 50});
+  const double one = h.UpperBoundCellArea(0, focal, kBox, 1);
+  EXPECT_LT(one, kBox.Area());
+  h.Record(2, {50, 70});
+  h.Record(3, {30, 50});
+  h.Record(4, {50, 30});
+  const double many = h.UpperBoundCellArea(0, focal, kBox, 1);
+  EXPECT_LT(many, one);
+  // λ is non-decreasing in h.
+  EXPECT_LE(many, h.UpperBoundCellArea(0, focal, kBox, 2) + 1e-9);
+}
+
+TEST(History, UpperBoundRespectsConstraintCap) {
+  History h;
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) h.Record(i, kBox.SamplePoint(rng));
+  // Fewer constraints → looser (but still valid) bound.
+  const double loose = h.UpperBoundCellArea(999, {50, 50}, kBox, 1, 4);
+  const double tight = h.UpperBoundCellArea(999, {50, 50}, kBox, 1, 64);
+  EXPECT_GE(loose, tight - 1e-9);
+}
+
+}  // namespace
+}  // namespace lbsagg

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "core/aggregate.h"
+#include "core/lnr_agg.h"
+#include "lbs/client.h"
+#include "workload/scenarios.h"
+
+namespace lbsagg {
+namespace {
+
+ChinaScenario SmallChina(int n = 800, double male = 0.671) {
+  ChinaOptions opts;
+  opts.num_users = n;
+  opts.male_fraction = male;
+  return BuildChinaScenario(opts);
+}
+
+TEST(LnrAgg, CountConvergesWithSmallBias) {
+  // Census-weighted sampling (§5.2) tames the heavy tail of uniform
+  // sampling over clustered users, so a single run converges tightly.
+  const ChinaScenario china = SmallChina();
+  LbsServer server(china.dataset.get(), {.max_k = 1});
+  CensusSampler sampler(&china.census);
+  // Average a few independent runs: even weighted sampling keeps a heavy
+  // tail from the rural users.
+  double total = 0.0;
+  for (uint64_t seed = 71; seed < 74; ++seed) {
+    LnrClient client(&server, {.k = 1});
+    LnrAggOptions opts;
+    opts.seed = seed;
+    LnrAggEstimator est(&client, &sampler, AggregateSpec::Count(), opts);
+    for (int i = 0; i < 150; ++i) est.Step();
+    total += est.Estimate();
+  }
+  EXPECT_NEAR(total / 3.0, 800.0, 0.2 * 800.0);
+}
+
+TEST(LnrAgg, GenderRatioEstimation) {
+  const ChinaScenario china = SmallChina(800, 0.671);
+  const double males =
+      china.dataset->GroundTruthCount(GenderIs(china.columns, "M"));
+  LbsServer server(china.dataset.get(), {.max_k = 1});
+  LnrClient client(&server, {.k = 1});
+  CensusSampler sampler(&china.census);
+  const int gender_col = client.schema().Require("gender");
+  LnrAggOptions opts;
+  opts.seed = 73;
+  LnrAggEstimator est(
+      &client, &sampler,
+      AggregateSpec::CountWhere(ColumnEquals(gender_col, "M"), "COUNT(male)"),
+      opts);
+  for (int i = 0; i < 250; ++i) est.Step();
+  EXPECT_NEAR(est.Estimate(), males, 0.25 * males);
+}
+
+TEST(LnrAgg, AvgViaRatioOfMeans) {
+  // AVG over an attribute: male share as AVG(indicator).
+  const ChinaScenario china = SmallChina(800, 0.671);
+  LbsServer server(china.dataset.get(), {.max_k = 1});
+  LnrClient client(&server, {.k = 1});
+  CensusSampler sampler(&china.census);
+  const int gender_col = client.schema().Require("gender");
+  AggregateSpec male_count =
+      AggregateSpec::CountWhere(ColumnEquals(gender_col, "M"), "COUNT(male)");
+  LnrAggOptions opts;
+  opts.seed = 79;
+  LnrAggEstimator male_est(&client, &sampler, male_count, opts);
+  LnrClient client2(&server, {.k = 1});
+  LnrAggEstimator all_est(&client2, &sampler, AggregateSpec::Count(), opts);
+  for (int i = 0; i < 200; ++i) {
+    male_est.Step();
+    all_est.Step();
+  }
+  const double ratio = male_est.Estimate() / all_est.Estimate();
+  EXPECT_NEAR(ratio, 0.671, 0.12);
+}
+
+TEST(LnrAgg, TopkCellsModeConverges) {
+  const ChinaScenario china = SmallChina(400);
+  LbsServer server(china.dataset.get(), {.max_k = 2});
+  LnrClient client(&server, {.k = 2});
+  CensusSampler sampler(&china.census);
+  LnrAggOptions opts;
+  opts.use_topk_cells = true;
+  opts.seed = 83;
+  LnrAggEstimator est(&client, &sampler, AggregateSpec::Count(), opts);
+  for (int i = 0; i < 80; ++i) est.Step();
+  EXPECT_NEAR(est.Estimate(), 400.0, 0.3 * 400.0);
+}
+
+TEST(LnrAgg, EmptyResultsUnderMaxRadius) {
+  const ChinaScenario china = SmallChina(300);
+  ServerOptions sopts;
+  sopts.max_k = 1;
+  sopts.max_radius = 150.0;  // Weibo-style coverage limit
+  LbsServer server(china.dataset.get(), sopts);
+  UniformSampler sampler(china.dataset->box());
+  double total = 0.0;
+  for (uint64_t seed = 89; seed < 92; ++seed) {
+    LnrClient client(&server, {.k = 1});
+    LnrAggOptions opts;
+    opts.seed = seed;
+    LnrAggEstimator est(&client, &sampler, AggregateSpec::Count(), opts);
+    for (int i = 0; i < 150; ++i) est.Step();
+    total += est.Estimate();
+  }
+  // Still a valid estimate (empty answers contribute zero, Σp < 1; the
+  // coverage disc is recovered from three chord crossings).
+  EXPECT_NEAR(total / 3.0, 300.0, 0.4 * 300.0);
+}
+
+TEST(LnrAgg, PositionConditionViaLocalization) {
+  // §4.3 in service of §2.3: a location-based selection condition over an
+  // LNR service forces per-tuple localization before the condition can be
+  // evaluated.
+  const ChinaScenario china = SmallChina(120);
+  const Box& box = china.dataset->box();
+  const Box west(box.lo, {box.lo.x + box.width() / 2.0, box.hi.y});
+  double truth = 0.0;
+  for (const Tuple& t : china.dataset->tuples()) {
+    if (west.Contains(t.pos)) truth += 1.0;
+  }
+  LbsServer server(china.dataset.get(), {.max_k = 1});
+  LnrClient client(&server, {.k = 1});
+  CensusSampler sampler(&china.census);
+  AggregateSpec spec = AggregateSpec::Count();
+  spec.position_condition = [west](const Vec2& p) {
+    return west.Contains(p);
+  };
+  LnrAggOptions opts;
+  opts.seed = 97;
+  LnrAggEstimator est(&client, &sampler, spec, opts);
+  for (int i = 0; i < 120; ++i) est.Step();
+  EXPECT_NEAR(est.Estimate(), truth, 0.35 * truth);
+}
+
+TEST(LnrAgg, DiagnosticsTrackCacheHits) {
+  // Tiny dataset: tuples repeat quickly, so the cache must get hits.
+  const ChinaScenario china = SmallChina(60);
+  LbsServer server(china.dataset.get(), {.max_k = 1});
+  LnrClient client(&server, {.k = 1});
+  CensusSampler sampler(&china.census);
+  LnrAggEstimator est(&client, &sampler, AggregateSpec::Count(), {});
+  for (int i = 0; i < 120; ++i) est.Step();
+  const LnrAggDiagnostics& d = est.diagnostics();
+  EXPECT_EQ(d.rounds, 120u);
+  EXPECT_GT(d.cache_hits, 0u);
+  EXPECT_LE(d.cells_inferred, 60u);
+  EXPECT_LE(d.cells_inferred + d.cache_hits, 120u);
+}
+
+TEST(LnrAgg, TraceTracksQueries) {
+  const ChinaScenario china = SmallChina(200);
+  LbsServer server(china.dataset.get(), {.max_k = 1});
+  LnrClient client(&server, {.k = 1});
+  UniformSampler sampler(china.dataset->box());
+  LnrAggEstimator est(&client, &sampler, AggregateSpec::Count(), {});
+  for (int i = 0; i < 20; ++i) est.Step();
+  ASSERT_EQ(est.trace().size(), 20u);
+  EXPECT_EQ(est.trace().back().queries, client.queries_used());
+}
+
+}  // namespace
+}  // namespace lbsagg

@@ -1,0 +1,109 @@
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/localize.h"
+#include "lbs/client.h"
+#include "lbs/dataset.h"
+#include "lbs/server.h"
+#include "util/rng.h"
+
+namespace lbsagg {
+namespace {
+
+const Box kBox({0, 0}, {100, 100});
+
+struct Fixture {
+  std::unique_ptr<Dataset> dataset;
+  std::unique_ptr<LbsServer> server;
+  std::unique_ptr<LnrClient> client;
+
+  explicit Fixture(std::vector<Vec2> points, double obfuscation = 0.0) {
+    dataset = std::make_unique<Dataset>(kBox, Schema());
+    for (const Vec2& p : points) dataset->Add(p, {});
+    ServerOptions opts;
+    opts.max_k = 1;
+    opts.obfuscation_radius = obfuscation;
+    server = std::make_unique<LbsServer>(dataset.get(), opts);
+    client = std::make_unique<LnrClient>(server.get(), ClientOptions{.k = 1});
+  }
+};
+
+TEST(Localize, RecoversInteriorTuplePosition) {
+  // A tuple surrounded by four others: its cell is interior with 4 real
+  // vertices — the reflection construction applies cleanly.
+  Fixture f({{50, 50}, {80, 52}, {49, 81}, {18, 48}, {52, 19}});
+  Localizer localizer(f.client.get());
+  const auto pos = localizer.Locate(0, {50, 50.5});
+  ASSERT_TRUE(pos.has_value());
+  EXPECT_NEAR(Distance(*pos, {50, 50}), 0.0, 0.05);
+}
+
+TEST(Localize, RandomInteriorTuplesWithinTolerance) {
+  Rng rng(801);
+  std::vector<Vec2> pts;
+  for (int i = 0; i < 60; ++i) pts.push_back(kBox.SamplePoint(rng));
+  Fixture f(pts);
+  Localizer localizer(f.client.get());
+  int attempted = 0, good = 0;
+  for (int id = 0; id < 60 && attempted < 12; ++id) {
+    // Only interior tuples (cells away from the box) are cleanly localizable.
+    if (!kBox.ContainsInterior(pts[id], 15.0)) continue;
+    ++attempted;
+    const auto pos = localizer.Locate(id, pts[id]);
+    if (!pos.has_value()) continue;
+    if (Distance(*pos, pts[id]) < 0.2) ++good;
+  }
+  EXPECT_GE(attempted, 5);
+  // The paper reports >80% within tight bounds; allow some failures from
+  // box-adjacent cells.
+  EXPECT_GE(good * 10, attempted * 6);
+}
+
+TEST(Localize, PrecisionImprovesWithTighterDelta) {
+  Fixture f({{50, 50}, {76, 55}, {45, 78}, {22, 44}, {55, 24}});
+  LocalizeOptions coarse;
+  coarse.cell.search.delta_fraction = 1e-5;
+  coarse.cell.search.delta_prime_fraction = 1e-3;
+  LocalizeOptions fine;
+  fine.cell.search.delta_fraction = 1e-10;
+  fine.cell.search.delta_prime_fraction = 1e-6;
+
+  Localizer coarse_loc(f.client.get(), coarse);
+  Localizer fine_loc(f.client.get(), fine);
+  const auto p_coarse = coarse_loc.Locate(0, {50, 50});
+  const auto p_fine = fine_loc.Locate(0, {50, 50});
+  ASSERT_TRUE(p_coarse.has_value());
+  ASSERT_TRUE(p_fine.has_value());
+  EXPECT_LT(Distance(*p_fine, {50, 50}), Distance(*p_coarse, {50, 50}) + 1e-6);
+  EXPECT_LT(Distance(*p_fine, {50, 50}), 0.01);
+}
+
+TEST(Localize, ObfuscationLimitsAccuracy) {
+  // WeChat-style obfuscation: localization recovers the *effective*
+  // position, so the error vs the true position is dominated by the
+  // obfuscation radius (Figure 21's WeChat curve).
+  std::vector<Vec2> pts = {{50, 50}, {80, 52}, {49, 81}, {18, 48}, {52, 19}};
+  Fixture f(pts, /*obfuscation=*/1.5);
+  Localizer localizer(f.client.get());
+  // Query at the effective position so the tuple is top-1 there.
+  const Vec2 q0 = f.server->EffectivePosition(0);
+  const auto pos = localizer.Locate(0, q0);
+  ASSERT_TRUE(pos.has_value());
+  // Close to the effective position...
+  EXPECT_LT(Distance(*pos, f.server->EffectivePosition(0)), 0.1);
+  // ...but the true-position error is on the order of the obfuscation.
+  EXPECT_LE(Distance(*pos, pts[0]), 1.6);
+}
+
+TEST(Localize, FailsGracefullyWhenCellHasNoRealVertices) {
+  // Two tuples: each cell has only box corners + one bisector — fewer than
+  // two bisector-bisector vertices, so localization must decline.
+  Fixture f({{30, 50}, {70, 50}});
+  Localizer localizer(f.client.get());
+  EXPECT_FALSE(localizer.Locate(0, {30, 50}).has_value());
+}
+
+}  // namespace
+}  // namespace lbsagg

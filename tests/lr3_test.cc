@@ -1,0 +1,175 @@
+// §5.4 extension: 3-D geometry substrate and the 3-D LR estimator.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/lr3_agg.h"
+#include "geometry3d/polytope3.h"
+#include "lbs3/lbs3.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace lbsagg {
+namespace {
+
+const Box3 kBox({0, 0, 0}, {100, 100, 100});
+
+TEST(Polytope3, BoxHasEightVertices) {
+  const auto vertices = EnumeratePolytopeVertices(BoxHalfspaces(kBox));
+  EXPECT_EQ(vertices.size(), 8u);
+  for (const Vec3& v : vertices) EXPECT_TRUE(kBox.Contains(v));
+}
+
+TEST(Polytope3, CornerTetrahedron) {
+  // x + y + z <= 30 keeps only the tetrahedron at the origin corner.
+  std::vector<Halfspace3> planes = BoxHalfspaces(kBox);
+  planes.push_back({{1, 1, 1}, 30.0});
+  const auto tetra = EnumeratePolytopeVertices(planes);
+  EXPECT_EQ(tetra.size(), 4u);
+}
+
+TEST(Polytope3, CornerCutProducesTriangle) {
+  // x + y + z >= 30 removes the origin corner and adds a triangular face:
+  // 8 - 1 + 3 = 10 vertices.
+  std::vector<Halfspace3> planes = BoxHalfspaces(kBox);
+  planes.push_back({{-1, -1, -1}, -30.0});
+  const auto vertices = EnumeratePolytopeVertices(planes);
+  EXPECT_EQ(vertices.size(), 10u);
+}
+
+TEST(Polytope3, EmptyPolytopeHasNoVertices) {
+  std::vector<Halfspace3> planes = BoxHalfspaces(kBox);
+  planes.push_back({{1, 0, 0}, -1.0});  // x <= -1: contradicts x >= 0
+  EXPECT_TRUE(EnumeratePolytopeVertices(planes).empty());
+}
+
+TEST(Polytope3, BisectorPlaneSeparates) {
+  const Vec3 a{10, 10, 10}, b{50, 70, 30};
+  const Halfspace3 h = Halfspace3::Closer(a, b);
+  EXPECT_TRUE(h.Contains(a));
+  EXPECT_FALSE(h.Contains(b));
+  EXPECT_NEAR(h.Side(Midpoint(a, b)), 0.0, 1e-9);
+}
+
+TEST(Polytope3, ContainsMatchesHalfspaceTests) {
+  Rng rng(1);
+  std::vector<Halfspace3> planes = BoxHalfspaces(kBox);
+  const Vec3 focal{50, 50, 50};
+  for (int i = 0; i < 12; ++i) {
+    planes.push_back(Halfspace3::Closer(focal, kBox.SamplePoint(rng)));
+  }
+  const auto vertices = EnumeratePolytopeVertices(planes);
+  ASSERT_FALSE(vertices.empty());
+  // Every enumerated vertex satisfies all halfspaces; the focal point is
+  // strictly inside.
+  for (const Vec3& v : vertices) {
+    EXPECT_TRUE(PolytopeContains(planes, v, 1e-6));
+  }
+  EXPECT_TRUE(PolytopeContains(planes, focal));
+}
+
+TEST(Polytope3, VertexEnumerationMatchesMonteCarloVolume) {
+  // The polytope described by the planes must enclose exactly the region
+  // the membership test accepts: compare a vertex-bbox MC volume against a
+  // whole-box MC volume.
+  Rng rng(3);
+  std::vector<Halfspace3> planes = BoxHalfspaces(kBox);
+  const Vec3 focal{40, 60, 50};
+  for (int i = 0; i < 8; ++i) {
+    planes.push_back(Halfspace3::Closer(focal, kBox.SamplePoint(rng)));
+  }
+  const auto vertices = EnumeratePolytopeVertices(planes);
+  ASSERT_GE(vertices.size(), 4u);
+  const Box3 bbox = BoundingBox3(vertices);
+  int inside_bbox = 0, inside_box = 0;
+  const int n = 200000;
+  Rng r2(5);
+  for (int i = 0; i < n; ++i) {
+    if (PolytopeContains(planes, bbox.SamplePoint(r2))) ++inside_bbox;
+    if (PolytopeContains(planes, kBox.SamplePoint(r2))) ++inside_box;
+  }
+  const double vol_from_bbox = bbox.Volume() * inside_bbox / n;
+  const double vol_from_box = kBox.Volume() * inside_box / n;
+  EXPECT_NEAR(vol_from_bbox, vol_from_box, 0.05 * vol_from_box);
+}
+
+Dataset3 RandomDataset3(int n, uint64_t seed) {
+  Dataset3 d(kBox);
+  Rng rng(seed);
+  for (int i = 0; i < n; ++i) d.Add(kBox.SamplePoint(rng));
+  return d;
+}
+
+TEST(Lr3Client, ReturnsNearestSorted) {
+  const Dataset3 d = RandomDataset3(200, 7);
+  Lr3Client client(&d, 5);
+  Rng rng(9);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Vec3 q = kBox.SamplePoint(rng);
+    const auto items = client.Query(q);
+    ASSERT_EQ(items.size(), 5u);
+    for (size_t i = 1; i < items.size(); ++i) {
+      EXPECT_LE(items[i - 1].distance, items[i].distance);
+    }
+    for (size_t j = 0; j < d.size(); ++j) {
+      EXPECT_LE(items[0].distance,
+                Distance(q, d.position(static_cast<int>(j))) + 1e-12);
+    }
+  }
+  EXPECT_EQ(client.queries_used(), 20u);
+}
+
+TEST(Lr3Agg, InverseProbabilityIsUnbiased) {
+  // E[InverseProbability(t)] = vol(B)/vol(cell) for a known configuration.
+  Dataset3 d(kBox);
+  d.Add({25, 50, 50});
+  d.Add({75, 50, 50});  // bisector x = 50: each cell is half the box
+  Lr3Client client(&d, 2);
+  Lr3AggEstimator est(&client);
+  RunningStats stats;
+  for (int i = 0; i < 200; ++i) {
+    stats.Add(est.InverseProbability(0, {25, 50, 50}));
+  }
+  EXPECT_NEAR(stats.mean(), 2.0, 0.2);  // 1/p = 2
+}
+
+TEST(Lr3Agg, CountConvergesInThreeDimensions) {
+  const Dataset3 d = RandomDataset3(60, 13);
+  Lr3Client client(&d, 3);
+  Lr3AggEstimator est(&client);
+  for (int i = 0; i < 150; ++i) est.Step();
+  EXPECT_NEAR(est.Estimate(), 60.0, 0.25 * 60.0);
+}
+
+TEST(Lr3Agg, UnbiasedAcrossSeeds) {
+  const Dataset3 d = RandomDataset3(40, 17);
+  RunningStats means;
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    Lr3Client client(&d, 3);
+    Lr3AggOptions opts;
+    opts.seed = seed;
+    Lr3AggEstimator est(&client, opts);
+    for (int i = 0; i < 60; ++i) est.Step();
+    means.Add(est.Estimate());
+  }
+  EXPECT_NEAR(means.mean(), 40.0, 3.0 * means.StandardError() + 2.0);
+}
+
+TEST(Lr3Agg, SumAggregateOverValues) {
+  Dataset3 d(kBox);
+  Rng rng(19);
+  double truth = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    const double value = rng.Uniform(1.0, 3.0);
+    d.Add(kBox.SamplePoint(rng), value);
+    truth += value;
+  }
+  Lr3Client client(&d, 3);
+  Lr3AggEstimator est(&client);
+  for (int i = 0; i < 150; ++i) est.Step();
+  EXPECT_NEAR(est.Estimate(), truth, 0.25 * truth);
+}
+
+}  // namespace
+}  // namespace lbsagg

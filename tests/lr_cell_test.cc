@@ -1,0 +1,271 @@
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/ground_truth.h"
+#include "core/history.h"
+#include "core/lr_cell.h"
+#include "core/sampler.h"
+#include "lbs/client.h"
+#include "lbs/dataset.h"
+#include "lbs/server.h"
+#include "util/rng.h"
+
+namespace lbsagg {
+namespace {
+
+const Box kBox({0, 0}, {100, 100});
+
+struct Fixture {
+  std::unique_ptr<Dataset> dataset;
+  std::unique_ptr<LbsServer> server;
+  std::unique_ptr<LrClient> client;
+  std::unique_ptr<GroundTruthOracle> oracle;
+  std::unique_ptr<UniformSampler> sampler;
+
+  explicit Fixture(int n, uint64_t seed, int k = 5) {
+    Rng rng(seed);
+    dataset = std::make_unique<Dataset>(kBox, Schema());
+    for (int i = 0; i < n; ++i) dataset->Add(kBox.SamplePoint(rng), {});
+    server = std::make_unique<LbsServer>(dataset.get(),
+                                         ServerOptions{.max_k = k});
+    client = std::make_unique<LrClient>(server.get(), ClientOptions{.k = k});
+    oracle = std::make_unique<GroundTruthOracle>(dataset->Positions(), kBox);
+    sampler = std::make_unique<UniformSampler>(kBox);
+  }
+};
+
+TEST(LrCell, ExactTop1CellMatchesOracle) {
+  Fixture f(150, 501);
+  History history;
+  LrCellComputer computer(f.client.get(), &history, f.sampler.get());
+  for (int id : {0, 17, 42, 99, 149}) {
+    const TopkRegion cell =
+        computer.ComputeExactCell(id, f.dataset->tuple(id).pos, 1);
+    EXPECT_NEAR(cell.area, f.oracle->TopkCellArea(id, 1), 1e-6 * kBox.Area())
+        << id;
+  }
+}
+
+TEST(LrCell, ExactTopHCellsMatchOracle) {
+  Fixture f(120, 503);
+  History history;
+  LrCellComputer computer(f.client.get(), &history, f.sampler.get());
+  for (int h : {2, 3, 5}) {
+    for (int id : {3, 55, 110}) {
+      const TopkRegion cell =
+          computer.ComputeExactCell(id, f.dataset->tuple(id).pos, h);
+      EXPECT_NEAR(cell.area, f.oracle->TopkCellArea(id, h),
+                  1e-6 * kBox.Area())
+          << "id=" << id << " h=" << h;
+    }
+  }
+}
+
+TEST(LrCell, BaselineWithoutAnyOptimization) {
+  // Algorithm 1: no fast-init, no history, no Monte Carlo.
+  Fixture f(100, 507);
+  History history;
+  LrCellOptions opts;
+  opts.fast_init = false;
+  opts.use_history = false;
+  opts.monte_carlo = false;
+  LrCellComputer computer(f.client.get(), &history, f.sampler.get(), opts);
+  const TopkRegion cell =
+      computer.ComputeExactCell(20, f.dataset->tuple(20).pos, 1);
+  EXPECT_NEAR(cell.area, f.oracle->TopkCellArea(20, 1), 1e-6 * kBox.Area());
+}
+
+TEST(LrCell, FastInitSavesQueriesOnClusteredData) {
+  // Dense data: the fake box around t immediately finds the real neighbors
+  // instead of walking in from the region corners.
+  Fixture with(2000, 509);
+  Fixture without(2000, 509);
+  History h1, h2;
+  LrCellOptions fast;
+  fast.fast_init = true;
+  fast.use_history = false;
+  fast.monte_carlo = false;
+  LrCellOptions slow = fast;
+  slow.fast_init = false;
+
+  uint64_t fast_total = 0, slow_total = 0;
+  for (int id : {5, 100, 700, 1500}) {
+    {
+      LrCellComputer c(with.client.get(), &h1, with.sampler.get(), fast);
+      const uint64_t before = with.client->queries_used();
+      c.ComputeExactCell(id, with.dataset->tuple(id).pos, 1);
+      fast_total += with.client->queries_used() - before;
+      h1 = History();  // isolate samples
+    }
+    {
+      LrCellComputer c(without.client.get(), &h2, without.sampler.get(), slow);
+      const uint64_t before = without.client->queries_used();
+      c.ComputeExactCell(id, without.dataset->tuple(id).pos, 1);
+      slow_total += without.client->queries_used() - before;
+      h2 = History();
+    }
+  }
+  EXPECT_LT(fast_total, slow_total);
+}
+
+TEST(LrCell, HistorySeedingReducesQueries) {
+  // Computing a cell with a populated history must cost fewer queries than
+  // computing the same cell cold, and still be exact.
+  Fixture f(500, 511);
+  History shared;
+  LrCellOptions opts;
+  opts.monte_carlo = false;
+  LrCellComputer computer(f.client.get(), &shared, f.sampler.get(), opts);
+
+  // Populate history around tuple 50.
+  computer.ComputeExactCell(50, f.dataset->tuple(50).pos, 1);
+  const auto near = f.client->Query(f.dataset->tuple(50).pos);
+  const int neighbor = near.size() > 1 ? near[1].id : 0;
+
+  // Warm: shared history. Cold: fresh history, fresh computer.
+  const uint64_t q1 = f.client->queries_used();
+  const TopkRegion warm_cell =
+      computer.ComputeExactCell(neighbor, f.dataset->tuple(neighbor).pos, 1);
+  const uint64_t warm_cost = f.client->queries_used() - q1;
+
+  History fresh;
+  LrCellComputer cold_computer(f.client.get(), &fresh, f.sampler.get(), opts);
+  const uint64_t q2 = f.client->queries_used();
+  cold_computer.ComputeExactCell(neighbor, f.dataset->tuple(neighbor).pos, 1);
+  const uint64_t cold_cost = f.client->queries_used() - q2;
+
+  EXPECT_LT(warm_cost, cold_cost);
+  EXPECT_NEAR(warm_cell.area, f.oracle->TopkCellArea(neighbor, 1),
+              1e-6 * kBox.Area());
+}
+
+TEST(LrCell, MonteCarloIsUnbiased) {
+  // E[inv_probability] over many randomized runs must equal 1/p even when
+  // the cell refinement stops early (aggressive threshold forces MC).
+  Fixture f(80, 513);
+  const int id = 37;
+  const double p = f.oracle->UniformInclusionProbability(id, 1);
+  LrCellOptions opts;
+  opts.monte_carlo = true;
+  opts.mc_shrink_threshold = 0.9;  // stop as soon as permitted
+  opts.mc_min_rounds = 1;
+  Rng rng(515);
+  double sum = 0.0;
+  const int runs = 600;
+  for (int r = 0; r < runs; ++r) {
+    History history;  // fresh history so every run is identically distributed
+    LrCellComputer computer(f.client.get(), &history, f.sampler.get(), opts);
+    const LrCellComputer::Result res = computer.ComputeInverseProbability(
+        id, f.dataset->tuple(id).pos, 1, rng);
+    sum += res.inv_probability;
+  }
+  const double mean = sum / runs;
+  EXPECT_NEAR(mean * p, 1.0, 0.15);  // within ~3 sigma for 600 runs
+}
+
+TEST(LrCell, ExactModeInverseProbability) {
+  Fixture f(100, 517);
+  History history;
+  LrCellOptions opts;
+  opts.monte_carlo = false;
+  LrCellComputer computer(f.client.get(), &history, f.sampler.get(), opts);
+  Rng rng(519);
+  const LrCellComputer::Result res = computer.ComputeInverseProbability(
+      12, f.dataset->tuple(12).pos, 1, rng);
+  EXPECT_TRUE(res.exact);
+  EXPECT_NEAR(res.inv_probability,
+              1.0 / f.oracle->UniformInclusionProbability(12, 1),
+              1e-6 * res.inv_probability);
+}
+
+TEST(LrCell, WorksUnderPassThroughFilter) {
+  // With a pass-through condition the cell is over the filtered dataset.
+  Rng rng(521);
+  Schema schema;
+  schema.AddColumn("flag", AttrType::kBool);
+  Dataset dataset(kBox, schema);
+  std::vector<Vec2> flagged;
+  for (int i = 0; i < 200; ++i) {
+    const Vec2 p = kBox.SamplePoint(rng);
+    const bool flag = i % 2 == 0;
+    dataset.Add(p, {flag});
+    if (flag) flagged.push_back(p);
+  }
+  LbsServer server(&dataset, {.max_k = 5});
+  LrClient client(&server, {.k = 5});
+  client.SetPassThroughFilter(
+      [](const Tuple& t) { return std::get<bool>(t.values[0]); });
+  GroundTruthOracle filtered_oracle(flagged, kBox);
+
+  History history;
+  UniformSampler sampler(kBox);
+  LrCellOptions opts;
+  opts.monte_carlo = false;
+  LrCellComputer computer(&client, &history, &sampler, opts);
+  // Tuple 10 is flagged (even id) and is the 6th flagged point.
+  const TopkRegion cell =
+      computer.ComputeExactCell(10, dataset.tuple(10).pos, 1);
+  EXPECT_NEAR(cell.area, filtered_oracle.TopkCellArea(5, 1),
+              1e-6 * kBox.Area());
+}
+
+TEST(LrCell, CoverageRadiusClipsTheCell) {
+  // §5.3: under a d_max coverage limit, the inclusion region is the cell
+  // intersected with the d_max disc around the tuple.
+  Rng rng(523);
+  Dataset dataset(kBox, Schema());
+  for (int i = 0; i < 60; ++i) dataset.Add(kBox.SamplePoint(rng), {});
+  ServerOptions sopts;
+  sopts.max_k = 3;
+  sopts.max_radius = 9.0;
+  LbsServer server(&dataset, sopts);
+  LrClient client(&server, {.k = 3});
+  GroundTruthOracle oracle(dataset.Positions(), kBox);
+  History history;
+  UniformSampler sampler(kBox);
+  LrCellOptions opts;
+  opts.monte_carlo = false;
+  LrCellComputer computer(&client, &history, &sampler, opts);
+
+  for (int id : {4, 21, 48}) {
+    const Vec2 pos = dataset.tuple(id).pos;
+    const TopkRegion cell = computer.ComputeExactCell(id, pos, 1);
+    // Truth: clip the unrestricted cell by the disc polygon.
+    const TopkRegion full = oracle.TopkCell(id, 1);
+    const ConvexPolygon disc = InscribedCirclePolygon(pos, 9.0);
+    double truth = 0.0;
+    for (ConvexPolygon piece : full.pieces) {
+      for (size_t e = 0; e < disc.size() && !piece.IsEmpty(); ++e) {
+        const Vec2& a = disc.vertices()[e];
+        const Vec2& b = disc.vertices()[(e + 1) % disc.size()];
+        piece = piece.Clip(HalfPlane(Line::Through(b, a)));
+      }
+      truth += piece.Area();
+    }
+    EXPECT_NEAR(cell.area, truth, 2e-3 * truth + 1e-6) << id;
+  }
+}
+
+TEST(LrCell, TupleOnBoxCornerRegion) {
+  // A tuple whose cell touches the box corner exercises box-edge vertices.
+  Dataset dataset(kBox, Schema());
+  dataset.Add({2, 2}, {});
+  dataset.Add({50, 50}, {});
+  dataset.Add({90, 20}, {});
+  dataset.Add({20, 90}, {});
+  LbsServer server(&dataset, {.max_k = 2});
+  LrClient client(&server, {.k = 2});
+  GroundTruthOracle oracle(dataset.Positions(), kBox);
+  History history;
+  UniformSampler sampler(kBox);
+  LrCellOptions opts;
+  opts.monte_carlo = false;
+  LrCellComputer computer(&client, &history, &sampler, opts);
+  const TopkRegion cell = computer.ComputeExactCell(0, {2, 2}, 1);
+  EXPECT_NEAR(cell.area, oracle.TopkCellArea(0, 1), 1e-6 * kBox.Area());
+}
+
+}  // namespace
+}  // namespace lbsagg

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "core/runner.h"
+
+namespace lbsagg {
+namespace {
+
+// A scripted fake estimator: each step costs 10 queries and moves the
+// estimate along a fixed schedule.
+struct FakeEstimator {
+  std::vector<double> schedule;
+  size_t i = 0;
+  uint64_t queries = 0;
+  double current = 0.0;
+
+  void Step() {
+    queries += 10;
+    if (i < schedule.size()) current = schedule[i++];
+  }
+  double Estimate() const { return current; }
+  uint64_t queries_used() const { return queries; }
+};
+
+EstimatorHandle Handle(FakeEstimator* e) {
+  return {[e] { e->Step(); }, [e] { return e->Estimate(); },
+          [e] { return e->queries_used(); }};
+}
+
+TEST(Runner, RunWithBudgetStopsAtBudget) {
+  FakeEstimator fake{{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}};
+  const RunResult r = RunWithBudget(Handle(&fake), 45);
+  // Steps at 10,20,30,40,50: the 5th step starts while under budget.
+  EXPECT_EQ(r.queries, 50u);
+  EXPECT_EQ(r.trace.size(), 5u);
+  EXPECT_DOUBLE_EQ(r.final_estimate, 5.0);
+}
+
+TEST(Runner, RunWithBudgetRespectsMaxRounds) {
+  FakeEstimator fake{{1, 2, 3}};
+  const RunResult r = RunWithBudget(Handle(&fake), 1000000, 3);
+  EXPECT_EQ(r.trace.size(), 3u);
+}
+
+TEST(Runner, EstimateAtCostIsStepFunction) {
+  const std::vector<TracePoint> trace = {{10, 100.0}, {20, 110.0}, {35, 95.0}};
+  EXPECT_DOUBLE_EQ(EstimateAtCost(trace, 5), 0.0);
+  EXPECT_DOUBLE_EQ(EstimateAtCost(trace, 10), 100.0);
+  EXPECT_DOUBLE_EQ(EstimateAtCost(trace, 19), 100.0);
+  EXPECT_DOUBLE_EQ(EstimateAtCost(trace, 34), 110.0);
+  EXPECT_DOUBLE_EQ(EstimateAtCost(trace, 1000), 95.0);
+}
+
+TEST(Runner, ErrorCurveAveragesRuns) {
+  RunResult a, b;
+  a.trace = {{10, 90.0}, {20, 100.0}};
+  a.queries = 20;
+  b.trace = {{10, 130.0}, {20, 100.0}};
+  b.queries = 20;
+  const ErrorCurve curve = ComputeErrorCurve({a, b}, 100.0, 2);
+  ASSERT_EQ(curve.checkpoints.size(), 2u);
+  EXPECT_EQ(curve.checkpoints[0], 10u);
+  EXPECT_EQ(curve.checkpoints[1], 20u);
+  EXPECT_NEAR(curve.mean_rel_error[0], (0.1 + 0.3) / 2.0, 1e-12);
+  EXPECT_NEAR(curve.mean_rel_error[1], 0.0, 1e-12);
+}
+
+TEST(Runner, QueryCostForErrorInterpolates) {
+  ErrorCurve curve;
+  curve.checkpoints = {100, 200, 300};
+  curve.mean_rel_error = {0.4, 0.2, 0.1};
+  EXPECT_NEAR(QueryCostForError(curve, 0.3), 150.0, 1e-9);
+  EXPECT_NEAR(QueryCostForError(curve, 0.4), 100.0, 1e-9);
+  EXPECT_NEAR(QueryCostForError(curve, 0.05), 300.0, 1e-9);  // never reached
+}
+
+TEST(Runner, QueryCostForErrorNonMonotoneCurve) {
+  ErrorCurve curve;
+  curve.checkpoints = {100, 200, 300};
+  curve.mean_rel_error = {0.1, 0.3, 0.05};
+  // Target hit immediately at the first checkpoint.
+  EXPECT_NEAR(QueryCostForError(curve, 0.2), 100.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace lbsagg

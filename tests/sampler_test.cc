@@ -1,0 +1,182 @@
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/mixture_sampler.h"
+#include "core/sampler.h"
+#include "geometry/topk_region.h"
+#include "util/rng.h"
+
+namespace lbsagg {
+namespace {
+
+const Box kBox({0, 0}, {100, 100});
+
+TEST(UniformSampler, RegionProbabilityIsAreaFraction) {
+  const UniformSampler sampler(kBox);
+  const TopkRegion half = ComputeTopkRegion({25, 50}, {{75, 50}}, kBox, 1);
+  EXPECT_NEAR(sampler.RegionProbability(half), 0.5, 1e-9);
+  const ConvexPolygon quarter =
+      ConvexPolygon::FromBox(Box({0, 0}, {50, 50}));
+  EXPECT_NEAR(sampler.RegionProbability(quarter), 0.25, 1e-9);
+}
+
+TEST(UniformSampler, SamplesCoverBoxUniformly) {
+  const UniformSampler sampler(kBox);
+  Rng rng(1);
+  int left = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const Vec2 p = sampler.Sample(rng);
+    EXPECT_TRUE(kBox.Contains(p));
+    if (p.x < 50) ++left;
+  }
+  EXPECT_NEAR(static_cast<double>(left) / n, 0.5, 0.02);
+}
+
+CensusGrid SkewedGrid() {
+  // 10x1 grid built from a 3:1 left/right point skew (wide enough that the
+  // 3x3 blur keeps the skew).
+  Rng rng(2);
+  std::vector<Vec2> pts;
+  for (int i = 0; i < 3000; ++i) pts.push_back({rng.Uniform(0, 50), rng.Uniform(0, 100)});
+  for (int i = 0; i < 1000; ++i) pts.push_back({rng.Uniform(50, 100), rng.Uniform(0, 100)});
+  return CensusGrid::FromPoints(kBox, 10, 1, pts, 0.0, rng);
+}
+
+TEST(CensusSampler, RegionProbabilitiesSumToOne) {
+  const CensusGrid grid = SkewedGrid();
+  const CensusSampler sampler(&grid);
+  const ConvexPolygon whole = ConvexPolygon::FromBox(kBox);
+  EXPECT_NEAR(sampler.RegionProbability(whole), 1.0, 1e-9);
+}
+
+TEST(CensusSampler, ProbabilityMatchesGridWeights) {
+  const CensusGrid grid = SkewedGrid();
+  const CensusSampler sampler(&grid);
+  const ConvexPolygon left = ConvexPolygon::FromBox(Box({0, 0}, {50, 100}));
+  const ConvexPolygon right = ConvexPolygon::FromBox(Box({50, 0}, {100, 100}));
+  const double pl = sampler.RegionProbability(left);
+  const double pr = sampler.RegionProbability(right);
+  EXPECT_NEAR(pl + pr, 1.0, 1e-9);
+  // The integration must agree with the grid's own cell weights exactly.
+  double left_weight = 0.0;
+  for (int ix = 0; ix < 5; ++ix) left_weight += grid.CellWeight(ix, 0);
+  EXPECT_NEAR(pl, left_weight / grid.TotalWeight(), 1e-9);
+  EXPECT_GT(pl, 2.0 * pr);  // left half was built ~3x denser
+}
+
+TEST(CensusSampler, ProbabilityMatchesEmpiricalSampling) {
+  const CensusGrid grid = SkewedGrid();
+  const CensusSampler sampler(&grid);
+  // A region straddling the density step.
+  const TopkRegion region =
+      ComputeTopkRegion({40, 50}, {{95, 50}, {40, 95}, {5, 5}}, kBox, 2);
+  const double p = sampler.RegionProbability(region);
+  Rng rng(3);
+  int hits = 0;
+  const int n = 60000;
+  for (int i = 0; i < n; ++i) {
+    if (region.Contains(sampler.Sample(rng), 1e-9)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, p, 0.01);
+}
+
+TEST(CensusSampler, PieceClippingAgainstManyCells) {
+  // Fine grid: exact integration must still equal the area-weighted sum.
+  CensusGrid grid(kBox, 20, 20);  // uniform density 1
+  const CensusSampler sampler(&grid);
+  const TopkRegion region = ComputeTopkRegion({30, 30}, {{70, 70}}, kBox, 1);
+  EXPECT_NEAR(sampler.RegionProbability(region), region.area / kBox.Area(),
+              1e-9);
+}
+
+TEST(CensusSampler, SampleFromRegionRespectsConditionalDensity) {
+  const CensusGrid grid = SkewedGrid();
+  const CensusSampler sampler(&grid);
+  // Region: the middle band x ∈ [25, 75] (covers both density cells).
+  const ConvexPolygon band = ConvexPolygon::FromBox(Box({25, 0}, {75, 100}));
+  TopkRegion region;
+  region.pieces.push_back(band);
+  region.area = band.Area();
+  Rng rng(5);
+  int left = 0;
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) {
+    const Vec2 p = sampler.SampleFromRegion(region, rng);
+    EXPECT_TRUE(band.Contains(p, 1e-9));
+    if (p.x < 50.0) ++left;
+  }
+  // The empirical split must match the exact conditional probability.
+  const ConvexPolygon left_band = ConvexPolygon::FromBox(Box({25, 0}, {50, 100}));
+  const double expected = sampler.RegionProbability(left_band) /
+                          sampler.RegionProbability(band);
+  EXPECT_NEAR(static_cast<double>(left) / n, expected, 0.02);
+}
+
+TEST(MixtureSampler, ProbabilitiesAreConvexCombination) {
+  const CensusGrid grid = SkewedGrid();
+  const UniformSampler uniform(kBox);
+  const CensusSampler census(&grid);
+  const MixtureSampler mixture(&uniform, &census, 0.25);
+  const ConvexPolygon left = ConvexPolygon::FromBox(Box({0, 0}, {50, 100}));
+  EXPECT_NEAR(mixture.RegionProbability(left),
+              0.25 * uniform.RegionProbability(left) +
+                  0.75 * census.RegionProbability(left),
+              1e-12);
+  const ConvexPolygon whole = ConvexPolygon::FromBox(kBox);
+  EXPECT_NEAR(mixture.RegionProbability(whole), 1.0, 1e-9);
+}
+
+TEST(MixtureSampler, EmpiricalMatchesExactProbability) {
+  const CensusGrid grid = SkewedGrid();
+  const UniformSampler uniform(kBox);
+  const CensusSampler census(&grid);
+  const MixtureSampler mixture(&uniform, &census, 0.3);
+  const TopkRegion region = ComputeTopkRegion({30, 50}, {{80, 50}}, kBox, 1);
+  const double p = mixture.RegionProbability(region);
+  Rng rng(11);
+  int hits = 0;
+  const int n = 60000;
+  for (int i = 0; i < n; ++i) {
+    if (region.Contains(mixture.Sample(rng), 1e-9)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, p, 0.01);
+}
+
+TEST(MixtureSampler, SampleFromRegionConditionalDensity) {
+  const CensusGrid grid = SkewedGrid();
+  const UniformSampler uniform(kBox);
+  const CensusSampler census(&grid);
+  const MixtureSampler mixture(&uniform, &census, 0.5);
+  const ConvexPolygon band = ConvexPolygon::FromBox(Box({25, 0}, {75, 100}));
+  TopkRegion region;
+  region.pieces.push_back(band);
+  region.area = band.Area();
+  const ConvexPolygon left_band =
+      ConvexPolygon::FromBox(Box({25, 0}, {50, 100}));
+  const double expected = mixture.RegionProbability(left_band) /
+                          mixture.RegionProbability(band);
+  Rng rng(13);
+  int left = 0;
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) {
+    const Vec2 p = mixture.SampleFromRegion(region, rng);
+    EXPECT_TRUE(band.Contains(p, 1e-9));
+    if (p.x < 50.0) ++left;
+  }
+  EXPECT_NEAR(static_cast<double>(left) / n, expected, 0.02);
+}
+
+TEST(UniformSampler, SampleFromRegionUniform) {
+  const UniformSampler sampler(kBox);
+  const TopkRegion region = ComputeTopkRegion({50, 50}, {{90, 50}}, kBox, 1);
+  Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_TRUE(region.Contains(sampler.SampleFromRegion(region, rng), 1e-9));
+  }
+}
+
+}  // namespace
+}  // namespace lbsagg

@@ -1,0 +1,231 @@
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "geometry/box.h"
+#include "spatial/brute_force.h"
+#include "spatial/grid_index.h"
+#include "spatial/kdtree.h"
+#include "util/rng.h"
+
+namespace lbsagg {
+namespace {
+
+const Box kBox({0, 0}, {1000, 1000});
+
+std::vector<Vec2> RandomPoints(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Vec2> pts;
+  pts.reserve(n);
+  for (int i = 0; i < n; ++i) pts.push_back(kBox.SamplePoint(rng));
+  return pts;
+}
+
+TEST(KdTree, EmptyTreeReturnsNothing) {
+  const KdTree tree(std::vector<Vec2>{});
+  EXPECT_TRUE(tree.Nearest({0, 0}, 3).empty());
+}
+
+TEST(KdTree, SinglePoint) {
+  const KdTree tree({{5, 5}});
+  const auto r = tree.Nearest({0, 0}, 3);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0].index, 0);
+  EXPECT_NEAR(r[0].distance, std::sqrt(50.0), 1e-12);
+}
+
+TEST(KdTree, ResultsSortedByDistance) {
+  const auto pts = RandomPoints(200, 301);
+  const KdTree tree(pts);
+  Rng rng(303);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto r = tree.Nearest(kBox.SamplePoint(rng), 10);
+    ASSERT_EQ(r.size(), 10u);
+    for (size_t i = 1; i < r.size(); ++i) {
+      EXPECT_LE(r[i - 1].distance, r[i].distance);
+    }
+  }
+}
+
+// Property sweep: k-d tree ≡ brute force for many k values.
+class KdTreeEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(KdTreeEquivalenceTest, MatchesBruteForce) {
+  const int k = GetParam();
+  const auto pts = RandomPoints(300, 307);
+  const KdTree tree(pts);
+  const BruteForceIndex brute(pts);
+  Rng rng(311);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Vec2 q = kBox.SamplePoint(rng);
+    const auto a = tree.Nearest(q, k);
+    const auto b = brute.Nearest(q, k);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].index, b[i].index) << "k=" << k << " i=" << i;
+      EXPECT_NEAR(a[i].distance, b[i].distance, 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(KSweep, KdTreeEquivalenceTest,
+                         ::testing::Values(1, 2, 5, 10, 50, 301));
+
+TEST(KdTree, FilteredSearchMatchesBruteForce) {
+  const auto pts = RandomPoints(300, 313);
+  const KdTree tree(pts);
+  const BruteForceIndex brute(pts);
+  const IndexFilter odd_only = [](int i) { return i % 2 == 1; };
+  Rng rng(317);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Vec2 q = kBox.SamplePoint(rng);
+    const auto a = tree.NearestFiltered(q, 7, odd_only);
+    const auto b = brute.NearestFiltered(q, 7, odd_only);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].index, b[i].index);
+      EXPECT_EQ(a[i].index % 2, 1);
+    }
+  }
+}
+
+TEST(KdTree, FilterRejectingEverythingGivesEmpty) {
+  const auto pts = RandomPoints(50, 319);
+  const KdTree tree(pts);
+  EXPECT_TRUE(
+      tree.NearestFiltered({1, 1}, 5, [](int) { return false; }).empty());
+}
+
+TEST(KdTree, WithinRadiusMatchesLinearScan) {
+  const auto pts = RandomPoints(400, 323);
+  const KdTree tree(pts);
+  Rng rng(327);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Vec2 q = kBox.SamplePoint(rng);
+    const double radius = rng.Uniform(10.0, 200.0);
+    auto got = tree.WithinRadius(q, radius);
+    std::vector<int> got_ids;
+    for (const Neighbor& n : got) {
+      got_ids.push_back(n.index);
+      EXPECT_LE(n.distance, radius);
+    }
+    std::sort(got_ids.begin(), got_ids.end());
+    std::vector<int> want_ids;
+    for (size_t i = 0; i < pts.size(); ++i) {
+      if (Distance(q, pts[i]) <= radius) {
+        want_ids.push_back(static_cast<int>(i));
+      }
+    }
+    EXPECT_EQ(got_ids, want_ids);
+  }
+}
+
+TEST(KdTree, KLargerThanDatasetReturnsAll) {
+  const auto pts = RandomPoints(10, 331);
+  const KdTree tree(pts);
+  const auto r = tree.Nearest({500, 500}, 100);
+  EXPECT_EQ(r.size(), 10u);
+}
+
+TEST(KdTree, DuplicateCoordinatesHandled) {
+  // Points with identical x (stresses the splitting logic).
+  std::vector<Vec2> pts;
+  for (int i = 0; i < 50; ++i) pts.push_back({5.0, static_cast<double>(i)});
+  const KdTree tree(pts);
+  const auto r = tree.Nearest({5.0, 10.2}, 3);
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_EQ(r[0].index, 10);
+}
+
+// The grid index must agree with brute force for all k, including the
+// skewed layouts that stress its expanding-ring termination rule.
+class GridEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GridEquivalenceTest, MatchesBruteForce) {
+  const int k = GetParam();
+  const auto pts = RandomPoints(300, 401);
+  const GridIndex grid(pts, kBox);
+  const BruteForceIndex brute(pts);
+  Rng rng(403);
+  for (int trial = 0; trial < 150; ++trial) {
+    const Vec2 q = kBox.SamplePoint(rng);
+    const auto a = grid.Nearest(q, k);
+    const auto b = brute.Nearest(q, k);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].index, b[i].index) << "k=" << k;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(KSweep, GridEquivalenceTest,
+                         ::testing::Values(1, 3, 10, 50));
+
+TEST(GridIndex, SkewedClusterStillCorrect) {
+  // All points in one corner cell: rings must expand far enough for distant
+  // queries.
+  std::vector<Vec2> pts;
+  Rng rng(407);
+  for (int i = 0; i < 100; ++i) {
+    pts.push_back({rng.Uniform(0, 10), rng.Uniform(0, 10)});
+  }
+  const GridIndex grid(pts, kBox);
+  const BruteForceIndex brute(pts);
+  const Vec2 far_query{990, 990};
+  const auto a = grid.Nearest(far_query, 5);
+  const auto b = brute.Nearest(far_query, 5);
+  ASSERT_EQ(a.size(), 5u);
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].index, b[i].index);
+}
+
+TEST(GridIndex, FilteredSearchMatchesBruteForce) {
+  const auto pts = RandomPoints(200, 409);
+  const GridIndex grid(pts, kBox);
+  const BruteForceIndex brute(pts);
+  const IndexFilter thirds = [](int i) { return i % 3 == 0; };
+  Rng rng(411);
+  for (int trial = 0; trial < 60; ++trial) {
+    const Vec2 q = kBox.SamplePoint(rng);
+    const auto a = grid.NearestFiltered(q, 4, thirds);
+    const auto b = brute.NearestFiltered(q, 4, thirds);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].index, b[i].index);
+  }
+}
+
+TEST(GridIndex, EmptyAndTinyInputs) {
+  const GridIndex empty({}, kBox);
+  EXPECT_TRUE(empty.Nearest({1, 1}, 3).empty());
+  const GridIndex one({{5, 5}}, kBox);
+  const auto r = one.Nearest({900, 900}, 2);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0].index, 0);
+}
+
+TEST(BruteForce, TieBreakByIndex) {
+  // Two equidistant points: the smaller index wins, deterministically.
+  const BruteForceIndex idx({{0, 1}, {0, -1}});
+  const auto r = idx.Nearest({0, 0}, 1);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0].index, 0);
+}
+
+TEST(KdTree, TieBreakMatchesBruteForce) {
+  // Symmetric grid makes exact ties; both indexes must break them the same
+  // way (by index) so the simulated LBS is deterministic.
+  std::vector<Vec2> pts;
+  for (int i = 0; i < 5; ++i) {
+    for (int j = 0; j < 5; ++j) pts.push_back({i * 2.0, j * 2.0});
+  }
+  const KdTree tree(pts);
+  const BruteForceIndex brute(pts);
+  const Vec2 q{3.0, 3.0};  // equidistant from 4 grid points
+  const auto a = tree.Nearest(q, 4);
+  const auto b = brute.Nearest(q, 4);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].index, b[i].index);
+}
+
+}  // namespace
+}  // namespace lbsagg

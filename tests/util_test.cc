@@ -1,0 +1,220 @@
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/svg.h"
+#include "util/table.h"
+
+namespace lbsagg {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a.Next() != b.Next()) ++differing;
+  }
+  EXPECT_GT(differing, 30);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanIsHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.Uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntRejectionIsUnbiased) {
+  Rng rng(13);
+  std::map<uint64_t, int> counts;
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) ++counts[rng.UniformInt(3)];
+  for (const auto& [value, count] : counts) {
+    EXPECT_LT(value, 3u);
+    EXPECT_NEAR(static_cast<double>(count) / n, 1.0 / 3.0, 0.02);
+  }
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(17);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.Add(rng.Normal());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.02);
+  EXPECT_NEAR(stats.SampleVariance(), 1.0, 0.05);
+}
+
+TEST(Rng, CategoricalRespectsWeights) {
+  Rng rng(19);
+  const std::vector<double> weights = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[rng.Categorical(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(23);
+  Rng b = a.Fork();
+  int same = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RunningStats, EmptyDefaults) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.SampleVariance(), 0.0);
+  EXPECT_EQ(s.StandardError(), 0.0);
+}
+
+TEST(RunningStats, MatchesClosedForm) {
+  RunningStats s;
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  for (double x : xs) s.Add(x);
+  EXPECT_EQ(s.count(), xs.size());
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with Bessel: Σ(x-5)² / 7 = 32/7.
+  EXPECT_NEAR(s.SampleVariance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  Rng rng(29);
+  RunningStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.Normal(3.0, 2.0);
+    all.Add(x);
+    (i % 2 ? a : b).Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.SampleVariance(), all.SampleVariance(), 1e-9);
+}
+
+TEST(RunningStats, ConfidenceHalfWidthShrinks) {
+  Rng rng(31);
+  RunningStats s;
+  for (int i = 0; i < 100; ++i) s.Add(rng.Normal());
+  const double hw100 = s.ConfidenceHalfWidth();
+  for (int i = 0; i < 9900; ++i) s.Add(rng.Normal());
+  EXPECT_LT(s.ConfidenceHalfWidth(), hw100 / 5.0);
+}
+
+TEST(Summary, PercentilesOfKnownSample) {
+  std::vector<double> values;
+  for (int i = 1; i <= 101; ++i) values.push_back(i);
+  const Summary s = Summarize(values);
+  EXPECT_EQ(s.count, 101u);
+  EXPECT_DOUBLE_EQ(s.median, 51.0);
+  EXPECT_DOUBLE_EQ(s.p25, 26.0);
+  EXPECT_DOUBLE_EQ(s.p75, 76.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 101.0);
+}
+
+TEST(Summary, EmptyInput) {
+  const Summary s = Summarize({});
+  EXPECT_EQ(s.count, 0u);
+}
+
+TEST(Stats, RelativeError) {
+  EXPECT_DOUBLE_EQ(RelativeError(110.0, 100.0), 0.1);
+  EXPECT_DOUBLE_EQ(RelativeError(90.0, 100.0), 0.1);
+  EXPECT_DOUBLE_EQ(RelativeError(-50.0, -100.0), 0.5);
+}
+
+TEST(Stats, DecomposeErrorBiasAndVariance) {
+  const std::vector<double> runs = {9.0, 11.0, 9.0, 11.0};
+  const ErrorDecomposition d = DecomposeError(runs, 10.0);
+  EXPECT_NEAR(d.bias, 0.0, 1e-12);
+  EXPECT_NEAR(d.variance, 4.0 / 3.0, 1e-12);
+  EXPECT_NEAR(d.mse, 4.0 / 3.0, 1e-12);
+  EXPECT_NEAR(d.mean_rel_error, 0.1, 1e-12);
+}
+
+TEST(Svg, DocumentStructureAndElements) {
+  SvgCanvas canvas(Box({0, 0}, {100, 50}), 200.0);
+  canvas.AddPolygon(ConvexPolygon::FromBox(Box({10, 10}, {20, 20})), "red",
+                    "black", 2.0, 0.5);
+  canvas.AddPoint({50, 25}, 3.0, "blue");
+  canvas.AddSegment({0, 0}, {100, 50}, "green");
+  canvas.AddText({5, 45}, "label");
+  const std::string svg = canvas.ToString();
+  EXPECT_NE(svg.find("<svg xmlns"), std::string::npos);
+  EXPECT_NE(svg.find("width=\"200\""), std::string::npos);
+  EXPECT_NE(svg.find("height=\"100\""), std::string::npos);  // aspect kept
+  EXPECT_NE(svg.find("<polygon"), std::string::npos);
+  EXPECT_NE(svg.find("<circle"), std::string::npos);
+  EXPECT_NE(svg.find("<line"), std::string::npos);
+  EXPECT_NE(svg.find(">label</text>"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+TEST(Svg, CoordinateMappingFlipsY) {
+  SvgCanvas canvas(Box({0, 0}, {10, 10}), 100.0);
+  // World (0, 10) = top-left → pixel y = 0; the point element must carry
+  // cy="0".
+  canvas.AddPoint({0, 10}, 1.0, "black");
+  EXPECT_NE(canvas.ToString().find("cx=\"0\" cy=\"0\""),
+            std::string::npos);
+}
+
+TEST(Svg, HeatColorEndpoints) {
+  EXPECT_EQ(SvgCanvas::HeatColor(0.0), "#fff5c8");
+  EXPECT_EQ(SvgCanvas::HeatColor(1.0), "#960a14");
+  // Clamps out-of-range inputs.
+  EXPECT_EQ(SvgCanvas::HeatColor(-3.0), SvgCanvas::HeatColor(0.0));
+  EXPECT_EQ(SvgCanvas::HeatColor(9.0), SvgCanvas::HeatColor(1.0));
+}
+
+TEST(Check, PassingConditionsAreSilent) {
+  LBSAGG_CHECK(true);
+  LBSAGG_CHECK_EQ(1, 1);
+  LBSAGG_CHECK_LT(1, 2);
+  SUCCEED();
+}
+
+TEST(Check, FailureAbortsWithMessage) {
+  EXPECT_DEATH(LBSAGG_CHECK(false) << "context " << 42, "context 42");
+  EXPECT_DEATH(LBSAGG_CHECK_EQ(1, 2), "LBSAGG_CHECK failed");
+}
+
+TEST(Table, RendersAlignedMarkdown) {
+  Table t({"name", "value"});
+  t.AddRow({"alpha", Table::Num(1.5, 2)});
+  t.AddRow({"b", Table::Int(42)});
+  const std::string out = t.ToString();
+  EXPECT_NE(out.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha | 1.50  |"), std::string::npos);
+  EXPECT_NE(out.find("| b     | 42    |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lbsagg

@@ -1,0 +1,213 @@
+#include <cmath>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "workload/attribute_models.h"
+#include "workload/census.h"
+#include "workload/generators.h"
+#include "workload/scenarios.h"
+
+namespace lbsagg {
+namespace {
+
+TEST(Generators, UniformPointsCoverTheBox) {
+  const Box box({0, 0}, {10, 10});
+  Rng rng(1);
+  const auto pts = GenerateUniform(4000, box, rng);
+  ASSERT_EQ(pts.size(), 4000u);
+  int quadrant[4] = {0, 0, 0, 0};
+  for (const Vec2& p : pts) {
+    EXPECT_TRUE(box.Contains(p));
+    quadrant[(p.x > 5) + 2 * (p.y > 5)]++;
+  }
+  for (int q : quadrant) EXPECT_NEAR(q, 1000, 150);
+}
+
+TEST(Generators, ClusteredPointsConcentrateAroundCenters) {
+  const Box box({0, 0}, {100, 100});
+  Rng rng(2);
+  const std::vector<ClusterSpec> clusters = {{{25, 25}, 2.0, 1.0}};
+  const auto pts = GenerateClustered(2000, box, clusters, 0.0, rng);
+  int near = 0;
+  for (const Vec2& p : pts) {
+    if (Distance(p, {25, 25}) < 8.0) ++near;
+  }
+  EXPECT_GT(near, 1900);
+}
+
+TEST(Generators, RuralFractionProducesOutliers) {
+  const Box box({0, 0}, {100, 100});
+  Rng rng(3);
+  const std::vector<ClusterSpec> clusters = {{{25, 25}, 1.0, 1.0}};
+  const auto pts = GenerateClustered(2000, box, clusters, 0.3, rng);
+  int far = 0;
+  for (const Vec2& p : pts) {
+    if (Distance(p, {25, 25}) > 20.0) ++far;
+  }
+  // ~30% rural, most of which is far from the single city.
+  EXPECT_NEAR(static_cast<double>(far) / pts.size(), 0.28, 0.05);
+}
+
+TEST(Generators, ZipfClustersAreSkewed) {
+  const Box box({0, 0}, {100, 100});
+  Rng rng(4);
+  const auto clusters = MakeZipfClusters(20, box, 1.0, 3.0, rng);
+  ASSERT_EQ(clusters.size(), 20u);
+  EXPECT_NEAR(clusters[0].weight / clusters[9].weight, 10.0, 1e-9);
+  for (const ClusterSpec& c : clusters) EXPECT_TRUE(box.Contains(c.center));
+}
+
+TEST(Census, UniformGridPdfIntegratesToOne) {
+  const Box box({0, 0}, {10, 20});
+  const CensusGrid grid(box, 4, 8);
+  EXPECT_NEAR(grid.TotalWeight(), box.Area(), 1e-9);
+  EXPECT_NEAR(grid.Pdf({5, 5}) * box.Area(), 1.0, 1e-9);
+}
+
+TEST(Census, FromPointsTracksDensity) {
+  const Box box({0, 0}, {100, 100});
+  Rng rng(5);
+  std::vector<Vec2> pts;
+  for (int i = 0; i < 3000; ++i) {
+    pts.push_back({rng.Uniform(0, 30), rng.Uniform(0, 30)});  // corner blob
+  }
+  const CensusGrid grid = CensusGrid::FromPoints(box, 10, 10, pts, 0.1, rng);
+  EXPECT_GT(grid.DensityAt({10, 10}), 5.0 * grid.DensityAt({90, 90}));
+  // Densities stay strictly positive everywhere (§5.2 requirement).
+  for (int ix = 0; ix < 10; ++ix) {
+    for (int iy = 0; iy < 10; ++iy) {
+      EXPECT_GT(grid.CellDensity(ix, iy), 0.0);
+    }
+  }
+}
+
+TEST(Census, SampleFollowsDensity) {
+  const Box box({0, 0}, {100, 100});
+  Rng rng(6);
+  std::vector<Vec2> pts;
+  for (int i = 0; i < 5000; ++i) {
+    pts.push_back({rng.Uniform(0, 50), rng.Uniform(0, 100)});  // left half
+  }
+  const CensusGrid grid = CensusGrid::FromPoints(box, 10, 10, pts, 0.0, rng);
+  int left = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (grid.Sample(rng).x < 50.0) ++left;
+  }
+  EXPECT_GT(static_cast<double>(left) / n, 0.75);
+}
+
+TEST(Census, CellBoxTiling) {
+  const Box box({0, 0}, {30, 20});
+  const CensusGrid grid(box, 3, 2);
+  double total = 0.0;
+  for (int ix = 0; ix < 3; ++ix) {
+    for (int iy = 0; iy < 2; ++iy) total += grid.CellBox(ix, iy).Area();
+  }
+  EXPECT_NEAR(total, box.Area(), 1e-9);
+  EXPECT_NEAR(grid.CellBox(2, 1).hi.x, 30.0, 1e-12);
+  EXPECT_NEAR(grid.CellBox(2, 1).hi.y, 20.0, 1e-12);
+}
+
+TEST(AttributeModels, RatingsBounded) {
+  Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    const double r = SampleRating(rng);
+    EXPECT_GE(r, 1.0);
+    EXPECT_LE(r, 5.0);
+  }
+}
+
+TEST(AttributeModels, EnrollmentHeavyTailed) {
+  Rng rng(8);
+  double max_seen = 0.0, sum = 0.0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    const double e = SampleEnrollment(rng);
+    EXPECT_GE(e, 1.0);
+    max_seen = std::max(max_seen, e);
+    sum += e;
+  }
+  EXPECT_GT(max_seen, 5.0 * (sum / n));  // tail reaches well past the mean
+}
+
+TEST(AttributeModels, GenderFractionRespected) {
+  Rng rng(9);
+  int male = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (SampleGender(0.671, rng) == "M") ++male;
+  }
+  EXPECT_NEAR(static_cast<double>(male) / n, 0.671, 0.01);
+}
+
+TEST(Scenarios, UsaScenarioShapes) {
+  UsaOptions opts;
+  opts.num_pois = 2000;
+  const UsaScenario usa = BuildUsaScenario(opts);
+  EXPECT_EQ(usa.dataset->size(), 2000u);
+
+  const double restaurants =
+      usa.dataset->GroundTruthCount(CategoryIs(usa.columns, "restaurant"));
+  const double schools =
+      usa.dataset->GroundTruthCount(CategoryIs(usa.columns, "school"));
+  EXPECT_NEAR(restaurants / 2000.0, 0.50, 0.05);
+  EXPECT_NEAR(schools / 2000.0, 0.22, 0.05);
+
+  const double starbucks =
+      usa.dataset->GroundTruthCount(NameIs(usa.columns, "Starbucks"));
+  EXPECT_GT(starbucks, 10);
+  EXPECT_LT(starbucks, restaurants);
+
+  // Schools have enrollments, restaurants do not.
+  const int enr = usa.columns.enrollment;
+  for (const Tuple& t : usa.dataset->tuples()) {
+    const bool is_school =
+        std::get<std::string>(t.values[usa.columns.category]) == "school";
+    const double e = std::get<double>(t.values[enr]);
+    if (is_school) {
+      EXPECT_GE(e, 1.0);
+    } else {
+      EXPECT_EQ(e, 0.0);
+    }
+  }
+}
+
+TEST(Scenarios, UsaScenarioIsDeterministicPerSeed) {
+  UsaOptions opts;
+  opts.num_pois = 300;
+  const UsaScenario a = BuildUsaScenario(opts);
+  const UsaScenario b = BuildUsaScenario(opts);
+  ASSERT_EQ(a.dataset->size(), b.dataset->size());
+  for (size_t i = 0; i < a.dataset->size(); ++i) {
+    EXPECT_EQ(a.dataset->tuple(i).pos, b.dataset->tuple(i).pos);
+  }
+}
+
+TEST(Scenarios, ChinaScenarioGenderRatio) {
+  ChinaOptions opts;
+  opts.num_users = 5000;
+  opts.male_fraction = 0.671;
+  const ChinaScenario china = BuildChinaScenario(opts);
+  const double male =
+      china.dataset->GroundTruthCount(GenderIs(china.columns, "M"));
+  EXPECT_NEAR(male / 5000.0, 0.671, 0.02);
+}
+
+TEST(Scenarios, GeneralPositionAfterJitter) {
+  UsaOptions opts;
+  opts.num_pois = 1000;
+  const UsaScenario usa = BuildUsaScenario(opts);
+  // The dataset was jittered: no exact duplicates remain (clusters make raw
+  // collisions plausible otherwise).
+  const auto pts = usa.dataset->Positions();
+  for (size_t i = 0; i < pts.size(); ++i) {
+    for (size_t j = i + 1; j < std::min(pts.size(), i + 50); ++j) {
+      EXPECT_FALSE(pts[i] == pts[j]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lbsagg

@@ -1,0 +1,348 @@
+// lbsagg_cli — run the paper's estimators against a simulated LBS from the
+// command line.
+//
+// Examples:
+//   lbsagg_cli --dataset=usa --n=20000 --algorithm=lr --aggregate=count \
+//              --where=category=school --budget=10000 --runs=5
+//   lbsagg_cli --dataset=points.csv --algorithm=lnr --aggregate=avg \
+//              --column=rating --budget=20000
+//   lbsagg_cli --dataset=usa --n=5000 --export=usa.csv
+
+#include <cstdio>
+#include <sstream>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/aggregate.h"
+#include "core/lnr_agg.h"
+#include "core/lr_agg.h"
+#include "core/localize.h"
+#include "core/nno_baseline.h"
+#include "core/runner.h"
+#include "core/sampler.h"
+#include "lbs/client.h"
+#include "lbs/dataset_io.h"
+#include "lbs/server.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "workload/scenarios.h"
+
+namespace lbsagg {
+namespace {
+
+struct CliWorld {
+  std::unique_ptr<Dataset> dataset;
+  std::unique_ptr<CensusGrid> census;
+};
+
+std::optional<CliWorld> BuildWorld(const FlagParser& flags) {
+  const std::string source = flags.GetString("dataset");
+  CliWorld world;
+  if (source == "usa") {
+    UsaOptions options;
+    options.num_pois = static_cast<int>(flags.GetInt("n"));
+    options.seed = static_cast<uint64_t>(flags.GetInt("scenario-seed"));
+    UsaScenario usa = BuildUsaScenario(options);
+    world.dataset = std::move(usa.dataset);
+    world.census = std::make_unique<CensusGrid>(std::move(usa.census));
+  } else if (source == "china") {
+    ChinaOptions options;
+    options.num_users = static_cast<int>(flags.GetInt("n"));
+    options.seed = static_cast<uint64_t>(flags.GetInt("scenario-seed"));
+    ChinaScenario china = BuildChinaScenario(options);
+    world.dataset = std::move(china.dataset);
+    world.census = std::make_unique<CensusGrid>(std::move(china.census));
+  } else {
+    std::string error;
+    std::optional<Dataset> loaded = LoadDatasetCsv(source, &error);
+    if (!loaded.has_value()) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return std::nullopt;
+    }
+    world.dataset = std::make_unique<Dataset>(std::move(*loaded));
+    Rng census_rng(1);
+    world.census = std::make_unique<CensusGrid>(CensusGrid::FromPoints(
+        world.dataset->box(), 40, 25, world.dataset->Positions(), 0.3,
+        census_rng));
+  }
+  return world;
+}
+
+// Parses --where into a returned-tuple predicate + matching ground-truth
+// filter. Supported: "col=value" (string equality) and "col" (bool true).
+struct WhereClause {
+  ReturnedTuplePredicate predicate;  // null = no condition
+  TupleFilter filter;                // ground-truth twin
+};
+
+std::optional<WhereClause> ParseWhere(const Schema& schema,
+                                      const std::string& where) {
+  WhereClause clause;
+  if (where.empty()) return clause;
+  const size_t eq = where.find('=');
+  const std::string column = where.substr(0, eq == std::string::npos
+                                                 ? where.size()
+                                                 : eq);
+  const std::optional<int> col = schema.Find(column);
+  if (!col.has_value()) {
+    std::fprintf(stderr, "error: --where column '%s' not in dataset\n",
+                 column.c_str());
+    return std::nullopt;
+  }
+  if (eq == std::string::npos) {
+    if (schema.type(*col) != AttrType::kBool) {
+      std::fprintf(stderr, "error: --where=%s needs =value (not a bool)\n",
+                   column.c_str());
+      return std::nullopt;
+    }
+    clause.predicate = ColumnIsTrue(*col);
+    const int c = *col;
+    clause.filter = [c](const Tuple& t) { return std::get<bool>(t.values[c]); };
+    return clause;
+  }
+  const std::string value = where.substr(eq + 1);
+  if (schema.type(*col) != AttrType::kString) {
+    std::fprintf(stderr, "error: --where equality needs a string column\n");
+    return std::nullopt;
+  }
+  clause.predicate = ColumnEquals(*col, value);
+  const int c = *col;
+  clause.filter = [c, value](const Tuple& t) {
+    return std::get<std::string>(t.values[c]) == value;
+  };
+  return clause;
+}
+
+// --localize=N: pick N random tuples of an LNR view of the dataset and
+// recover their positions from ranked ids alone (§4.3).
+int RunLocalize(const FlagParser& flags, Dataset& dataset) {
+  const int targets = static_cast<int>(flags.GetInt("localize"));
+  LbsServer server(&dataset, {.max_k = 1});
+  LnrClient client(&server, {.k = 1});
+  Localizer localizer(&client);
+  Rng rng(static_cast<uint64_t>(flags.GetInt("seed")));
+
+  Table table({"tuple", "true position", "inferred position", "error",
+               "queries"});
+  std::vector<double> errors;
+  int attempts = 0;
+  while (static_cast<int>(errors.size()) < targets && attempts < 20 * targets) {
+    ++attempts;
+    const Vec2 q = dataset.box().SamplePoint(rng);
+    const int id = client.Top1(q);
+    if (id < 0) continue;
+    const uint64_t before = client.queries_used();
+    const std::optional<Vec2> pos = localizer.Locate(id, q);
+    if (!pos.has_value()) continue;
+    const Vec2& truth = dataset.tuple(id).pos;
+    const double err = Distance(*pos, truth);
+    errors.push_back(err);
+    std::ostringstream t_os, p_os;
+    t_os.precision(4);
+    p_os.precision(4);
+    t_os << truth;
+    p_os << *pos;
+    table.AddRow({Table::Int(id), t_os.str(), p_os.str(),
+                  Table::Num(err, 5),
+                  Table::Int(static_cast<long long>(client.queries_used() -
+                                                    before))});
+  }
+  std::printf("Localization over a rank-only view of the dataset (§4.3):\n\n");
+  table.Print();
+  const Summary s = Summarize(errors);
+  std::printf("\nlocated %zu tuples — median error %.5f, p95 %.5f\n", s.count,
+              s.median, s.p95);
+  return 0;
+}
+
+int Run(const FlagParser& flags) {
+  std::optional<CliWorld> world = BuildWorld(flags);
+  if (!world.has_value()) return 1;
+  Dataset& dataset = *world->dataset;
+
+  if (flags.GetInt("localize") > 0) return RunLocalize(flags, dataset);
+
+  const std::string export_path = flags.GetString("export");
+  if (!export_path.empty()) {
+    if (!SaveDatasetCsv(dataset, export_path)) {
+      std::fprintf(stderr, "error: cannot write %s\n", export_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %zu tuples to %s\n", dataset.size(),
+                export_path.c_str());
+    return 0;
+  }
+
+  const std::optional<WhereClause> where =
+      ParseWhere(dataset.schema(), flags.GetString("where"));
+  if (!where.has_value()) return 1;
+
+  // Aggregate spec + ground truth.
+  const std::string aggregate = flags.GetString("aggregate");
+  const std::string column = flags.GetString("column");
+  AggregateSpec spec;
+  double truth = 0.0;
+  if (aggregate == "count") {
+    spec = where->predicate
+               ? AggregateSpec::CountWhere(where->predicate, "COUNT")
+               : AggregateSpec::Count();
+    truth = dataset.GroundTruthCount(where->filter);
+  } else if (aggregate == "sum" || aggregate == "avg") {
+    const std::optional<int> col = dataset.schema().Find(column);
+    if (!col.has_value() ||
+        dataset.schema().type(*col) != AttrType::kDouble) {
+      std::fprintf(stderr, "error: --aggregate=%s needs --column=<double>\n",
+                   aggregate.c_str());
+      return 1;
+    }
+    const int c = *col;
+    const auto value_of = [c](const Tuple& t) {
+      return std::get<double>(t.values[c]);
+    };
+    if (aggregate == "sum") {
+      spec = where->predicate
+                 ? AggregateSpec::SumWhere(*col, where->predicate, "SUM")
+                 : AggregateSpec::Sum(*col, "SUM");
+      truth = dataset.GroundTruthSum(where->filter, value_of);
+    } else {
+      spec = where->predicate
+                 ? AggregateSpec::AvgWhere(*col, where->predicate, "AVG")
+                 : AggregateSpec::Avg(*col, "AVG");
+      const double count = dataset.GroundTruthCount(where->filter);
+      truth = count > 0 ? dataset.GroundTruthSum(where->filter, value_of) /
+                              count
+                        : 0.0;
+    }
+  } else {
+    std::fprintf(stderr, "error: unknown --aggregate=%s\n", aggregate.c_str());
+    return 1;
+  }
+
+  const int k = static_cast<int>(flags.GetInt("k"));
+  LbsServer server(&dataset, {.max_k = std::max(k, 1)});
+  std::unique_ptr<QuerySampler> sampler;
+  if (flags.GetString("sampler") == "uniform") {
+    sampler = std::make_unique<UniformSampler>(dataset.box());
+  } else {
+    sampler = std::make_unique<CensusSampler>(world->census.get());
+  }
+
+  const uint64_t budget = static_cast<uint64_t>(flags.GetInt("budget"));
+  const int runs = static_cast<int>(flags.GetInt("runs"));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  const std::string algorithm = flags.GetString("algorithm");
+
+  Table table({"run", "estimate", "queries", "samples"});
+  RunningStats estimates;
+  for (int r = 0; r < runs; ++r) {
+    const double target_ci = flags.GetDouble("target-ci");
+    RunResult run;
+    size_t samples = 0;
+    if (algorithm == "lr") {
+      LrClient client(&server, {.k = k, .budget = budget});
+      LrAggOptions opts;
+      opts.seed = seed + r;
+      LrAggEstimator est(&client, sampler.get(), spec, opts);
+      run = target_ci > 0
+                ? RunUntilConfidence(MakeHandle(&est), target_ci, budget)
+                : RunWithBudget(MakeHandle(&est), budget);
+      samples = est.rounds();
+      if (flags.GetBool("verbose")) {
+        const LrAggDiagnostics& d = est.diagnostics();
+        std::printf("  run %d: %zu rounds, %zu exact cells, %zu MC cells, "
+                    "%llu cell queries\n",
+                    r + 1, d.rounds, d.cells_exact, d.cells_monte_carlo,
+                    static_cast<unsigned long long>(d.cell_queries));
+      }
+    } else if (algorithm == "lnr") {
+      LnrClient client(&server, {.k = k, .budget = budget});
+      LnrAggOptions opts;
+      opts.seed = seed + r;
+      opts.cell.search.delta_fraction = 1e-6;
+      opts.cell.search.delta_prime_fraction = 1e-4;
+      LnrAggEstimator est(&client, sampler.get(), spec, opts);
+      run = target_ci > 0
+                ? RunUntilConfidence(MakeHandle(&est), target_ci, budget)
+                : RunWithBudget(MakeHandle(&est), budget);
+      samples = est.rounds();
+      if (flags.GetBool("verbose")) {
+        const LnrAggDiagnostics& d = est.diagnostics();
+        std::printf("  run %d: %zu rounds, %zu cells inferred, %zu cache "
+                    "hits\n",
+                    r + 1, d.rounds, d.cells_inferred, d.cache_hits);
+      }
+    } else if (algorithm == "nno") {
+      LrClient client(&server, {.k = k, .budget = budget});
+      NnoOptions opts;
+      opts.seed = seed + r;
+      NnoEstimator est(&client, spec, opts);
+      run = RunWithBudget(MakeHandle(&est), budget);
+      samples = est.rounds();
+    } else {
+      std::fprintf(stderr, "error: unknown --algorithm=%s\n",
+                   algorithm.c_str());
+      return 1;
+    }
+    estimates.Add(run.final_estimate);
+    table.AddRow({Table::Int(r + 1), Table::Num(run.final_estimate, 2),
+                  Table::Int(static_cast<long long>(run.queries)),
+                  Table::Int(static_cast<long long>(samples))});
+  }
+
+  std::printf("%s over %s (%zu tuples), algorithm %s, k=%d, budget %llu\n\n",
+              spec.name.c_str(), flags.GetString("dataset").c_str(),
+              dataset.size(), algorithm.c_str(), k,
+              static_cast<unsigned long long>(budget));
+  table.Print();
+  std::printf("\nmean estimate : %.2f (95%% CI ±%.2f across runs)\n",
+              estimates.mean(), estimates.ConfidenceHalfWidth());
+  std::printf("ground truth  : %.2f (simulator-only knowledge)\n", truth);
+  std::printf("relative error: %.1f%%\n",
+              100.0 * RelativeError(estimates.mean(), truth));
+  return 0;
+}
+
+}  // namespace
+}  // namespace lbsagg
+
+int main(int argc, char** argv) {
+  lbsagg::FlagParser flags;
+  flags.AddString("dataset", "usa",
+                  "usa | china | path to a dataset CSV (see lbs/dataset_io.h)");
+  flags.AddInt("n", 10000, "tuples for the built-in scenarios");
+  flags.AddInt("scenario-seed", 2015, "seed of the built-in scenarios");
+  flags.AddString("algorithm", "lr", "lr | lnr | nno");
+  flags.AddString("aggregate", "count", "count | sum | avg");
+  flags.AddString("column", "", "numeric column for sum/avg");
+  flags.AddString("where", "",
+                  "selection condition: 'col=value' (string) or 'col' (bool)");
+  flags.AddInt("k", 5, "results requested per query");
+  flags.AddInt("budget", 10000, "query budget per run");
+  flags.AddInt("runs", 3, "independent runs");
+  flags.AddInt("seed", 1, "base estimator seed");
+  flags.AddString("sampler", "census", "census | uniform");
+  flags.AddString("export", "",
+                  "write the generated dataset to this CSV and exit");
+  flags.AddInt("localize", 0,
+               "instead of estimating, localize this many tuples through a "
+               "rank-only view (§4.3)");
+  flags.AddDouble("target-ci", 0.0,
+                  "stop each run once the 95% CI half-width falls below this "
+                  "fraction of the estimate (0 = run to the budget)");
+  flags.AddBool("verbose", false, "print per-run estimator diagnostics");
+  flags.AddBool("help", false, "show this help");
+
+  if (!flags.Parse(argc, argv)) {
+    std::fprintf(stderr, "error: %s\n%s", flags.error().c_str(),
+                 flags.HelpText(argv[0]).c_str());
+    return 1;
+  }
+  if (flags.GetBool("help")) {
+    std::fputs(flags.HelpText(argv[0]).c_str(), stdout);
+    return 0;
+  }
+  return lbsagg::Run(flags);
+}
