@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lnr_cache.dir/ablation_lnr_cache.cc.o"
+  "CMakeFiles/ablation_lnr_cache.dir/ablation_lnr_cache.cc.o.d"
+  "ablation_lnr_cache"
+  "ablation_lnr_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lnr_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lnr_precision.dir/ablation_lnr_precision.cc.o"
+  "CMakeFiles/ablation_lnr_precision.dir/ablation_lnr_precision.cc.o.d"
+  "ablation_lnr_precision"
+  "ablation_lnr_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lnr_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mixture_sampler.dir/ablation_mixture_sampler.cc.o"
+  "CMakeFiles/ablation_mixture_sampler.dir/ablation_mixture_sampler.cc.o.d"
+  "ablation_mixture_sampler"
+  "ablation_mixture_sampler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mixture_sampler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

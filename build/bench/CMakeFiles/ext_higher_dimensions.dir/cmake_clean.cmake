@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_higher_dimensions.dir/ext_higher_dimensions.cc.o"
+  "CMakeFiles/ext_higher_dimensions.dir/ext_higher_dimensions.cc.o.d"
+  "ext_higher_dimensions"
+  "ext_higher_dimensions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_higher_dimensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_unbiasedness.dir/fig12_unbiasedness.cc.o"
+  "CMakeFiles/fig12_unbiasedness.dir/fig12_unbiasedness.cc.o.d"
+  "fig12_unbiasedness"
+  "fig12_unbiasedness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_unbiasedness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_sampling_strategy.dir/fig13_sampling_strategy.cc.o"
+  "CMakeFiles/fig13_sampling_strategy.dir/fig13_sampling_strategy.cc.o.d"
+  "fig13_sampling_strategy"
+  "fig13_sampling_strategy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_sampling_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_count_schools.dir/fig14_count_schools.cc.o"
+  "CMakeFiles/fig14_count_schools.dir/fig14_count_schools.cc.o.d"
+  "fig14_count_schools"
+  "fig14_count_schools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_count_schools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_count_restaurants.dir/fig15_count_restaurants.cc.o"
+  "CMakeFiles/fig15_count_restaurants.dir/fig15_count_restaurants.cc.o.d"
+  "fig15_count_restaurants"
+  "fig15_count_restaurants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_count_restaurants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

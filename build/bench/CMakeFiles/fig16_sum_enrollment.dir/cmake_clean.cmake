@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_sum_enrollment.dir/fig16_sum_enrollment.cc.o"
+  "CMakeFiles/fig16_sum_enrollment.dir/fig16_sum_enrollment.cc.o.d"
+  "fig16_sum_enrollment"
+  "fig16_sum_enrollment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_sum_enrollment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

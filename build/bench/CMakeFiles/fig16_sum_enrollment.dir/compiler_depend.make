@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig16_sum_enrollment.
+# This may be replaced when dependencies are built.

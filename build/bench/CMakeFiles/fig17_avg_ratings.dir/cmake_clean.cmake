@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_avg_ratings.dir/fig17_avg_ratings.cc.o"
+  "CMakeFiles/fig17_avg_ratings.dir/fig17_avg_ratings.cc.o.d"
+  "fig17_avg_ratings"
+  "fig17_avg_ratings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_avg_ratings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_vary_k.dir/fig19_vary_k.cc.o"
+  "CMakeFiles/fig19_vary_k.dir/fig19_vary_k.cc.o.d"
+  "fig19_vary_k"
+  "fig19_vary_k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_vary_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

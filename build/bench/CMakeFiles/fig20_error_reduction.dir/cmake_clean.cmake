@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_error_reduction.dir/fig20_error_reduction.cc.o"
+  "CMakeFiles/fig20_error_reduction.dir/fig20_error_reduction.cc.o.d"
+  "fig20_error_reduction"
+  "fig20_error_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_error_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

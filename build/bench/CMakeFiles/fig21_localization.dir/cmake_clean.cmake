@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig21_localization.dir/fig21_localization.cc.o"
+  "CMakeFiles/fig21_localization.dir/fig21_localization.cc.o.d"
+  "fig21_localization"
+  "fig21_localization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_localization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_online.dir/table1_online.cc.o"
+  "CMakeFiles/table1_online.dir/table1_online.cc.o.d"
+  "table1_online"
+  "table1_online.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_online.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

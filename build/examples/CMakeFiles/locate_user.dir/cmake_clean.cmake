@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locate_user.dir/locate_user.cc.o"
+  "CMakeFiles/locate_user.dir/locate_user.cc.o.d"
+  "locate_user"
+  "locate_user.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locate_user.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for locate_user.
+# This may be replaced when dependencies are built.

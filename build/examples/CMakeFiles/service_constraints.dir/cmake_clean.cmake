@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_constraints.dir/service_constraints.cc.o"
+  "CMakeFiles/service_constraints.dir/service_constraints.cc.o.d"
+  "service_constraints"
+  "service_constraints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

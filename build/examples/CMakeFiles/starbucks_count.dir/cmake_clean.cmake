@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/starbucks_count.dir/starbucks_count.cc.o"
+  "CMakeFiles/starbucks_count.dir/starbucks_count.cc.o.d"
+  "starbucks_count"
+  "starbucks_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/starbucks_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

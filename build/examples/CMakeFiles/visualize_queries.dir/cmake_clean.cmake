@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/visualize_queries.dir/visualize_queries.cc.o"
+  "CMakeFiles/visualize_queries.dir/visualize_queries.cc.o.d"
+  "visualize_queries"
+  "visualize_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/visualize_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

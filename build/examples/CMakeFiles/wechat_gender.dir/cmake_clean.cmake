@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wechat_gender.dir/wechat_gender.cc.o"
+  "CMakeFiles/wechat_gender.dir/wechat_gender.cc.o.d"
+  "wechat_gender"
+  "wechat_gender.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wechat_gender.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

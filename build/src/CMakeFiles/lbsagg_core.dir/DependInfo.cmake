@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/aggregate.cc" "src/CMakeFiles/lbsagg_core.dir/core/aggregate.cc.o" "gcc" "src/CMakeFiles/lbsagg_core.dir/core/aggregate.cc.o.d"
+  "/root/repo/src/core/binary_search.cc" "src/CMakeFiles/lbsagg_core.dir/core/binary_search.cc.o" "gcc" "src/CMakeFiles/lbsagg_core.dir/core/binary_search.cc.o.d"
+  "/root/repo/src/core/ground_truth.cc" "src/CMakeFiles/lbsagg_core.dir/core/ground_truth.cc.o" "gcc" "src/CMakeFiles/lbsagg_core.dir/core/ground_truth.cc.o.d"
+  "/root/repo/src/core/history.cc" "src/CMakeFiles/lbsagg_core.dir/core/history.cc.o" "gcc" "src/CMakeFiles/lbsagg_core.dir/core/history.cc.o.d"
+  "/root/repo/src/core/lnr_agg.cc" "src/CMakeFiles/lbsagg_core.dir/core/lnr_agg.cc.o" "gcc" "src/CMakeFiles/lbsagg_core.dir/core/lnr_agg.cc.o.d"
+  "/root/repo/src/core/lnr_cell.cc" "src/CMakeFiles/lbsagg_core.dir/core/lnr_cell.cc.o" "gcc" "src/CMakeFiles/lbsagg_core.dir/core/lnr_cell.cc.o.d"
+  "/root/repo/src/core/localize.cc" "src/CMakeFiles/lbsagg_core.dir/core/localize.cc.o" "gcc" "src/CMakeFiles/lbsagg_core.dir/core/localize.cc.o.d"
+  "/root/repo/src/core/lr3_agg.cc" "src/CMakeFiles/lbsagg_core.dir/core/lr3_agg.cc.o" "gcc" "src/CMakeFiles/lbsagg_core.dir/core/lr3_agg.cc.o.d"
+  "/root/repo/src/core/lr_agg.cc" "src/CMakeFiles/lbsagg_core.dir/core/lr_agg.cc.o" "gcc" "src/CMakeFiles/lbsagg_core.dir/core/lr_agg.cc.o.d"
+  "/root/repo/src/core/lr_cell.cc" "src/CMakeFiles/lbsagg_core.dir/core/lr_cell.cc.o" "gcc" "src/CMakeFiles/lbsagg_core.dir/core/lr_cell.cc.o.d"
+  "/root/repo/src/core/mixture_sampler.cc" "src/CMakeFiles/lbsagg_core.dir/core/mixture_sampler.cc.o" "gcc" "src/CMakeFiles/lbsagg_core.dir/core/mixture_sampler.cc.o.d"
+  "/root/repo/src/core/nno_baseline.cc" "src/CMakeFiles/lbsagg_core.dir/core/nno_baseline.cc.o" "gcc" "src/CMakeFiles/lbsagg_core.dir/core/nno_baseline.cc.o.d"
+  "/root/repo/src/core/runner.cc" "src/CMakeFiles/lbsagg_core.dir/core/runner.cc.o" "gcc" "src/CMakeFiles/lbsagg_core.dir/core/runner.cc.o.d"
+  "/root/repo/src/core/sampler.cc" "src/CMakeFiles/lbsagg_core.dir/core/sampler.cc.o" "gcc" "src/CMakeFiles/lbsagg_core.dir/core/sampler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lbsagg_lbs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lbsagg_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lbsagg_lbs3.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lbsagg_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lbsagg_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lbsagg_geometry3d.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lbsagg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbsagg_core.dir/core/aggregate.cc.o"
+  "CMakeFiles/lbsagg_core.dir/core/aggregate.cc.o.d"
+  "CMakeFiles/lbsagg_core.dir/core/binary_search.cc.o"
+  "CMakeFiles/lbsagg_core.dir/core/binary_search.cc.o.d"
+  "CMakeFiles/lbsagg_core.dir/core/ground_truth.cc.o"
+  "CMakeFiles/lbsagg_core.dir/core/ground_truth.cc.o.d"
+  "CMakeFiles/lbsagg_core.dir/core/history.cc.o"
+  "CMakeFiles/lbsagg_core.dir/core/history.cc.o.d"
+  "CMakeFiles/lbsagg_core.dir/core/lnr_agg.cc.o"
+  "CMakeFiles/lbsagg_core.dir/core/lnr_agg.cc.o.d"
+  "CMakeFiles/lbsagg_core.dir/core/lnr_cell.cc.o"
+  "CMakeFiles/lbsagg_core.dir/core/lnr_cell.cc.o.d"
+  "CMakeFiles/lbsagg_core.dir/core/localize.cc.o"
+  "CMakeFiles/lbsagg_core.dir/core/localize.cc.o.d"
+  "CMakeFiles/lbsagg_core.dir/core/lr3_agg.cc.o"
+  "CMakeFiles/lbsagg_core.dir/core/lr3_agg.cc.o.d"
+  "CMakeFiles/lbsagg_core.dir/core/lr_agg.cc.o"
+  "CMakeFiles/lbsagg_core.dir/core/lr_agg.cc.o.d"
+  "CMakeFiles/lbsagg_core.dir/core/lr_cell.cc.o"
+  "CMakeFiles/lbsagg_core.dir/core/lr_cell.cc.o.d"
+  "CMakeFiles/lbsagg_core.dir/core/mixture_sampler.cc.o"
+  "CMakeFiles/lbsagg_core.dir/core/mixture_sampler.cc.o.d"
+  "CMakeFiles/lbsagg_core.dir/core/nno_baseline.cc.o"
+  "CMakeFiles/lbsagg_core.dir/core/nno_baseline.cc.o.d"
+  "CMakeFiles/lbsagg_core.dir/core/runner.cc.o"
+  "CMakeFiles/lbsagg_core.dir/core/runner.cc.o.d"
+  "CMakeFiles/lbsagg_core.dir/core/sampler.cc.o"
+  "CMakeFiles/lbsagg_core.dir/core/sampler.cc.o.d"
+  "liblbsagg_core.a"
+  "liblbsagg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbsagg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

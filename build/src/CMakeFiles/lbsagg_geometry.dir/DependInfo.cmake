@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geometry/delaunay.cc" "src/CMakeFiles/lbsagg_geometry.dir/geometry/delaunay.cc.o" "gcc" "src/CMakeFiles/lbsagg_geometry.dir/geometry/delaunay.cc.o.d"
+  "/root/repo/src/geometry/fortune.cc" "src/CMakeFiles/lbsagg_geometry.dir/geometry/fortune.cc.o" "gcc" "src/CMakeFiles/lbsagg_geometry.dir/geometry/fortune.cc.o.d"
+  "/root/repo/src/geometry/polygon.cc" "src/CMakeFiles/lbsagg_geometry.dir/geometry/polygon.cc.o" "gcc" "src/CMakeFiles/lbsagg_geometry.dir/geometry/polygon.cc.o.d"
+  "/root/repo/src/geometry/predicates.cc" "src/CMakeFiles/lbsagg_geometry.dir/geometry/predicates.cc.o" "gcc" "src/CMakeFiles/lbsagg_geometry.dir/geometry/predicates.cc.o.d"
+  "/root/repo/src/geometry/topk_region.cc" "src/CMakeFiles/lbsagg_geometry.dir/geometry/topk_region.cc.o" "gcc" "src/CMakeFiles/lbsagg_geometry.dir/geometry/topk_region.cc.o.d"
+  "/root/repo/src/geometry/voronoi_diagram.cc" "src/CMakeFiles/lbsagg_geometry.dir/geometry/voronoi_diagram.cc.o" "gcc" "src/CMakeFiles/lbsagg_geometry.dir/geometry/voronoi_diagram.cc.o.d"
+  "/root/repo/src/util/svg.cc" "src/CMakeFiles/lbsagg_geometry.dir/util/svg.cc.o" "gcc" "src/CMakeFiles/lbsagg_geometry.dir/util/svg.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lbsagg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

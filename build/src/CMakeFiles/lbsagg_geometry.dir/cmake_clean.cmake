@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbsagg_geometry.dir/geometry/delaunay.cc.o"
+  "CMakeFiles/lbsagg_geometry.dir/geometry/delaunay.cc.o.d"
+  "CMakeFiles/lbsagg_geometry.dir/geometry/fortune.cc.o"
+  "CMakeFiles/lbsagg_geometry.dir/geometry/fortune.cc.o.d"
+  "CMakeFiles/lbsagg_geometry.dir/geometry/polygon.cc.o"
+  "CMakeFiles/lbsagg_geometry.dir/geometry/polygon.cc.o.d"
+  "CMakeFiles/lbsagg_geometry.dir/geometry/predicates.cc.o"
+  "CMakeFiles/lbsagg_geometry.dir/geometry/predicates.cc.o.d"
+  "CMakeFiles/lbsagg_geometry.dir/geometry/topk_region.cc.o"
+  "CMakeFiles/lbsagg_geometry.dir/geometry/topk_region.cc.o.d"
+  "CMakeFiles/lbsagg_geometry.dir/geometry/voronoi_diagram.cc.o"
+  "CMakeFiles/lbsagg_geometry.dir/geometry/voronoi_diagram.cc.o.d"
+  "CMakeFiles/lbsagg_geometry.dir/util/svg.cc.o"
+  "CMakeFiles/lbsagg_geometry.dir/util/svg.cc.o.d"
+  "liblbsagg_geometry.a"
+  "liblbsagg_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbsagg_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblbsagg_geometry.a"
+)

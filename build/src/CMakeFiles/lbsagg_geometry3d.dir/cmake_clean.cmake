@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbsagg_geometry3d.dir/geometry3d/polytope3.cc.o"
+  "CMakeFiles/lbsagg_geometry3d.dir/geometry3d/polytope3.cc.o.d"
+  "liblbsagg_geometry3d.a"
+  "liblbsagg_geometry3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbsagg_geometry3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lbs/attribute.cc" "src/CMakeFiles/lbsagg_lbs.dir/lbs/attribute.cc.o" "gcc" "src/CMakeFiles/lbsagg_lbs.dir/lbs/attribute.cc.o.d"
+  "/root/repo/src/lbs/client.cc" "src/CMakeFiles/lbsagg_lbs.dir/lbs/client.cc.o" "gcc" "src/CMakeFiles/lbsagg_lbs.dir/lbs/client.cc.o.d"
+  "/root/repo/src/lbs/dataset.cc" "src/CMakeFiles/lbsagg_lbs.dir/lbs/dataset.cc.o" "gcc" "src/CMakeFiles/lbsagg_lbs.dir/lbs/dataset.cc.o.d"
+  "/root/repo/src/lbs/dataset_io.cc" "src/CMakeFiles/lbsagg_lbs.dir/lbs/dataset_io.cc.o" "gcc" "src/CMakeFiles/lbsagg_lbs.dir/lbs/dataset_io.cc.o.d"
+  "/root/repo/src/lbs/server.cc" "src/CMakeFiles/lbsagg_lbs.dir/lbs/server.cc.o" "gcc" "src/CMakeFiles/lbsagg_lbs.dir/lbs/server.cc.o.d"
+  "/root/repo/src/lbs/trilateration.cc" "src/CMakeFiles/lbsagg_lbs.dir/lbs/trilateration.cc.o" "gcc" "src/CMakeFiles/lbsagg_lbs.dir/lbs/trilateration.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lbsagg_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lbsagg_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lbsagg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

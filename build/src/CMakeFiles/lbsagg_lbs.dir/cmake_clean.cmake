@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbsagg_lbs.dir/lbs/attribute.cc.o"
+  "CMakeFiles/lbsagg_lbs.dir/lbs/attribute.cc.o.d"
+  "CMakeFiles/lbsagg_lbs.dir/lbs/client.cc.o"
+  "CMakeFiles/lbsagg_lbs.dir/lbs/client.cc.o.d"
+  "CMakeFiles/lbsagg_lbs.dir/lbs/dataset.cc.o"
+  "CMakeFiles/lbsagg_lbs.dir/lbs/dataset.cc.o.d"
+  "CMakeFiles/lbsagg_lbs.dir/lbs/dataset_io.cc.o"
+  "CMakeFiles/lbsagg_lbs.dir/lbs/dataset_io.cc.o.d"
+  "CMakeFiles/lbsagg_lbs.dir/lbs/server.cc.o"
+  "CMakeFiles/lbsagg_lbs.dir/lbs/server.cc.o.d"
+  "CMakeFiles/lbsagg_lbs.dir/lbs/trilateration.cc.o"
+  "CMakeFiles/lbsagg_lbs.dir/lbs/trilateration.cc.o.d"
+  "liblbsagg_lbs.a"
+  "liblbsagg_lbs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbsagg_lbs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbsagg_lbs3.dir/lbs3/lbs3.cc.o"
+  "CMakeFiles/lbsagg_lbs3.dir/lbs3/lbs3.cc.o.d"
+  "liblbsagg_lbs3.a"
+  "liblbsagg_lbs3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbsagg_lbs3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

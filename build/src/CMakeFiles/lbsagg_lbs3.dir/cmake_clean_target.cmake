@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblbsagg_lbs3.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbsagg_spatial.dir/spatial/brute_force.cc.o"
+  "CMakeFiles/lbsagg_spatial.dir/spatial/brute_force.cc.o.d"
+  "CMakeFiles/lbsagg_spatial.dir/spatial/grid_index.cc.o"
+  "CMakeFiles/lbsagg_spatial.dir/spatial/grid_index.cc.o.d"
+  "CMakeFiles/lbsagg_spatial.dir/spatial/kdtree.cc.o"
+  "CMakeFiles/lbsagg_spatial.dir/spatial/kdtree.cc.o.d"
+  "liblbsagg_spatial.a"
+  "liblbsagg_spatial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbsagg_spatial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

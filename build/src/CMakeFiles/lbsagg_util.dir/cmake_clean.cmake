@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbsagg_util.dir/util/check.cc.o"
+  "CMakeFiles/lbsagg_util.dir/util/check.cc.o.d"
+  "CMakeFiles/lbsagg_util.dir/util/flags.cc.o"
+  "CMakeFiles/lbsagg_util.dir/util/flags.cc.o.d"
+  "CMakeFiles/lbsagg_util.dir/util/rng.cc.o"
+  "CMakeFiles/lbsagg_util.dir/util/rng.cc.o.d"
+  "CMakeFiles/lbsagg_util.dir/util/stats.cc.o"
+  "CMakeFiles/lbsagg_util.dir/util/stats.cc.o.d"
+  "CMakeFiles/lbsagg_util.dir/util/table.cc.o"
+  "CMakeFiles/lbsagg_util.dir/util/table.cc.o.d"
+  "liblbsagg_util.a"
+  "liblbsagg_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbsagg_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/attribute_models.cc" "src/CMakeFiles/lbsagg_workload.dir/workload/attribute_models.cc.o" "gcc" "src/CMakeFiles/lbsagg_workload.dir/workload/attribute_models.cc.o.d"
+  "/root/repo/src/workload/census.cc" "src/CMakeFiles/lbsagg_workload.dir/workload/census.cc.o" "gcc" "src/CMakeFiles/lbsagg_workload.dir/workload/census.cc.o.d"
+  "/root/repo/src/workload/generators.cc" "src/CMakeFiles/lbsagg_workload.dir/workload/generators.cc.o" "gcc" "src/CMakeFiles/lbsagg_workload.dir/workload/generators.cc.o.d"
+  "/root/repo/src/workload/scenarios.cc" "src/CMakeFiles/lbsagg_workload.dir/workload/scenarios.cc.o" "gcc" "src/CMakeFiles/lbsagg_workload.dir/workload/scenarios.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lbsagg_lbs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lbsagg_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lbsagg_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lbsagg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbsagg_workload.dir/workload/attribute_models.cc.o"
+  "CMakeFiles/lbsagg_workload.dir/workload/attribute_models.cc.o.d"
+  "CMakeFiles/lbsagg_workload.dir/workload/census.cc.o"
+  "CMakeFiles/lbsagg_workload.dir/workload/census.cc.o.d"
+  "CMakeFiles/lbsagg_workload.dir/workload/generators.cc.o"
+  "CMakeFiles/lbsagg_workload.dir/workload/generators.cc.o.d"
+  "CMakeFiles/lbsagg_workload.dir/workload/scenarios.cc.o"
+  "CMakeFiles/lbsagg_workload.dir/workload/scenarios.cc.o.d"
+  "liblbsagg_workload.a"
+  "liblbsagg_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbsagg_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

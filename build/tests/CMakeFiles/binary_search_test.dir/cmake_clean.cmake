@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/binary_search_test.dir/binary_search_test.cc.o"
+  "CMakeFiles/binary_search_test.dir/binary_search_test.cc.o.d"
+  "binary_search_test"
+  "binary_search_test.pdb"
+  "binary_search_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/binary_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

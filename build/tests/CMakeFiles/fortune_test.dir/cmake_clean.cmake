@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fortune_test.dir/fortune_test.cc.o"
+  "CMakeFiles/fortune_test.dir/fortune_test.cc.o.d"
+  "fortune_test"
+  "fortune_test.pdb"
+  "fortune_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fortune_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lnr_agg_test.dir/lnr_agg_test.cc.o"
+  "CMakeFiles/lnr_agg_test.dir/lnr_agg_test.cc.o.d"
+  "lnr_agg_test"
+  "lnr_agg_test.pdb"
+  "lnr_agg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lnr_agg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

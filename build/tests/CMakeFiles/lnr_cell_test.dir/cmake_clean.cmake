@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lnr_cell_test.dir/lnr_cell_test.cc.o"
+  "CMakeFiles/lnr_cell_test.dir/lnr_cell_test.cc.o.d"
+  "lnr_cell_test"
+  "lnr_cell_test.pdb"
+  "lnr_cell_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lnr_cell_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lr3_test.dir/lr3_test.cc.o"
+  "CMakeFiles/lr3_test.dir/lr3_test.cc.o.d"
+  "lr3_test"
+  "lr3_test.pdb"
+  "lr3_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lr3_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

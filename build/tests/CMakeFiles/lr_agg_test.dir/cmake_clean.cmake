@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lr_agg_test.dir/lr_agg_test.cc.o"
+  "CMakeFiles/lr_agg_test.dir/lr_agg_test.cc.o.d"
+  "lr_agg_test"
+  "lr_agg_test.pdb"
+  "lr_agg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lr_agg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lr_cell_test.dir/lr_cell_test.cc.o"
+  "CMakeFiles/lr_cell_test.dir/lr_cell_test.cc.o.d"
+  "lr_cell_test"
+  "lr_cell_test.pdb"
+  "lr_cell_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lr_cell_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

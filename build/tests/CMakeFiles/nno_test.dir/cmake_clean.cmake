@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nno_test.dir/nno_test.cc.o"
+  "CMakeFiles/nno_test.dir/nno_test.cc.o.d"
+  "nno_test"
+  "nno_test.pdb"
+  "nno_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nno_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

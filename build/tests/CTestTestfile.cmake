@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/aggregate_test[1]_include.cmake")
+include("/root/repo/build/tests/geometry_test[1]_include.cmake")
+include("/root/repo/build/tests/topk_region_test[1]_include.cmake")
+include("/root/repo/build/tests/delaunay_test[1]_include.cmake")
+include("/root/repo/build/tests/spatial_test[1]_include.cmake")
+include("/root/repo/build/tests/lbs_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/sampler_test[1]_include.cmake")
+include("/root/repo/build/tests/lr_cell_test[1]_include.cmake")
+include("/root/repo/build/tests/lr_agg_test[1]_include.cmake")
+include("/root/repo/build/tests/nno_test[1]_include.cmake")
+include("/root/repo/build/tests/binary_search_test[1]_include.cmake")
+include("/root/repo/build/tests/lnr_cell_test[1]_include.cmake")
+include("/root/repo/build/tests/lnr_agg_test[1]_include.cmake")
+include("/root/repo/build/tests/localize_test[1]_include.cmake")
+include("/root/repo/build/tests/ground_truth_test[1]_include.cmake")
+include("/root/repo/build/tests/runner_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/lr3_test[1]_include.cmake")
+include("/root/repo/build/tests/history_test[1]_include.cmake")
+include("/root/repo/build/tests/io_test[1]_include.cmake")
+include("/root/repo/build/tests/sweep_test[1]_include.cmake")
+include("/root/repo/build/tests/fortune_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbsagg_cli.dir/lbsagg_cli.cc.o"
+  "CMakeFiles/lbsagg_cli.dir/lbsagg_cli.cc.o.d"
+  "lbsagg_cli"
+  "lbsagg_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbsagg_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_help "/root/repo/build/tools/lbsagg_cli" "--help")
+set_tests_properties(cli_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_lr_count "/root/repo/build/tools/lbsagg_cli" "--dataset=usa" "--n=500" "--algorithm=lr" "--aggregate=count" "--budget=800" "--runs=1")
+set_tests_properties(cli_lr_count PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_export_roundtrip "/root/repo/build/tools/lbsagg_cli" "--dataset=usa" "--n=200" "--export=/root/repo/build/tools/cli_export.csv")
+set_tests_properties(cli_export_roundtrip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_localize "/root/repo/build/tools/lbsagg_cli" "--dataset=china" "--n=800" "--localize=2")
+set_tests_properties(cli_localize PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_rejects_bad_flag "/root/repo/build/tools/lbsagg_cli" "--no-such-flag")
+set_tests_properties(cli_rejects_bad_flag PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
