@@ -11,7 +11,7 @@ namespace bench {
 
 std::map<std::string, std::vector<RunResult>> SweepEstimators(
     const std::vector<EstimatorSpec>& specs, int runs, uint64_t budget,
-    uint64_t seed_base) {
+    uint64_t seed_base, unsigned num_threads) {
   // Flatten (spec, run) into one task list and fan out over threads. Each
   // task owns its estimator and client; results land in preallocated slots,
   // so no synchronization beyond the atomic task counter is needed.
@@ -38,9 +38,11 @@ std::map<std::string, std::vector<RunResult>> SweepEstimators(
       *tasks[i].slot = tasks[i].spec->run(tasks[i].seed, budget);
     }
   };
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
   const unsigned n_threads =
-      std::min<unsigned>(std::max(1u, std::thread::hardware_concurrency()),
-                         static_cast<unsigned>(tasks.size()));
+      std::min<unsigned>(num_threads, static_cast<unsigned>(tasks.size()));
   std::vector<std::thread> threads;
   threads.reserve(n_threads);
   for (unsigned t = 0; t < n_threads; ++t) threads.emplace_back(worker);

@@ -45,12 +45,14 @@ struct EstimatorSpec {
 };
 
 // Runs `runs` independent repetitions of each estimator family and returns
-// the per-family traces. Runs execute in parallel across hardware threads —
-// every run builds its own client, and the shared server/sampler are
-// immutable after construction.
+// the per-family traces. Runs execute in parallel across worker threads
+// (num_threads = 0 picks the hardware concurrency) — every run builds its
+// own client, and the shared server/sampler are immutable after
+// construction. Each (spec, seed) task is deterministic, so the traces are
+// bit-identical for any thread count (sweep_determinism_test.cc pins this).
 std::map<std::string, std::vector<RunResult>> SweepEstimators(
     const std::vector<EstimatorSpec>& specs, int runs, uint64_t budget,
-    uint64_t seed_base);
+    uint64_t seed_base, unsigned num_threads = 0);
 
 // Prints the paper's figure format: rows = target relative error, columns =
 // query cost needed by each family (linearly interpolated; ">budget" when a

@@ -8,7 +8,19 @@ namespace lbsagg {
 
 void History::Record(int id, const Vec2& pos) {
   auto [it, inserted] = by_id_.emplace(id, pos);
-  if (inserted) entries_.push_back({id, pos});
+  if (!inserted) return;
+  entries_.push_back({id, pos});
+  if (entries_.size() >= kIndexThreshold && entries_.size() >= 2 * indexed_) {
+    RebuildIndex();
+  }
+}
+
+void History::RebuildIndex() {
+  std::vector<Vec2> pts;
+  pts.reserve(entries_.size());
+  for (const Entry& e : entries_) pts.push_back(e.pos);
+  indexed_ = pts.size();
+  index_ = std::make_unique<KdTree>(std::move(pts));
 }
 
 const Vec2& History::Position(int id) const {
@@ -29,20 +41,40 @@ std::vector<Vec2> History::OtherPositions(int excluded_id) const {
 std::vector<Vec2> History::NearestOtherPositions(const Vec2& p,
                                                  int excluded_id,
                                                  size_t limit) const {
-  std::vector<std::pair<double, Vec2>> dists;
-  dists.reserve(entries_.size());
-  for (const Entry& e : entries_) {
-    if (e.id == excluded_id) continue;
-    dists.push_back({SquaredDistance(p, e.pos), e.pos});
+  // Candidates ranked by the exact (squared distance, insertion order)
+  // total order — the same order the kd-tree ranks by, so the indexed and
+  // linear paths agree bit-for-bit.
+  struct Candidate {
+    double d2;
+    size_t idx;
+  };
+  std::vector<Candidate> cand;
+  cand.reserve(indexed_ ? limit + (entries_.size() - indexed_)
+                        : entries_.size());
+
+  if (index_) {
+    // At most one entry is excluded, so limit+1 tree results always contain
+    // the limit best admissible indexed entries.
+    const auto tree = index_->Nearest(p, static_cast<int>(limit) + 1);
+    for (const Neighbor& n : tree) {
+      const size_t idx = static_cast<size_t>(n.index);
+      if (entries_[idx].id == excluded_id) continue;
+      cand.push_back({SquaredDistance(p, entries_[idx].pos), idx});
+    }
   }
-  const size_t keep = std::min(limit, dists.size());
-  std::partial_sort(dists.begin(), dists.begin() + keep, dists.end(),
-                    [](const auto& a, const auto& b) {
-                      return a.first < b.first;
-                    });
+  for (size_t i = indexed_; i < entries_.size(); ++i) {
+    if (entries_[i].id == excluded_id) continue;
+    cand.push_back({SquaredDistance(p, entries_[i].pos), i});
+  }
+
+  const size_t keep = std::min(limit, cand.size());
+  const auto better = [](const Candidate& a, const Candidate& b) {
+    return a.d2 < b.d2 || (a.d2 == b.d2 && a.idx < b.idx);
+  };
+  std::partial_sort(cand.begin(), cand.begin() + keep, cand.end(), better);
   std::vector<Vec2> out;
   out.reserve(keep);
-  for (size_t i = 0; i < keep; ++i) out.push_back(dists[i].second);
+  for (size_t i = 0; i < keep; ++i) out.push_back(entries_[cand[i].idx].pos);
   return out;
 }
 

@@ -5,6 +5,7 @@
 #include <limits>
 #include <unordered_set>
 
+#include "geometry/loc_key.h"
 #include "geometry/predicates.h"
 
 #include "util/check.h"
@@ -13,19 +14,7 @@ namespace lbsagg {
 
 namespace {
 
-struct LocKey {
-  int64_t x, y;
-  bool operator==(const LocKey&) const = default;
-};
-struct LocKeyHash {
-  size_t operator()(const LocKey& k) const {
-    return std::hash<int64_t>()(k.x * 0x9e3779b97f4a7c15ll ^ k.y);
-  }
-};
-LocKey MakeKey(const Vec2& p, double grid) {
-  return {static_cast<int64_t>(std::llround(p.x / grid)),
-          static_cast<int64_t>(std::llround(p.y / grid))};
-}
+LocKey MakeKey(const Vec2& p, double grid) { return MakeLocKey(p, grid); }
 
 // Index of `id` in a ranked result; a large sentinel when absent.
 int RankIndex(const std::vector<int>& ids, int id) {
@@ -43,7 +32,10 @@ struct LineKey {
 };
 struct LineKeyHash {
   size_t operator()(const LineKey& k) const {
-    return std::hash<int64_t>()(k.angle * 0x9e3779b97f4a7c15ll ^ k.offset);
+    // Same full-avalanche combine as LocKeyHash: angle/offset pairs from a
+    // line arrangement are highly structured, and `a * C ^ b` folds those
+    // patterns onto each other.
+    return LocKeyHash()(LocKey{k.angle, k.offset});
   }
 };
 LineKey MakeLineKey(const Line& line, double grid) {

@@ -7,6 +7,7 @@
 #include <unordered_set>
 
 #include "geometry/circle.h"
+#include "geometry/loc_key.h"
 #include "geometry/polygon.h"
 #include "util/check.h"
 
@@ -14,31 +15,17 @@ namespace lbsagg {
 
 namespace {
 
-// Quantized location key for deduplicating vertex queries across rounds.
-struct LocKey {
-  int64_t x, y;
-  bool operator==(const LocKey&) const = default;
-};
-struct LocKeyHash {
-  size_t operator()(const LocKey& k) const {
-    return std::hash<int64_t>()(k.x * 0x9e3779b97f4a7c15ll ^ k.y);
-  }
-};
-
-LocKey MakeKey(const Vec2& p, double grid) {
-  return {static_cast<int64_t>(std::llround(p.x / grid)),
-          static_cast<int64_t>(std::llround(p.y / grid))};
-}
-
 // §5.3: restore nearest-neighbor order under non-distance (prominence)
-// ranking — every rank test below means distance rank. No-op for plain
-// distance-ranked services.
+// ranking — every rank test below means distance rank. Skipped entirely for
+// plain distance-ranked services, whose results arrive already sorted.
 std::vector<LrClient::Item> QueryByDistance(LrClient* client, const Vec2& q) {
   std::vector<LrClient::Item> items = client->Query(q);
-  std::stable_sort(items.begin(), items.end(),
-                   [](const LrClient::Item& a, const LrClient::Item& b) {
-                     return a.distance < b.distance;
-                   });
+  if (!client->distance_ranked()) {
+    std::stable_sort(items.begin(), items.end(),
+                     [](const LrClient::Item& a, const LrClient::Item& b) {
+                       return a.distance < b.distance;
+                     });
+  }
   return items;
 }
 
@@ -62,8 +49,7 @@ LrCellComputer::LoopOutcome LrCellComputer::RefineCell(int id, const Vec2& pos,
   LBSAGG_CHECK_GE(h, 1);
   LBSAGG_CHECK_LE(h, client_->k());
   const Box& box = client_->region();
-  const double grid =
-      std::max({1.0, std::abs(box.hi.x), std::abs(box.hi.y)}) * 1e-9;
+  const double grid = LocKeyGrid(box);
 
   // §5.3 maximum coverage radius: the inclusion region of t is its top-h
   // cell intersected with the d_max disc around t (queries farther away
@@ -91,7 +77,7 @@ LrCellComputer::LoopOutcome LrCellComputer::RefineCell(int id, const Vec2& pos,
   std::vector<Vec2> known;
   std::unordered_set<LocKey, LocKeyHash> known_keys;
   auto add_known = [&](const Vec2& p) {
-    if (known_keys.insert(MakeKey(p, grid)).second) {
+    if (known_keys.insert(MakeLocKey(p, grid)).second) {
       known.push_back(p);
       return true;
     }
@@ -136,12 +122,25 @@ LrCellComputer::LoopOutcome LrCellComputer::RefineCell(int id, const Vec2& pos,
   std::unordered_map<LocKey, bool, LocKeyHash> queried;  // value: t in top-h
   double prev_area = std::numeric_limits<double>::infinity();
 
+  // Incremental path: feed the refiner only the tuples discovered since the
+  // last round (known[consumed..]) instead of re-clipping all of `known`.
+  TopkRegionRefiner refiner(domain, h);
+  size_t consumed = 0;
+
   while (true) {
     ++out.rounds;
     LBSAGG_CHECK_LE(out.rounds, options_.max_rounds)
         << "Voronoi refinement did not converge";
 
-    TopkRegion region = ComputeTopkRegion(pos, known, domain, h);
+    TopkRegion region;
+    if (options_.incremental_regions) {
+      refiner.AddPoints(
+          pos, std::vector<Vec2>(known.begin() + consumed, known.end()));
+      consumed = known.size();
+      region = refiner.Region();
+    } else {
+      region = ComputeTopkRegion(pos, known, domain, h);
+    }
     LBSAGG_CHECK(!region.IsEmpty());
 
     // §3.2.4 early stop: the bounding region barely shrank last round.
@@ -158,7 +157,7 @@ LrCellComputer::LoopOutcome LrCellComputer::RefineCell(int id, const Vec2& pos,
 
     bool new_tuple = false;
     for (const Vec2& v : region.BoundaryVertices()) {
-      const LocKey key = MakeKey(v, grid);
+      const LocKey key = MakeLocKey(v, grid);
       if (queried.count(key)) continue;
       const std::vector<LrClient::Item> items = QueryByDistance(client_, v);
       ++out.queries;

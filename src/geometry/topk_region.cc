@@ -55,10 +55,185 @@ EdgeKey UndirectedKey(const PointKey& a, const PointKey& b) {
   return {b, a};
 }
 
-struct Piece {
-  ConvexPolygon poly;
-  int closer_count = 0;
-};
+// Applies one oriented line to the piece set: pieces fully on the negative
+// side pass through, pieces fully on the positive side gain a closer-count
+// (and die at k), straddling pieces split. Returns true if any piece
+// changed (split, count bump, or drop) — i.e. if the live bounding box may
+// have shrunk.
+bool ApplyLine(std::vector<LevelPiece>& pieces, const Line& line, int k,
+               double area_eps) {
+  std::vector<LevelPiece> next;
+  next.reserve(pieces.size() + 4);
+  bool changed = false;
+  for (LevelPiece& piece : pieces) {
+    bool any_neg = false;
+    bool any_pos = false;
+    for (const Vec2& v : piece.poly.vertices()) {
+      const double s = line.Side(v);
+      if (s < 0) any_neg = true;
+      if (s > 0) any_pos = true;
+      if (any_neg && any_pos) break;
+    }
+    if (!any_pos) {
+      next.push_back(std::move(piece));
+      continue;
+    }
+    changed = true;
+    if (!any_neg) {
+      piece.closer_count += 1;
+      if (piece.closer_count < k) next.push_back(std::move(piece));
+      continue;
+    }
+    auto [neg, pos] = piece.poly.Split(line);
+    if (!neg.IsEmpty() && neg.Area() > area_eps) {
+      next.push_back({std::move(neg), piece.closer_count});
+    }
+    if (!pos.IsEmpty() && pos.Area() > area_eps &&
+        piece.closer_count + 1 < k) {
+      next.push_back({std::move(pos), piece.closer_count + 1});
+    }
+  }
+  pieces = std::move(next);
+  return changed;
+}
+
+Box PiecesBoundingBox(const std::vector<LevelPiece>& pieces) {
+  Box box = pieces[0].poly.BoundingBox();
+  for (size_t i = 1; i < pieces.size(); ++i) {
+    const Box b = pieces[i].poly.BoundingBox();
+    box = box.Including(b.lo).Including(b.hi);
+  }
+  return box;
+}
+
+// Margin scale of a domain: the pruning margin (scale * 1e-6) must exceed
+// the boundary-extraction probe nudge (region scale * 1e-7, and the region
+// is contained in the domain), so a pruned line can never flip an in_region
+// probe — see the no-op argument in DESIGN.md "Hot path & complexity".
+double DomainScale(const Box& box) {
+  return std::max({1.0, std::abs(box.lo.x), std::abs(box.lo.y),
+                   std::abs(box.hi.x), std::abs(box.hi.y)});
+}
+
+// True when every point within `margin` of `box` lies strictly on the
+// negative side of `line`. Side() is linear, so checking the four corners
+// against -margin * |normal| suffices. Such a line splits nothing (every
+// piece is inside the box) and contributes nothing to any boundary probe
+// (probes stay within the nudge < margin of the region), so skipping it
+// leaves the result bit-identical.
+bool NegativeWithMargin(const Line& line, const Box& box, double margin) {
+  const double lim = -margin * Norm(line.normal);
+  return line.Side(box.lo) <= lim && line.Side(box.hi) <= lim &&
+         line.Side({box.lo.x, box.hi.y}) <= lim &&
+         line.Side({box.hi.x, box.lo.y}) <= lim;
+}
+
+double FarthestCornerDistance(const Box& box, const Vec2& p) {
+  return std::sqrt(std::max(
+      {SquaredDistance(p, box.lo), SquaredDistance(p, box.hi),
+       SquaredDistance(p, {box.lo.x, box.hi.y}),
+       SquaredDistance(p, {box.hi.x, box.lo.y})}));
+}
+
+// Assembles a TopkRegion from surviving pieces: area accumulation plus
+// boundary extraction against the active line set.
+TopkRegion FinalizeRegion(std::vector<LevelPiece> pieces,
+                          const std::vector<Line>& lines,
+                          const ConvexPolygon& domain, int k) {
+  TopkRegion region;
+  region.pieces.reserve(pieces.size());
+  for (LevelPiece& piece : pieces) {
+    region.area += piece.poly.Area();
+    region.pieces.push_back(std::move(piece.poly));
+  }
+  if (region.pieces.empty()) return region;
+
+  // --- Boundary extraction: cancel interior shared edges. ---
+  const Box rbox = region.BoundingBox();
+  const double scale =
+      std::max({1.0, std::abs(rbox.lo.x), std::abs(rbox.lo.y),
+                std::abs(rbox.hi.x), std::abs(rbox.hi.y)});
+  const double grid = scale * 1e-9;
+  const double len_eps = scale * 1e-12;
+
+  struct EdgeRec {
+    Segment seg;
+    int count = 0;
+  };
+  std::unordered_map<EdgeKey, EdgeRec, EdgeKeyHash> edges;
+  for (const ConvexPolygon& piece : region.pieces) {
+    const auto& vs = piece.vertices();
+    for (size_t i = 0; i < vs.size(); ++i) {
+      const Vec2& a = vs[i];
+      const Vec2& b = vs[(i + 1) % vs.size()];
+      if (Distance(a, b) <= len_eps) continue;
+      const EdgeKey key = UndirectedKey(Quantize(a, grid), Quantize(b, grid));
+      auto [it, inserted] = edges.try_emplace(key, EdgeRec{Segment(a, b), 0});
+      it->second.count += 1;
+    }
+  }
+
+  // Robust second filter: an edge is on the boundary iff nudging its
+  // midpoint to the two sides gives different membership. This corrects the
+  // rare case where adjacent pieces subdivide a shared edge differently and
+  // the hash-cancellation leaves both halves behind.
+  const double nudge = scale * 1e-7;
+  auto in_region = [&](const Vec2& p) {
+    if (!domain.Contains(p, 0.0)) return false;
+    int count = 0;
+    for (const Line& line : lines) {
+      if (line.Side(p) > 0 && ++count >= k) return false;
+    }
+    return true;
+  };
+  for (auto& [key, rec] : edges) {
+    if (rec.count != 1) continue;  // interior (shared) edge
+    const Vec2 mid = rec.seg.Midpoint();
+    const Vec2 n = Normalized(Perp(rec.seg.b - rec.seg.a));
+    const bool side1 = in_region(mid + n * nudge);
+    const bool side2 = in_region(mid - n * nudge);
+    if (side1 != side2) region.boundary_edges.push_back(rec.seg);
+  }
+
+  return region;
+}
+
+// Shared pruned clip loop. `half_dists`, when given, holds for each line a
+// lower bound on its distance to `focal` (d(t,o)/2 for bisectors) in
+// ascending order: once a line's bound exceeds the farthest live corner
+// plus the margin, every remaining line is prunable and the loop breaks.
+TopkRegion LevelRegionPruned(const std::vector<Line>& lines,
+                             const ConvexPolygon& domain, int k,
+                             const Vec2* focal,
+                             const std::vector<double>* half_dists) {
+  LBSAGG_CHECK_GE(k, 1);
+  LBSAGG_CHECK(!domain.IsEmpty());
+
+  std::vector<LevelPiece> pieces;
+  pieces.push_back({domain, 0});
+  const double area_eps = domain.Area() * 1e-14;
+
+  Box bbox = domain.BoundingBox();
+  const double margin = DomainScale(bbox) * 1e-6;
+  double r_far = focal ? FarthestCornerDistance(bbox, *focal) : 0.0;
+  bool dirty = false;
+
+  std::vector<Line> active;
+  active.reserve(lines.size());
+  for (size_t i = 0; i < lines.size(); ++i) {
+    if (dirty) {
+      bbox = PiecesBoundingBox(pieces);
+      if (focal) r_far = FarthestCornerDistance(bbox, *focal);
+      dirty = false;
+    }
+    if (half_dists && (*half_dists)[i] > r_far + margin) break;
+    if (NegativeWithMargin(lines[i], bbox, margin)) continue;
+    active.push_back(lines[i]);
+    if (ApplyLine(pieces, lines[i], k, area_eps)) dirty = true;
+    if (pieces.empty()) break;
+  }
+  return FinalizeRegion(std::move(pieces), active, domain, k);
+}
 
 }  // namespace
 
@@ -121,105 +296,25 @@ TopkRegion ComputeLevelRegionFromLines(const std::vector<Line>& lines,
 
 TopkRegion ComputeLevelRegionFromLines(const std::vector<Line>& lines,
                                        const ConvexPolygon& domain, int k) {
+  return LevelRegionPruned(lines, domain, k, /*focal=*/nullptr,
+                           /*half_dists=*/nullptr);
+}
+
+TopkRegion ComputeLevelRegionFromLinesUnpruned(const std::vector<Line>& lines,
+                                               const ConvexPolygon& domain,
+                                               int k) {
   LBSAGG_CHECK_GE(k, 1);
   LBSAGG_CHECK(!domain.IsEmpty());
 
-  std::vector<Piece> pieces;
+  std::vector<LevelPiece> pieces;
   pieces.push_back({domain, 0});
-
   const double area_eps = domain.Area() * 1e-14;
 
   for (const Line& line : lines) {
-    std::vector<Piece> next;
-    next.reserve(pieces.size() + 4);
-    for (Piece& piece : pieces) {
-      // Classify the piece against the line.
-      bool any_neg = false;
-      bool any_pos = false;
-      for (const Vec2& v : piece.poly.vertices()) {
-        const double s = line.Side(v);
-        if (s < 0) any_neg = true;
-        if (s > 0) any_pos = true;
-        if (any_neg && any_pos) break;
-      }
-      if (!any_pos) {
-        next.push_back(std::move(piece));
-        continue;
-      }
-      if (!any_neg) {
-        piece.closer_count += 1;
-        if (piece.closer_count < k) next.push_back(std::move(piece));
-        continue;
-      }
-      auto [neg, pos] = piece.poly.Split(line);
-      if (!neg.IsEmpty() && neg.Area() > area_eps) {
-        next.push_back({std::move(neg), piece.closer_count});
-      }
-      if (!pos.IsEmpty() && pos.Area() > area_eps &&
-          piece.closer_count + 1 < k) {
-        next.push_back({std::move(pos), piece.closer_count + 1});
-      }
-    }
-    pieces = std::move(next);
+    ApplyLine(pieces, line, k, area_eps);
     if (pieces.empty()) break;
   }
-
-  TopkRegion region;
-  region.pieces.reserve(pieces.size());
-  for (Piece& piece : pieces) {
-    region.area += piece.poly.Area();
-    region.pieces.push_back(std::move(piece.poly));
-  }
-  if (region.pieces.empty()) return region;
-
-  // --- Boundary extraction: cancel interior shared edges. ---
-  const Box rbox = region.BoundingBox();
-  const double scale =
-      std::max({1.0, std::abs(rbox.lo.x), std::abs(rbox.lo.y),
-                std::abs(rbox.hi.x), std::abs(rbox.hi.y)});
-  const double grid = scale * 1e-9;
-  const double len_eps = scale * 1e-12;
-
-  struct EdgeRec {
-    Segment seg;
-    int count = 0;
-  };
-  std::unordered_map<EdgeKey, EdgeRec, EdgeKeyHash> edges;
-  for (const ConvexPolygon& piece : region.pieces) {
-    const auto& vs = piece.vertices();
-    for (size_t i = 0; i < vs.size(); ++i) {
-      const Vec2& a = vs[i];
-      const Vec2& b = vs[(i + 1) % vs.size()];
-      if (Distance(a, b) <= len_eps) continue;
-      const EdgeKey key = UndirectedKey(Quantize(a, grid), Quantize(b, grid));
-      auto [it, inserted] = edges.try_emplace(key, EdgeRec{Segment(a, b), 0});
-      it->second.count += 1;
-    }
-  }
-
-  // Robust second filter: an edge is on the boundary iff nudging its
-  // midpoint to the two sides gives different membership. This corrects the
-  // rare case where adjacent pieces subdivide a shared edge differently and
-  // the hash-cancellation leaves both halves behind.
-  const double nudge = scale * 1e-7;
-  auto in_region = [&](const Vec2& p) {
-    if (!domain.Contains(p, 0.0)) return false;
-    int count = 0;
-    for (const Line& line : lines) {
-      if (line.Side(p) > 0 && ++count >= k) return false;
-    }
-    return true;
-  };
-  for (auto& [key, rec] : edges) {
-    if (rec.count != 1) continue;  // interior (shared) edge
-    const Vec2 mid = rec.seg.Midpoint();
-    const Vec2 n = Normalized(Perp(rec.seg.b - rec.seg.a));
-    const bool side1 = in_region(mid + n * nudge);
-    const bool side2 = in_region(mid - n * nudge);
-    if (side1 != side2) region.boundary_edges.push_back(rec.seg);
-  }
-
-  return region;
+  return FinalizeRegion(std::move(pieces), lines, domain, k);
 }
 
 TopkRegion ComputeTopkRegion(const Vec2& focal,
@@ -228,11 +323,15 @@ TopkRegion ComputeTopkRegion(const Vec2& focal,
   return ComputeTopkRegion(focal, others, ConvexPolygon::FromBox(box), k);
 }
 
-TopkRegion ComputeTopkRegion(const Vec2& focal,
-                             const std::vector<Vec2>& others,
-                             const ConvexPolygon& domain, int k) {
-  // Sort bisectors by distance to the focal point: near points prune pieces
-  // earliest and keep the live piece count small.
+namespace {
+
+// Bisectors of (focal, others), nearest first, with each line's distance to
+// the focal point (half the point distance) alongside. Near bisectors prune
+// pieces earliest and keep the live piece count small; the ascending
+// half-distances feed the early break in LevelRegionPruned.
+void SortedBisectors(const Vec2& focal, const std::vector<Vec2>& others,
+                     std::vector<Line>& lines,
+                     std::vector<double>& half_dists) {
   std::vector<Vec2> sorted;
   sorted.reserve(others.size());
   for (const Vec2& o : others) {
@@ -242,12 +341,69 @@ TopkRegion ComputeTopkRegion(const Vec2& focal,
     return SquaredDistance(a, focal) < SquaredDistance(b, focal);
   });
 
-  std::vector<Line> lines;
   lines.reserve(sorted.size());
+  half_dists.reserve(sorted.size());
   for (const Vec2& o : sorted) {
     lines.push_back(Line::Bisector(focal, o));  // Side < 0 <=> closer to t
+    half_dists.push_back(0.5 * Distance(focal, o));
   }
-  return ComputeLevelRegionFromLines(lines, domain, k);
+}
+
+}  // namespace
+
+TopkRegion ComputeTopkRegion(const Vec2& focal,
+                             const std::vector<Vec2>& others,
+                             const ConvexPolygon& domain, int k) {
+  std::vector<Line> lines;
+  std::vector<double> half_dists;
+  SortedBisectors(focal, others, lines, half_dists);
+  return LevelRegionPruned(lines, domain, k, &focal, &half_dists);
+}
+
+TopkRegion ComputeTopkRegionUnpruned(const Vec2& focal,
+                                     const std::vector<Vec2>& others,
+                                     const ConvexPolygon& domain, int k) {
+  std::vector<Line> lines;
+  std::vector<double> half_dists;
+  SortedBisectors(focal, others, lines, half_dists);
+  return ComputeLevelRegionFromLinesUnpruned(lines, domain, k);
+}
+
+TopkRegionRefiner::TopkRegionRefiner(const ConvexPolygon& domain, int k)
+    : k_(k), domain_(domain) {
+  LBSAGG_CHECK_GE(k, 1);
+  LBSAGG_CHECK(!domain.IsEmpty());
+  area_eps_ = domain.Area() * 1e-14;
+  bbox_ = domain.BoundingBox();
+  margin_ = DomainScale(bbox_) * 1e-6;
+  pieces_.push_back({domain, 0});
+}
+
+void TopkRegionRefiner::AddLine(const Line& line) {
+  if (pieces_.empty()) return;
+  if (bbox_dirty_) {
+    bbox_ = PiecesBoundingBox(pieces_);
+    bbox_dirty_ = false;
+  }
+  if (NegativeWithMargin(line, bbox_, margin_)) return;
+  lines_.push_back(line);
+  if (ApplyLine(pieces_, line, k_, area_eps_)) bbox_dirty_ = true;
+}
+
+void TopkRegionRefiner::AddPoints(const Vec2& focal,
+                                  std::vector<Vec2> new_others) {
+  std::sort(new_others.begin(), new_others.end(),
+            [&](const Vec2& a, const Vec2& b) {
+              return SquaredDistance(a, focal) < SquaredDistance(b, focal);
+            });
+  for (const Vec2& o : new_others) {
+    if (SquaredDistance(o, focal) == 0.0) continue;
+    AddLine(Line::Bisector(focal, o));
+  }
+}
+
+TopkRegion TopkRegionRefiner::Region() const {
+  return FinalizeRegion(pieces_, lines_, domain_, k_);
 }
 
 ConvexPolygon InscribedCirclePolygon(const Vec2& center, double radius,

@@ -21,6 +21,7 @@ bool LbsClient::HasBudget(uint64_t upcoming) const {
 
 void LbsClient::SetPassThroughFilter(TupleFilter filter) {
   filter_ = std::move(filter);
+  memo_.clear();
 }
 
 AttrValue LbsClient::Attribute(int id, int col) const {
@@ -44,8 +45,24 @@ std::vector<ServerHit> LbsClient::RawQuery(const Vec2& q) {
   return server_->Query(q, k_, filter_);
 }
 
+const std::vector<ServerHit>& LbsClient::MemoQuery(const Vec2& q) {
+  if (!options_.memoize_queries) {
+    memo_scratch_ = RawQuery(q);
+    return memo_scratch_;
+  }
+  if (memo_grid_ == 0.0) memo_grid_ = LocKeyGrid(region());
+  const LocKey key = MakeLocKey(q, memo_grid_);
+  auto [it, inserted] = memo_.try_emplace(key);
+  if (inserted) {
+    it->second = RawQuery(q);
+  } else {
+    ++memo_hits_;
+  }
+  return it->second;
+}
+
 std::vector<LrClient::Item> LrClient::Query(const Vec2& q) {
-  const std::vector<ServerHit> hits = RawQuery(q);
+  const std::vector<ServerHit>& hits = MemoQuery(q);
   std::vector<Item> items;
   items.reserve(hits.size());
   for (const ServerHit& h : hits) {
@@ -56,7 +73,7 @@ std::vector<LrClient::Item> LrClient::Query(const Vec2& q) {
 }
 
 std::vector<int> LnrClient::Query(const Vec2& q) {
-  const std::vector<ServerHit> hits = RawQuery(q);
+  const std::vector<ServerHit>& hits = MemoQuery(q);
   std::vector<int> ids;
   ids.reserve(hits.size());
   for (const ServerHit& h : hits) ids.push_back(h.tuple_id);

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "geometry/loc_key.h"
 #include "lbs/server.h"
 
 namespace lbsagg {
@@ -20,6 +21,15 @@ struct ClientOptions {
   // but estimators consult HasBudget() before starting new work, which is
   // how the paper's fixed-budget experiments operate.
   uint64_t budget = 0;
+
+  // Cross-round query memo: remember every (quantized location → answer)
+  // pair and answer repeats client-side at zero interface cost. The service
+  // is static, so a repeated query is pure waste — the refinement loops
+  // deduplicate within one cell computation already, but neighboring cells
+  // and Monte-Carlo rounds re-probe the same vertices. Off by default
+  // because two locations closer than ~1e-9 of the region scale share a
+  // memo slot, so counted-query traces differ from the memo-less run.
+  bool memoize_queries = false;
 };
 
 // Base of the restricted public interfaces. Owns query accounting — the
@@ -43,7 +53,19 @@ class LbsClient {
 
   // Appends a pass-through selection condition to every future query
   // (§5.1, e.g. NAME = 'Starbucks' on Google Places). Pass nullptr to clear.
+  // Invalidates the query memo: the same location now has a new answer.
   void SetPassThroughFilter(TupleFilter filter);
+
+  // True when the service ranks by plain ascending distance, i.e. results
+  // arrive already in the nearest-neighbor order the Theorem-1 rank tests
+  // need and clients may skip their re-sort.
+  bool distance_ranked() const {
+    return server_->options().ranking == RankingMode::kDistance;
+  }
+
+  // Number of queries answered from the memo (always 0 unless
+  // ClientOptions::memoize_queries).
+  uint64_t memo_hits() const { return memo_hits_; }
 
   // Attribute access for tuples the service returned: both LR and LNR
   // interfaces return non-location attributes (name, rating, gender, …).
@@ -69,6 +91,11 @@ class LbsClient {
   // Issues one counted query.
   std::vector<ServerHit> RawQuery(const Vec2& q);
 
+  // Counted query behind the cross-round memo: a memo hit costs zero
+  // interface queries and leaves no query-log entry. Identical to RawQuery
+  // unless ClientOptions::memoize_queries.
+  const std::vector<ServerHit>& MemoQuery(const Vec2& q);
+
   const LbsServer* server_;
 
  private:
@@ -78,6 +105,12 @@ class LbsClient {
   uint64_t queries_used_ = 0;
   bool log_queries_ = false;
   std::vector<Vec2> query_log_;
+
+  // Cross-round memo (see ClientOptions::memoize_queries).
+  double memo_grid_ = 0.0;
+  uint64_t memo_hits_ = 0;
+  std::unordered_map<LocKey, std::vector<ServerHit>, LocKeyHash> memo_;
+  std::vector<ServerHit> memo_scratch_;  // MemoQuery result when memo is off
 };
 
 // Location-Returned LBS interface (Google Maps): ranked ids + precise

@@ -5,6 +5,21 @@
 
 namespace lbsagg {
 
+namespace {
+
+// One scan candidate keyed by squared distance — the shared candidate order
+// of every SpatialIndex implementation (see spatial_index.h).
+struct Candidate {
+  double d2;
+  int index;
+};
+
+inline bool Better(const Candidate& a, const Candidate& b) {
+  return a.d2 < b.d2 || (a.d2 == b.d2 && a.index < b.index);
+}
+
+}  // namespace
+
 BruteForceIndex::BruteForceIndex(std::vector<Vec2> points)
     : points_(std::move(points)) {}
 
@@ -14,28 +29,28 @@ std::vector<Neighbor> BruteForceIndex::Nearest(const Vec2& q, int k) const {
 
 std::vector<Neighbor> BruteForceIndex::NearestFiltered(
     const Vec2& q, int k, const IndexFilter& filter) const {
-  std::vector<Neighbor> all;
+  std::vector<Candidate> all;
   all.reserve(points_.size());
   for (size_t i = 0; i < points_.size(); ++i) {
     if (filter && !filter(static_cast<int>(i))) continue;
-    all.push_back({static_cast<int>(i), Distance(q, points_[i])});
+    all.push_back({SquaredDistance(q, points_[i]), static_cast<int>(i)});
   }
   const size_t keep = std::min<size_t>(k < 0 ? 0 : k, all.size());
-  std::partial_sort(all.begin(), all.begin() + keep, all.end(),
-                    [](const Neighbor& a, const Neighbor& b) {
-                      return a.distance < b.distance ||
-                             (a.distance == b.distance && a.index < b.index);
-                    });
-  all.resize(keep);
-  return all;
+  std::partial_sort(all.begin(), all.begin() + keep, all.end(), Better);
+  std::vector<Neighbor> result(keep);
+  for (size_t i = 0; i < keep; ++i) {
+    result[i] = {all[i].index, std::sqrt(all[i].d2)};
+  }
+  return result;
 }
 
 std::vector<Neighbor> BruteForceIndex::WithinRadius(const Vec2& q,
                                                     double radius) const {
+  const double r2 = radius * radius;
   std::vector<Neighbor> result;
   for (size_t i = 0; i < points_.size(); ++i) {
-    const double d = Distance(q, points_[i]);
-    if (d <= radius) result.push_back({static_cast<int>(i), d});
+    const double d2 = SquaredDistance(q, points_[i]);
+    if (d2 <= r2) result.push_back({static_cast<int>(i), std::sqrt(d2)});
   }
   return result;
 }

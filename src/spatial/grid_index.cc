@@ -45,11 +45,17 @@ std::vector<Neighbor> GridIndex::NearestFiltered(
     const Vec2& q, int k, const IndexFilter& filter) const {
   if (k <= 0 || points_.empty()) return {};
 
-  auto cmp = [](const Neighbor& a, const Neighbor& b) {
-    return a.distance < b.distance ||
-           (a.distance == b.distance && a.index < b.index);
+  // Candidates keyed by squared distance — the shared candidate order of
+  // every SpatialIndex implementation (see spatial_index.h).
+  struct Candidate {
+    double d2;
+    int index;
   };
-  std::priority_queue<Neighbor, std::vector<Neighbor>, decltype(cmp)> heap(cmp);
+  auto cmp = [](const Candidate& a, const Candidate& b) {
+    return a.d2 < b.d2 || (a.d2 == b.d2 && a.index < b.index);
+  };
+  std::priority_queue<Candidate, std::vector<Candidate>, decltype(cmp)> heap(
+      cmp);
 
   const int qx = CellX(q.x);
   const int qy = CellY(q.y);
@@ -63,9 +69,9 @@ std::vector<Neighbor> GridIndex::NearestFiltered(
     // Stop once the heap is full and no point in this ring (or beyond) can
     // beat the current k-th: every cell at ring distance r is at least
     // (r-1) * cell_min away from q.
-    if (heap.size() == static_cast<size_t>(k) &&
-        static_cast<double>(ring - 1) * cell_min > heap.top().distance) {
-      break;
+    if (heap.size() == static_cast<size_t>(k)) {
+      const double bound = static_cast<double>(ring - 1) * cell_min;
+      if (bound > 0 && bound * bound > heap.top().d2) break;
     }
     for (int cy = qy - ring; cy <= qy + ring; ++cy) {
       if (cy < 0 || cy >= ny_) continue;
@@ -75,7 +81,7 @@ std::vector<Neighbor> GridIndex::NearestFiltered(
         if (std::max(std::abs(cx - qx), std::abs(cy - qy)) != ring) continue;
         for (int index : Bucket(cx, cy)) {
           if (filter && !filter(index)) continue;
-          const Neighbor candidate{index, Distance(q, points_[index])};
+          const Candidate candidate{SquaredDistance(q, points_[index]), index};
           if (heap.size() < static_cast<size_t>(k)) {
             heap.push(candidate);
           } else if (cmp(candidate, heap.top())) {
@@ -89,7 +95,7 @@ std::vector<Neighbor> GridIndex::NearestFiltered(
 
   std::vector<Neighbor> result(heap.size());
   for (size_t i = result.size(); i-- > 0;) {
-    result[i] = heap.top();
+    result[i] = {heap.top().index, std::sqrt(heap.top().d2)};
     heap.pop();
   }
   return result;
@@ -100,6 +106,7 @@ std::vector<Neighbor> GridIndex::WithinRadius(const Vec2& q,
   LBSAGG_CHECK_GE(radius, 0.0);
   std::vector<Neighbor> result;
   if (points_.empty()) return result;
+  const double r2 = radius * radius;
   const int cx_lo = CellX(q.x - radius);
   const int cx_hi = CellX(q.x + radius);
   const int cy_lo = CellY(q.y - radius);
@@ -107,8 +114,8 @@ std::vector<Neighbor> GridIndex::WithinRadius(const Vec2& q,
   for (int cy = cy_lo; cy <= cy_hi; ++cy) {
     for (int cx = cx_lo; cx <= cx_hi; ++cx) {
       for (int index : Bucket(cx, cy)) {
-        const double d = Distance(q, points_[index]);
-        if (d <= radius) result.push_back({index, d});
+        const double d2 = SquaredDistance(q, points_[index]);
+        if (d2 <= r2) result.push_back({index, std::sqrt(d2)});
       }
     }
   }

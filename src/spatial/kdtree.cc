@@ -2,95 +2,433 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <numeric>
-#include <queue>
 
 #include "util/check.h"
 
 namespace lbsagg {
 
-KdTree::KdTree(std::vector<Vec2> points) : points_(std::move(points)) {
-  if (points_.empty()) return;
-  std::vector<int> indices(points_.size());
-  std::iota(indices.begin(), indices.end(), 0);
-  nodes_.reserve(points_.size());
-  root_ = Build(indices, 0, static_cast<int>(indices.size()), 0);
+namespace {
+
+// Heap candidate. `d2` is the squared distance: the shared candidate order
+// of all SpatialIndex implementations is (squared distance, index) — see
+// spatial_index.h — and sqrt is taken only for the candidates that survive.
+struct Candidate {
+  double d2;
+  int32_t index;
+};
+
+inline bool Better(const Candidate& a, const Candidate& b) {
+  return a.d2 < b.d2 || (a.d2 == b.d2 && a.index < b.index);
 }
 
-int KdTree::Build(std::vector<int>& indices, int lo, int hi, int depth) {
-  if (lo >= hi) return -1;
-  const int axis = depth % 2;
-  const int mid = (lo + hi) / 2;
-  std::nth_element(indices.begin() + lo, indices.begin() + mid,
-                   indices.begin() + hi, [&](int a, int b) {
-                     return axis == 0 ? points_[a].x < points_[b].x
-                                      : points_[a].y < points_[b].y;
-                   });
-  const int node_index = static_cast<int>(nodes_.size());
+// Search stack entry: a pending subtree plus the per-axis offsets from the
+// query to the subtree's region (0 when the query is inside its slab) and
+// their squared sum. The offsets are exact coordinate differences and every
+// point p inside satisfies |q.x - p.x| >= ox, |q.y - p.y| >= oy in exact
+// double comparisons; x >= y implies fl(x*x) >= fl(y*y) and fl(a+b) is
+// monotone for non-negative operands, so `bound2` never exceeds the d2 the
+// leaf scan would compute — the pruning test `bound2 > worst2` can never
+// discard a candidate the heap would accept, and results stay bit-exact.
+struct PendingNode {
+  int32_t node;
+  double bound2;
+  double ox;
+  double oy;
+};
+
+// Balanced median splits with kLeafSize buckets keep the depth at
+// ceil(log2(n / kLeafSize)) + 1, far below this for any addressable n.
+constexpr int kMaxStack = 64;
+
+// Reads point id j from a leaf block whose id section starts at `ids`
+// (int32s packed into the doubles that follow the y coordinates). memcpy
+// keeps the type-punned load aliasing-safe; it compiles to one 4-byte load.
+inline int32_t LoadId(const double* ids, int j) {
+  int32_t v;
+  std::memcpy(&v, reinterpret_cast<const char*>(ids) + 4 * j, 4);
+  return v;
+}
+
+}  // namespace
+
+KdTree::KdTree(std::vector<Vec2> points) {
+  const int n = static_cast<int>(points.size());
+  size_ = static_cast<size_t>(n);
+  if (n == 0) return;
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  nodes_.reserve(static_cast<size_t>(2 * n) / kLeafSize + 2);
+  Build(order, points, 0, n, 1);
+  // The search stack holds at most one pending far-subtree per level plus
+  // the root entry.
+  LBSAGG_CHECK_LT(depth_ + 1, kMaxStack);
+  // Lay out one interleaved block per leaf: count xs, count ys, then count
+  // int32 ids packed into ceil(count/2) doubles, the whole block rounded up
+  // to a whole number of cache lines so every bucket scan is one contiguous
+  // run the hardware prefetcher streams.
+  size_t total = 0;
+  for (Node& nd : nodes_) {
+    if (!(nd.tag & kLeafBit)) continue;
+    const int count = static_cast<int>(nd.tag & ~kLeafBit);
+    const size_t doubles = 2 * count + (count + 1) / 2;
+    total += (doubles + 7) & ~size_t{7};
+  }
+  blob_.assign(total, 0.0);
+  size_t off = 0;
+  for (Node& nd : nodes_) {
+    if (!(nd.tag & kLeafBit)) continue;
+    const int lo = nd.right;  // first slot in `order` (set by Build)
+    const int count = static_cast<int>(nd.tag & ~kLeafBit);
+    nd.right = static_cast<int32_t>(off);
+    double* xb = blob_.data() + off;
+    double* yb = xb + count;
+    for (int j = 0; j < count; ++j) {
+      xb[j] = points[order[lo + j]].x;
+      yb[j] = points[order[lo + j]].y;
+      const int32_t id = order[lo + j];
+      std::memcpy(reinterpret_cast<char*>(yb + count) + 4 * j, &id, 4);
+    }
+    const size_t doubles = 2 * count + (count + 1) / 2;
+    off += (doubles + 7) & ~size_t{7};
+  }
+}
+
+int KdTree::Build(std::vector<int>& order, const std::vector<Vec2>& input,
+                  int lo, int hi, int depth) {
+  const int me = static_cast<int>(nodes_.size());
   nodes_.push_back(Node{});
-  nodes_[node_index].point = indices[mid];
-  nodes_[node_index].axis = axis;
-  const int left = Build(indices, lo, mid, depth + 1);
-  const int right = Build(indices, mid + 1, hi, depth + 1);
-  nodes_[node_index].left = left;
-  nodes_[node_index].right = right;
-  return node_index;
+  depth_ = std::max(depth_, depth);
+  if (hi - lo <= kLeafSize) {
+    nodes_[me].right = lo;
+    nodes_[me].tag = kLeafBit | static_cast<uint32_t>(hi - lo);
+    return me;
+  }
+  // Split the wider extent of the bucket's bounding box: on skewed data this
+  // keeps cells close to square, which is what makes the axis-gap pruning
+  // bound tight.
+  double min_x = input[order[lo]].x, max_x = min_x;
+  double min_y = input[order[lo]].y, max_y = min_y;
+  for (int i = lo + 1; i < hi; ++i) {
+    const Vec2& p = input[order[i]];
+    min_x = std::min(min_x, p.x);
+    max_x = std::max(max_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_y = std::max(max_y, p.y);
+  }
+  const int axis = (max_x - min_x) >= (max_y - min_y) ? 0 : 1;
+  const int mid = lo + (hi - lo) / 2;
+  std::nth_element(order.begin() + lo, order.begin() + mid, order.begin() + hi,
+                   [&](int a, int b) {
+                     return axis == 0 ? input[a].x < input[b].x
+                                      : input[a].y < input[b].y;
+                   });
+  // Left = [lo, mid) holds coords <= split, right = [mid, hi) coords >=
+  // split (the median itself goes right); both sides are non-empty because
+  // hi - lo > kLeafSize.
+  nodes_[me].split = axis == 0 ? input[order[mid]].x : input[order[mid]].y;
+  nodes_[me].tag = static_cast<uint32_t>(axis);
+  Build(order, input, lo, mid, depth + 1);
+  nodes_[me].right = Build(order, input, mid, hi, depth + 1);
+  return me;
 }
 
-template <typename Visit>
-void KdTree::Search(int node, const Vec2& q, double& worst,
-                    Visit&& visit) const {
-  if (node < 0) return;
-  const Node& n = nodes_[node];
-  const Vec2& p = points_[n.point];
-  visit(n.point, Distance(q, p));
-  const double diff = n.axis == 0 ? q.x - p.x : q.y - p.y;
-  const int near = diff <= 0 ? n.left : n.right;
-  const int far = diff <= 0 ? n.right : n.left;
-  Search(near, q, worst, visit);
-  if (std::abs(diff) <= worst) Search(far, q, worst, visit);
+template <typename Accept>
+void KdTree::SearchKnnSmall(const Vec2& q, int k, const Accept& accept,
+                            std::vector<Neighbor>& out) const {
+  // Small-k variant (k <= kLeafSize): the best k candidates live in a
+  // sorted array maintained by insertion — a few compares and a short
+  // memmove per improving candidate. The screen is exact at every step
+  // (d2 of the current k-th best), so pruning is as tight as possible and
+  // the final result needs no sort.
+  Candidate best[kLeafSize];
+  int m = 0;
+  double worst2 = std::numeric_limits<double>::infinity();
+
+  double d2s[kLeafSize];
+  PendingNode stack[kMaxStack];
+  int sp = 0;
+  stack[sp++] = {0, 0.0, 0.0, 0.0};
+  while (sp > 0) {
+    const PendingNode top = stack[--sp];
+    if (top.bound2 > worst2) continue;
+    int32_t node = top.node;
+    double ox = top.ox, oy = top.oy;
+    while (!(nodes_[node].tag & kLeafBit)) {
+      const Node& nd = nodes_[node];
+      const double diff = (nd.tag == 0 ? q.x : q.y) - nd.split;
+      const int32_t near = diff <= 0 ? node + 1 : nd.right;
+      const int32_t far = diff <= 0 ? nd.right : node + 1;
+      const double fox = nd.tag == 0 ? std::abs(diff) : ox;
+      const double foy = nd.tag == 0 ? oy : std::abs(diff);
+      const double fbound2 = fox * fox + foy * foy;
+      if (fbound2 <= worst2) {
+        stack[sp++] = {far, fbound2, fox, foy};
+        __builtin_prefetch(&nodes_[far]);
+      }
+      node = near;
+    }
+    const Node& leaf = nodes_[node];
+    const double* xb = blob_.data() + leaf.right;
+    const int count = static_cast<int>(leaf.tag & ~kLeafBit);
+    const double* yb = xb + count;
+    const double* ib = yb + count;
+    for (int j = 0; j < count; ++j) {
+      const double dx = xb[j] - q.x;
+      const double dy = yb[j] - q.y;
+      d2s[j] = dx * dx + dy * dy;
+    }
+    for (int j = 0; j < count; ++j) {
+      if (d2s[j] > worst2) continue;
+      const int32_t id = LoadId(ib, j);
+      if (!accept(id)) continue;
+      const Candidate c{d2s[j], id};
+      // Insert into the sorted prefix; when full, the last element falls
+      // off. A candidate tying the current worst on (d2, index) lands at
+      // pos == m and is dropped, matching the heap path's tie-break.
+      int pos = m;
+      while (pos > 0 && Better(c, best[pos - 1])) --pos;
+      if (m < k) {
+        ++m;
+      } else if (pos == m) {
+        continue;
+      }
+      for (int s = m - 1; s > pos; --s) best[s] = best[s - 1];
+      best[pos] = c;
+      if (m == k) worst2 = best[m - 1].d2;
+    }
+  }
+
+  out.resize(m);
+  for (int i = 0; i < m; ++i) {
+    out[i] = {best[i].index, std::sqrt(best[i].d2)};
+  }
+}
+
+template <typename Accept>
+void KdTree::SearchKnn(const Vec2& q, int k, const Accept& accept,
+                       std::vector<Neighbor>& out) const {
+  // Candidates are appended to a buffer guarded by a lazy screen `worst2`
+  // (the k-th best d2 seen so far, +inf until k have been seen). When the
+  // buffer reaches 2k entries an nth_element compaction keeps the k best
+  // under the (d2, index) order and tightens the screen — O(1) amortized
+  // per candidate, no per-candidate heap sifts. A dropped candidate is
+  // worse than k candidates that stay, so it can never re-enter the final
+  // top k: the result is exactly the k best, as with a strict heap.
+  // The buffer lives on the stack for any k an LBS interface allows; an
+  // oversized k falls back to one scratch allocation.
+  const int cap = 2 * k;
+  Candidate inline_buf[512];
+  std::vector<Candidate> spill;
+  Candidate* buf = inline_buf;
+  if (cap > 512) {
+    spill.resize(cap);
+    buf = spill.data();
+  }
+  int m = 0;
+  double worst2 = std::numeric_limits<double>::infinity();
+  const auto compact = [&] {
+    std::nth_element(buf, buf + k - 1, buf + m, Better);
+    m = k;
+    worst2 = buf[k - 1].d2;
+  };
+
+  double d2s[kLeafSize];
+  PendingNode stack[kMaxStack];
+  int sp = 0;
+  stack[sp++] = {0, 0.0, 0.0, 0.0};
+  while (sp > 0) {
+    const PendingNode top = stack[--sp];
+    if (top.bound2 > worst2) continue;
+    int32_t node = top.node;
+    double ox = top.ox, oy = top.oy;
+    // Descend to the leaf on the query's side, deferring far subtrees.
+    while (!(nodes_[node].tag & kLeafBit)) {
+      const Node& nd = nodes_[node];
+      const double diff = (nd.tag == 0 ? q.x : q.y) - nd.split;
+      const int32_t near = diff <= 0 ? node + 1 : nd.right;
+      const int32_t far = diff <= 0 ? nd.right : node + 1;
+      // Crossing to the far child replaces that axis' offset with the gap
+      // to the split plane (regions nest, so it can only grow).
+      const double fox = nd.tag == 0 ? std::abs(diff) : ox;
+      const double foy = nd.tag == 0 ? oy : std::abs(diff);
+      const double fbound2 = fox * fox + foy * foy;
+      if (fbound2 <= worst2) {
+        stack[sp++] = {far, fbound2, fox, foy};
+        __builtin_prefetch(&nodes_[far]);
+      }
+      node = near;
+    }
+    const Node& leaf = nodes_[node];
+    const double* xb = blob_.data() + leaf.right;
+    const int count = static_cast<int>(leaf.tag & ~kLeafBit);
+    const double* yb = xb + count;
+    const double* ib = yb + count;
+    // Branch-free distance pass over the bucket (vectorizable), then the
+    // scalar heap pass over the few that can matter.
+    for (int j = 0; j < count; ++j) {
+      const double dx = xb[j] - q.x;
+      const double dy = yb[j] - q.y;
+      d2s[j] = dx * dx + dy * dy;
+    }
+    for (int j = 0; j < count; ++j) {
+      if (d2s[j] > worst2) continue;
+      const int32_t id = LoadId(ib, j);
+      if (!accept(id)) continue;
+      buf[m++] = {d2s[j], id};
+      if (m == cap) compact();
+    }
+    // Eager first compaction: until k candidates have been seen the screen
+    // is +inf and nothing prunes, so tighten it at the first opportunity —
+    // typically right after the query's home leaf.
+    if (worst2 == std::numeric_limits<double>::infinity() && m >= k) compact();
+  }
+
+  if (m > k) compact();
+  std::sort(buf, buf + m, Better);
+  out.resize(m);
+  for (int i = 0; i < m; ++i) {
+    out[i] = {buf[i].index, std::sqrt(buf[i].d2)};
+  }
+}
+
+template <typename Accept>
+void KdTree::SearchNn(const Vec2& q, const Accept& accept,
+                      std::vector<Neighbor>& out) const {
+  double best2 = std::numeric_limits<double>::infinity();
+  int32_t best = -1;
+  double d2s[kLeafSize];
+  PendingNode stack[kMaxStack];
+  int sp = 0;
+  stack[sp++] = {0, 0.0, 0.0, 0.0};
+  while (sp > 0) {
+    const PendingNode top = stack[--sp];
+    if (top.bound2 > best2) continue;
+    int32_t node = top.node;
+    double ox = top.ox, oy = top.oy;
+    while (!(nodes_[node].tag & kLeafBit)) {
+      const Node& nd = nodes_[node];
+      const double diff = (nd.tag == 0 ? q.x : q.y) - nd.split;
+      const int32_t near = diff <= 0 ? node + 1 : nd.right;
+      const int32_t far = diff <= 0 ? nd.right : node + 1;
+      const double fox = nd.tag == 0 ? std::abs(diff) : ox;
+      const double foy = nd.tag == 0 ? oy : std::abs(diff);
+      const double fbound2 = fox * fox + foy * foy;
+      if (fbound2 <= best2) {
+        stack[sp++] = {far, fbound2, fox, foy};
+        __builtin_prefetch(&nodes_[far]);
+      }
+      node = near;
+    }
+    const Node& leaf = nodes_[node];
+    const double* xb = blob_.data() + leaf.right;
+    const int count = static_cast<int>(leaf.tag & ~kLeafBit);
+    const double* yb = xb + count;
+    const double* ib = yb + count;
+    for (int j = 0; j < count; ++j) {
+      const double dx = xb[j] - q.x;
+      const double dy = yb[j] - q.y;
+      d2s[j] = dx * dx + dy * dy;
+    }
+    for (int j = 0; j < count; ++j) {
+      if (d2s[j] > best2) continue;
+      const int32_t id = LoadId(ib, j);
+      // Same (d2, index) order as the heap path: strict improvement, or a
+      // tie on d2 won by the smaller index.
+      if (d2s[j] == best2 && id >= best) continue;
+      if (!accept(id)) continue;
+      best2 = d2s[j];
+      best = id;
+    }
+  }
+  if (best >= 0) out.push_back({best, std::sqrt(best2)});
 }
 
 std::vector<Neighbor> KdTree::Nearest(const Vec2& q, int k) const {
-  return NearestFiltered(q, k, nullptr);
+  std::vector<Neighbor> out;
+  if (k <= 0 || nodes_.empty()) return out;
+  if (k == 1) {
+    SearchNn(q, [](int) { return true; }, out);
+  } else if (k <= kLeafSize) {
+    SearchKnnSmall(q, k, [](int) { return true; }, out);
+  } else {
+    SearchKnn(q, k, [](int) { return true; }, out);
+  }
+  return out;
 }
 
 std::vector<Neighbor> KdTree::NearestFiltered(const Vec2& q, int k,
                                               const IndexFilter& filter) const {
-  if (k <= 0 || root_ < 0) return {};
-  // Bounded max-heap of the best k accepted candidates.
-  auto cmp = [](const Neighbor& a, const Neighbor& b) {
-    return a.distance < b.distance ||
-           (a.distance == b.distance && a.index < b.index);
-  };
-  std::priority_queue<Neighbor, std::vector<Neighbor>, decltype(cmp)> heap(cmp);
-  double worst = std::numeric_limits<double>::infinity();
-  Search(root_, q, worst, [&](int index, double dist) {
-    if (filter && !filter(index)) return;
-    if (heap.size() < static_cast<size_t>(k)) {
-      heap.push({index, dist});
-    } else if (cmp({index, dist}, heap.top())) {
-      heap.pop();
-      heap.push({index, dist});
+  std::vector<Neighbor> out;
+  if (k <= 0 || nodes_.empty()) return out;
+  if (filter) {
+    const auto accept = [&filter](int index) { return filter(index); };
+    if (k == 1) {
+      SearchNn(q, accept, out);
+    } else if (k <= kLeafSize) {
+      SearchKnnSmall(q, k, accept, out);
+    } else {
+      SearchKnn(q, k, accept, out);
     }
-    if (heap.size() == static_cast<size_t>(k)) worst = heap.top().distance;
-  });
-  std::vector<Neighbor> result(heap.size());
-  for (size_t i = result.size(); i-- > 0;) {
-    result[i] = heap.top();
-    heap.pop();
+  } else {
+    const auto accept = [](int) { return true; };
+    if (k == 1) {
+      SearchNn(q, accept, out);
+    } else if (k <= kLeafSize) {
+      SearchKnnSmall(q, k, accept, out);
+    } else {
+      SearchKnn(q, k, accept, out);
+    }
   }
-  return result;
+  return out;
 }
 
 std::vector<Neighbor> KdTree::WithinRadius(const Vec2& q, double radius) const {
   LBSAGG_CHECK_GE(radius, 0.0);
   std::vector<Neighbor> result;
-  double worst = radius;
-  Search(root_, q, worst, [&](int index, double dist) {
-    if (dist <= radius) result.push_back({index, dist});
-  });
+  if (nodes_.empty()) return result;
+  const double r2 = radius * radius;
+  double d2s[kLeafSize];
+  PendingNode stack[kMaxStack];
+  int sp = 0;
+  stack[sp++] = {0, 0.0, 0.0, 0.0};
+  while (sp > 0) {
+    const PendingNode top = stack[--sp];
+    if (top.bound2 > r2) continue;
+    int32_t node = top.node;
+    double ox = top.ox, oy = top.oy;
+    while (!(nodes_[node].tag & kLeafBit)) {
+      const Node& nd = nodes_[node];
+      const double diff = (nd.tag == 0 ? q.x : q.y) - nd.split;
+      const int32_t near = diff <= 0 ? node + 1 : nd.right;
+      const int32_t far = diff <= 0 ? nd.right : node + 1;
+      const double fox = nd.tag == 0 ? std::abs(diff) : ox;
+      const double foy = nd.tag == 0 ? oy : std::abs(diff);
+      const double fbound2 = fox * fox + foy * foy;
+      if (fbound2 <= r2) {
+        stack[sp++] = {far, fbound2, fox, foy};
+        __builtin_prefetch(&nodes_[far]);
+      }
+      node = near;
+    }
+    const Node& leaf = nodes_[node];
+    const double* xb = blob_.data() + leaf.right;
+    const int count = static_cast<int>(leaf.tag & ~kLeafBit);
+    const double* yb = xb + count;
+    const double* ib = yb + count;
+    for (int j = 0; j < count; ++j) {
+      const double dx = xb[j] - q.x;
+      const double dy = yb[j] - q.y;
+      d2s[j] = dx * dx + dy * dy;
+    }
+    for (int j = 0; j < count; ++j) {
+      if (d2s[j] <= r2) {
+        result.push_back({LoadId(ib, j), std::sqrt(d2s[j])});
+      }
+    }
+  }
   return result;
 }
 

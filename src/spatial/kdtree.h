@@ -1,6 +1,7 @@
 #ifndef LBSAGG_SPATIAL_KDTREE_H_
 #define LBSAGG_SPATIAL_KDTREE_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "spatial/spatial_index.h"
@@ -13,14 +14,25 @@ namespace lbsagg {
 // issue tens of thousands of queries per run; our benchmarks issue
 // millions).
 //
-// The tree is immutable after construction; nodes are stored in a flat array
-// in depth-first order for cache-friendly traversal.
+// Layout (DESIGN.md "Hot path & complexity"): the tree is immutable after
+// construction and stored as a flat preorder node array — a node's left
+// child is the next array slot, so the near-side descent that dominates
+// every search walks contiguous memory. Each leaf owns one contiguous
+// 64-byte-aligned block holding its points' x coordinates, y coordinates,
+// and original indices back to back, so a bucket scan touches a single
+// short run of cache lines the hardware prefetcher streams. Searches are
+// iterative (explicit stack, bounded by the balanced depth) and keep the k
+// best candidates in a bounded max-heap in a stack buffer: no allocation
+// happens per query beyond the result vector the interface returns.
+//
+// Results are exactly the k smallest under the (distance, index) total
+// order, bit-identical to BruteForceIndex / GridIndex.
 class KdTree : public SpatialIndex {
  public:
   // Builds the tree over `points` in O(n log n).
   explicit KdTree(std::vector<Vec2> points);
 
-  size_t size() const override { return points_.size(); }
+  size_t size() const override { return size_; }
   std::vector<Neighbor> Nearest(const Vec2& q, int k) const override;
   std::vector<Neighbor> NearestFiltered(const Vec2& q, int k,
                                         const IndexFilter& filter) const
@@ -29,22 +41,50 @@ class KdTree : public SpatialIndex {
   std::vector<Neighbor> WithinRadius(const Vec2& q,
                                      double radius) const override;
 
+  // Maximum root-to-leaf depth (diagnostics; bounds the search stack).
+  int depth() const { return depth_; }
+
  private:
+  static constexpr int kLeafSize = 16;
+  static constexpr uint32_t kLeafBit = 0x80000000u;
+
+  // 16 bytes. Internal node: `split` is the splitting coordinate on axis
+  // `tag` (0 = x, 1 = y); the left child ([coords <= split]) is the next
+  // node in the array, the right child ([coords >= split]) is `right`.
+  // Leaf node: tag = kLeafBit | count, `right` = the leaf's block offset
+  // into `blob_` (in doubles): count x coords, then count y coords, then
+  // count int32 ids packed into the following doubles.
   struct Node {
-    int point = -1;    // index into points_
-    int left = -1;     // child node indices, -1 = leaf side empty
-    int right = -1;
-    int axis = 0;      // 0 = x, 1 = y
+    double split = 0.0;
+    int32_t right = -1;
+    uint32_t tag = 0;
   };
 
-  int Build(std::vector<int>& indices, int lo, int hi, int depth);
+  int Build(std::vector<int>& order, const std::vector<Vec2>& input, int lo,
+            int hi, int depth);
 
-  template <typename Visit>
-  void Search(int node, const Vec2& q, double& worst, Visit&& visit) const;
+  template <typename Accept>
+  void SearchKnn(const Vec2& q, int k, const Accept& accept,
+                 std::vector<Neighbor>& out) const;
 
-  std::vector<Vec2> points_;
+  // 2 <= k <= kLeafSize specialization: sorted insertion array, exact
+  // screen, no final sort.
+  template <typename Accept>
+  void SearchKnnSmall(const Vec2& q, int k, const Accept& accept,
+                      std::vector<Neighbor>& out) const;
+
+  // k == 1 specialization: the single best candidate is tracked in two
+  // registers instead of a heap.
+  template <typename Accept>
+  void SearchNn(const Vec2& q, const Accept& accept,
+                std::vector<Neighbor>& out) const;
+
+  // Per-leaf interleaved point blocks (see Node); blocks start on 64-byte
+  // boundaries so each bucket scan is one contiguous run of cache lines.
+  std::vector<double> blob_;
   std::vector<Node> nodes_;
-  int root_ = -1;
+  size_t size_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace lbsagg

@@ -10,6 +10,15 @@ namespace lbsagg {
 
 // One kNN search result: the index of the point in the indexed set and its
 // distance to the query location.
+//
+// Candidate ordering contract: every implementation ranks candidates by the
+// total order (squared distance, index) — squared distances are exact
+// products of coordinate differences, so the order is identical across
+// implementations regardless of traversal — and `distance` is the sqrt of
+// that squared distance. The kNN result of any two implementations over the
+// same point set is therefore bit-identical (spatial_equivalence_test.cc
+// enforces this; the LBS server relies on it to make the index backend
+// invisible through the interface).
 struct Neighbor {
   int index = -1;
   double distance = 0.0;

@@ -1,0 +1,132 @@
+// Randomized 3-way equivalence: KdTree, GridIndex, and BruteForceIndex must
+// return *bit-identical* results — same indices, same exact distance
+// doubles — for Nearest, NearestFiltered, and WithinRadius. The candidate
+// ordering contract in spatial_index.h (rank by exact (squared distance,
+// index)) makes this well-defined even under distance ties, which the
+// duplicate-point cases below force. The LBS server relies on this to make
+// the index backend invisible through the interface; every kd-tree search
+// specialization (k == 1, sorted-insertion small k, buffered large k) is
+// covered by the k values used here.
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "geometry/box.h"
+#include "spatial/brute_force.h"
+#include "spatial/grid_index.h"
+#include "spatial/kdtree.h"
+#include "util/rng.h"
+
+namespace lbsagg {
+namespace {
+
+const Box kBox({0, 0}, {1000, 1000});
+
+std::vector<Vec2> RandomPointsWithDuplicates(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Vec2> pts;
+  pts.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    // ~20% duplicates of an earlier point: forces exact distance ties so
+    // the (distance, index) tie-break order is actually exercised.
+    if (i > 0 && rng.Uniform01() < 0.2) {
+      pts.push_back(pts[rng.UniformInt(static_cast<uint64_t>(i))]);
+    } else {
+      pts.push_back(kBox.SamplePoint(rng));
+    }
+  }
+  return pts;
+}
+
+void ExpectIdentical(const std::vector<Neighbor>& a,
+                     const std::vector<Neighbor>& b, const char* label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].index, b[i].index) << label << " rank " << i;
+    // Bit-identical, not approximately equal.
+    EXPECT_EQ(a[i].distance, b[i].distance) << label << " rank " << i;
+  }
+}
+
+// WithinRadius is unsorted by contract; compare as sorted sets.
+void ExpectSameSet(std::vector<Neighbor> a, std::vector<Neighbor> b,
+                   const char* label) {
+  const auto by_index = [](const Neighbor& x, const Neighbor& y) {
+    return x.index < y.index;
+  };
+  std::sort(a.begin(), a.end(), by_index);
+  std::sort(b.begin(), b.end(), by_index);
+  ExpectIdentical(a, b, label);
+}
+
+// The k values cover all three KdTree search paths: the k == 1 register
+// path, the sorted-insertion path (2 <= k <= leaf size 16), and the
+// buffered-compaction path (k > 16), plus k > n truncation.
+const int kTestKs[] = {1, 2, 7, 16, 17, 50, 400};
+
+TEST(SpatialEquivalence, ThreeWayRandomized) {
+  for (const uint64_t seed : {1u, 2u, 3u, 4u}) {
+    const int n = 50 + static_cast<int>(seed) * 71;
+    const auto pts = RandomPointsWithDuplicates(n, seed);
+    const KdTree kd(pts);
+    const GridIndex grid(pts, kBox);
+    const BruteForceIndex brute(pts);
+    ASSERT_EQ(kd.size(), pts.size());
+
+    Rng rng(100 + seed);
+    for (int trial = 0; trial < 40; ++trial) {
+      // Mix of uniform queries and queries at (or near) data points, where
+      // zero distances and ties concentrate.
+      Vec2 q = kBox.SamplePoint(rng);
+      if (trial % 3 == 1) q = pts[rng.UniformInt(static_cast<uint64_t>(n))];
+      if (trial % 3 == 2) q = pts[rng.UniformInt(static_cast<uint64_t>(n))] + Vec2{1e-7, -1e-7};
+
+      for (const int k : kTestKs) {
+        const auto want = brute.Nearest(q, k);
+        ExpectIdentical(kd.Nearest(q, k), want, "kd Nearest");
+        ExpectIdentical(grid.Nearest(q, k), want, "grid Nearest");
+      }
+
+      const IndexFilter filter = [](int id) { return (id & 3) != 0; };
+      for (const int k : {1, 7, 30}) {
+        const auto want = brute.NearestFiltered(q, k, filter);
+        ExpectIdentical(kd.NearestFiltered(q, k, filter), want,
+                        "kd NearestFiltered");
+        ExpectIdentical(grid.NearestFiltered(q, k, filter), want,
+                        "grid NearestFiltered");
+      }
+
+      // Null filter must behave exactly like Nearest.
+      ExpectIdentical(kd.NearestFiltered(q, 9, nullptr), brute.Nearest(q, 9),
+                      "kd null filter");
+
+      for (const double radius : {0.0, 15.0, 120.0, 2000.0}) {
+        const auto want = brute.WithinRadius(q, radius);
+        ExpectSameSet(kd.WithinRadius(q, radius), want, "kd WithinRadius");
+        ExpectSameSet(grid.WithinRadius(q, radius), want,
+                      "grid WithinRadius");
+      }
+    }
+  }
+}
+
+TEST(SpatialEquivalence, AllPointsCoincident) {
+  const std::vector<Vec2> pts(37, Vec2{500, 500});
+  const KdTree kd(pts);
+  const BruteForceIndex brute(pts);
+  for (const int k : kTestKs) {
+    // Every distance ties; order must fall back to index order identically.
+    const auto got = kd.Nearest({400, 400}, k);
+    const auto want = brute.Nearest({400, 400}, k);
+    ExpectIdentical(got, want, "coincident Nearest");
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].index, static_cast<int>(i));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lbsagg

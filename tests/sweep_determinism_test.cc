@@ -1,0 +1,61 @@
+// SweepEstimators fans (spec, seed) tasks out over worker threads. Each
+// task is a pure function of its seed (every run owns its client and RNG;
+// the shared server and sampler are immutable), so the traces must be
+// bit-identical no matter how many threads execute them or how the atomic
+// counter interleaves. This is what makes every bench/fig*.cc number
+// reproducible on machines with different core counts.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/bench_common.h"
+
+namespace lbsagg {
+namespace bench {
+namespace {
+
+std::map<std::string, std::vector<RunResult>> RunSweep(unsigned num_threads) {
+  UsaOptions usa_opts;
+  usa_opts.num_pois = 400;
+  static const UsaScenario* usa = new UsaScenario(BuildUsaScenario(usa_opts));
+  static LbsServer* server = new LbsServer(usa->dataset.get(), {.max_k = 10});
+  static const UniformSampler* sampler =
+      new UniformSampler(usa->dataset->box());
+
+  const AggregateSpec aggregate = AggregateSpec::Count();
+  const std::vector<EstimatorSpec> specs = {
+      MakeLrSpec("lr", server, sampler, aggregate, /*k=*/3),
+      MakeNnoSpec("nno", server, aggregate, /*k=*/3),
+  };
+  return SweepEstimators(specs, /*runs=*/6, /*budget=*/300,
+                         /*seed_base=*/42, num_threads);
+}
+
+TEST(SweepDeterminism, OneVersusManyThreadsBitIdentical) {
+  const auto serial = RunSweep(1);
+  const auto parallel = RunSweep(4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (const auto& [name, runs] : serial) {
+    const auto it = parallel.find(name);
+    ASSERT_NE(it, parallel.end()) << name;
+    ASSERT_EQ(runs.size(), it->second.size()) << name;
+    for (size_t r = 0; r < runs.size(); ++r) {
+      const RunResult& a = runs[r];
+      const RunResult& b = it->second[r];
+      EXPECT_EQ(a.queries, b.queries) << name << " run " << r;
+      EXPECT_EQ(a.final_estimate, b.final_estimate) << name << " run " << r;
+      ASSERT_EQ(a.trace.size(), b.trace.size()) << name << " run " << r;
+      for (size_t i = 0; i < a.trace.size(); ++i) {
+        EXPECT_EQ(a.trace[i].queries, b.trace[i].queries);
+        EXPECT_EQ(a.trace[i].estimate, b.trace[i].estimate);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace lbsagg

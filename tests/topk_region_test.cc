@@ -245,5 +245,114 @@ TEST(TopkRegion, ConcaveTopKCellIsRepresented) {
   EXPECT_GT(r.pieces.size(), 1u);  // genuinely non-convex decomposition
 }
 
+// --- Pruning / incremental regression (DESIGN.md "Hot path & complexity").
+
+std::vector<Vec2> SortedVertices(const TopkRegion& r) {
+  std::vector<Vec2> vs = r.BoundaryVertices();
+  std::sort(vs.begin(), vs.end(), [](const Vec2& a, const Vec2& b) {
+    return a.x < b.x || (a.x == b.x && a.y < b.y);
+  });
+  return vs;
+}
+
+// Line pruning only skips lines whose clip would be a no-op, so the pruned
+// production path must be *bit-identical* to the unpruned reference: same
+// area double, same piece decomposition, same boundary vertices.
+TEST(TopkRegionPruning, PrunedMatchesUnprunedBitExact) {
+  for (const uint64_t seed : {11u, 12u, 13u, 14u, 15u}) {
+    Rng rng(seed);
+    const std::vector<Vec2> pts = RandomPoints(40, rng);
+    const ConvexPolygon domain = ConvexPolygon::FromBox(kBox);
+    for (int h = 1; h <= 5; ++h) {
+      const TopkRegion pruned =
+          ComputeTopkRegion(pts[0], OthersOf(pts, 0), domain, h);
+      const TopkRegion reference =
+          ComputeTopkRegionUnpruned(pts[0], OthersOf(pts, 0), domain, h);
+      ASSERT_EQ(pruned.pieces.size(), reference.pieces.size())
+          << "seed " << seed << " h " << h;
+      EXPECT_EQ(pruned.area, reference.area) << "seed " << seed << " h " << h;
+      const auto va = SortedVertices(pruned);
+      const auto vb = SortedVertices(reference);
+      ASSERT_EQ(va.size(), vb.size()) << "seed " << seed << " h " << h;
+      for (size_t i = 0; i < va.size(); ++i) {
+        EXPECT_EQ(va[i].x, vb[i].x);
+        EXPECT_EQ(va[i].y, vb[i].y);
+      }
+    }
+  }
+}
+
+TEST(TopkRegionPruning, LevelRegionFromLinesMatchesUnpruned) {
+  Rng rng(77);
+  const std::vector<Vec2> pts = RandomPoints(30, rng);
+  const ConvexPolygon domain = ConvexPolygon::FromBox(kBox);
+  const Vec2 focal = pts[0];
+  std::vector<Line> lines;
+  for (size_t i = 1; i < pts.size(); ++i) {
+    lines.push_back(Line::Bisector(focal, pts[i]));
+  }
+  for (int h = 1; h <= 4; ++h) {
+    const TopkRegion pruned = ComputeLevelRegionFromLines(lines, domain, h);
+    const TopkRegion reference =
+        ComputeLevelRegionFromLinesUnpruned(lines, domain, h);
+    EXPECT_EQ(pruned.area, reference.area) << "h " << h;
+    EXPECT_EQ(pruned.pieces.size(), reference.pieces.size()) << "h " << h;
+  }
+}
+
+// Feeding the refiner every point in one batch applies the same lines in
+// the same (distance-sorted) order as the batch computation, so the result
+// is bit-identical to ComputeTopkRegion.
+TEST(TopkRegionPruning, RefinerSingleBatchMatchesBatchBitExact) {
+  Rng rng(78);
+  const std::vector<Vec2> pts = RandomPoints(35, rng);
+  const ConvexPolygon domain = ConvexPolygon::FromBox(kBox);
+  for (int h = 1; h <= 4; ++h) {
+    TopkRegionRefiner refiner(domain, h);
+    refiner.AddPoints(pts[0], OthersOf(pts, 0));
+    const TopkRegion got = refiner.Region();
+    const TopkRegion want = ComputeTopkRegion(pts[0], OthersOf(pts, 0),
+                                              domain, h);
+    EXPECT_EQ(got.area, want.area) << "h " << h;
+    EXPECT_EQ(got.pieces.size(), want.pieces.size()) << "h " << h;
+  }
+}
+
+// Incremental arrival (points in several round-sized batches) clips in a
+// different order, so the decomposition may differ — but the *region* must
+// match the from-scratch recompute up to floating-point clipping accuracy.
+TEST(TopkRegionPruning, RefinerIncrementalMatchesScratchRegion) {
+  for (const uint64_t seed : {21u, 22u, 23u}) {
+    Rng rng(seed);
+    const std::vector<Vec2> pts = RandomPoints(41, rng);
+    const ConvexPolygon domain = ConvexPolygon::FromBox(kBox);
+    const Vec2 focal = pts[0];
+    const std::vector<Vec2> others = OthersOf(pts, 0);
+    for (int h = 1; h <= 5; ++h) {
+      TopkRegionRefiner refiner(domain, h);
+      constexpr size_t kBatch = 10;
+      for (size_t lo = 0; lo < others.size(); lo += kBatch) {
+        const size_t hi = std::min(lo + kBatch, others.size());
+        refiner.AddPoints(
+            focal, std::vector<Vec2>(others.begin() + lo, others.begin() + hi));
+      }
+      const TopkRegion got = refiner.Region();
+      const TopkRegion want = ComputeTopkRegion(focal, others, domain, h);
+      EXPECT_NEAR(got.area, want.area, 1e-9 * kBox.Area())
+          << "seed " << seed << " h " << h;
+      // Membership agrees at points sampled from either region (probed a
+      // hair inside to stay clear of boundary rounding).
+      Rng probe_rng(seed * 1000 + h);
+      for (int t = 0; t < 200; ++t) {
+        const Vec2 p = want.SamplePoint(probe_rng);
+        const int rank = RankAt(p, focal, others);
+        if (rank < h) {
+          EXPECT_TRUE(got.Contains(p, 1e-7)) << "seed " << seed << " h " << h;
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace lbsagg

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Full local gate: sanitizer build + tier-1 tests + perf smoke.
+#
+#   tools/check.sh            # everything (ASAN/UBSAN ctest, then perf smoke)
+#   tools/check.sh --fast     # sanitizer tests only, skip the perf smoke
+#
+# The sanitizer build lives in build-asan/ so it never clobbers the regular
+# build/ tree. The perf smoke runs the hot-path micro benchmark from the
+# regular (optimized) build with a token min-time: it validates that the
+# bench code runs, not the timings — see BENCH_hotpath.json for those.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+echo "==> sanitizer build (ASAN + UBSAN)"
+cmake -B build-asan -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined" \
+  > /dev/null
+cmake --build build-asan -j "$(nproc)" -- --quiet 2>/dev/null \
+  || cmake --build build-asan -j "$(nproc)"
+
+echo "==> tier-1 tests under sanitizers"
+ctest --test-dir build-asan --output-on-failure -j "$(nproc)"
+
+if [[ "$FAST" == "0" ]]; then
+  echo "==> perf smoke (optimized build, token min-time)"
+  cmake -B build -S . > /dev/null
+  cmake --build build -j "$(nproc)" --target micro_hotpath
+  ./build/bench/micro_hotpath --benchmark_min_time=0.01
+fi
+
+echo "==> all checks passed"
