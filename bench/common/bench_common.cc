@@ -2,8 +2,11 @@
 
 #include <cstdio>
 #include <atomic>
+#include <memory>
+#include <mutex>
 #include <thread>
 
+#include "geometry/loc_key.h"  // SplitMix64
 #include "util/table.h"
 
 namespace lbsagg {
@@ -143,6 +146,68 @@ EstimatorSpec MakeNnoSpec(const std::string& name, LbsServer* server,
             opts.seed = seed;
             NnoEstimator est(&client, aggregate, opts);
             return RunWithBudget(MakeHandle(&est), budget);
+          }};
+}
+
+namespace {
+
+// Guards every metrics sink passed to the transport spec builders; sweep
+// runs execute on SweepEstimators' worker threads.
+std::mutex metrics_sink_mu;
+
+void MergeMetrics(TransportMetrics* sink, const TransportMetrics& run) {
+  if (sink == nullptr) return;
+  std::lock_guard<std::mutex> lock(metrics_sink_mu);
+  sink->Merge(run);
+}
+
+SimulatedTransportOptions PerRunOptions(SimulatedTransportOptions topts,
+                                        uint64_t seed) {
+  topts.seed = SplitMix64(topts.seed ^ SplitMix64(seed));
+  return topts;
+}
+
+}  // namespace
+
+EstimatorSpec MakeLrTransportSpec(const std::string& name, LbsServer* server,
+                                  const QuerySampler* sampler,
+                                  AggregateSpec aggregate, int k,
+                                  SimulatedTransportOptions topts,
+                                  LrAggOptions options,
+                                  TransportMetrics* metrics_sink) {
+  return {name, [=](uint64_t seed, uint64_t budget) {
+            SimulatedTransport transport(server, PerRunOptions(topts, seed));
+            LrClient client(server, {.k = k, .budget = budget}, &transport);
+            LrAggOptions opts = options;
+            opts.seed = seed;
+            LrAggEstimator est(&client, sampler, aggregate, opts);
+            RunResult result = RunWithBudget(MakeHandle(&est), budget);
+            MergeMetrics(metrics_sink, transport.Metrics());
+            return result;
+          }};
+}
+
+EstimatorSpec MakeNnoTransportSpec(const std::string& name, LbsServer* server,
+                                   AggregateSpec aggregate, int k,
+                                   SimulatedTransportOptions topts,
+                                   NnoOptions options,
+                                   TransportMetrics* metrics_sink,
+                                   unsigned dispatcher_workers) {
+  return {name, [=](uint64_t seed, uint64_t budget) {
+            SimulatedTransport transport(server, PerRunOptions(topts, seed));
+            std::unique_ptr<AsyncDispatcher> dispatcher;
+            if (dispatcher_workers > 0) {
+              dispatcher = std::make_unique<AsyncDispatcher>(
+                  &transport, DispatcherOptions{dispatcher_workers, 64});
+            }
+            LrClient client(server, {.k = k, .budget = budget}, &transport,
+                            dispatcher.get());
+            NnoOptions opts = options;
+            opts.seed = seed;
+            NnoEstimator est(&client, aggregate, opts);
+            RunResult result = RunWithBudget(MakeHandle(&est), budget);
+            MergeMetrics(metrics_sink, transport.Metrics());
+            return result;
           }};
 }
 

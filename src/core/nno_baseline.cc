@@ -53,8 +53,13 @@ double NnoEstimator::EstimateCellArea(int id, const Vec2& pos) {
   double outer = radius;
   for (int level = 0; level < kLevels; ++level) {
     const double inner = outer * 0.5;
-    int hits = 0;
-    int in_box = 0;
+    // The membership probes of one annulus are mutually independent, so
+    // they go through the client's batch path — pipelined across the
+    // dispatcher's workers when one is attached, with the exact same
+    // probe sequence, accounting, and result pages either way. All rng
+    // draws happen up front, in the sequential order.
+    std::vector<Vec2> probes;
+    probes.reserve(per_level);
     for (int i = 0; i < per_level; ++i) {
       // Uniform in the annulus (inner, outer].
       const double u = rng_.Uniform01();
@@ -63,8 +68,11 @@ double NnoEstimator::EstimateCellArea(int id, const Vec2& pos) {
       const double angle = rng_.Uniform(0.0, 2.0 * M_PI);
       const Vec2 probe = pos + Vec2{std::cos(angle), std::sin(angle)} * r;
       if (!box.Contains(probe)) continue;  // free: outside the region
-      ++in_box;
-      const std::vector<LrClient::Item> items = client_->Query(probe);
+      probes.push_back(probe);
+    }
+    int hits = 0;
+    for (const std::vector<LrClient::Item>& items :
+         client_->QueryBatch(probes)) {
       if (!items.empty() && items.front().id == id) ++hits;
     }
     const double annulus = M_PI * (outer * outer - inner * inner);
@@ -72,7 +80,6 @@ double NnoEstimator::EstimateCellArea(int id, const Vec2& pos) {
       // The out-of-box share of the annulus contributes no area.
       area += annulus * hits / per_level;
     }
-    (void)in_box;
     outer = inner;
   }
   // The innermost disc is t's immediate neighborhood: count it as owned.

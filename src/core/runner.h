@@ -47,6 +47,16 @@ struct RunResult {
 // Steps the estimator until `budget` queries have been issued (the round in
 // flight when the budget trips is allowed to finish — the paper's soft
 // rate-limit semantics) or `max_rounds` sampling rounds completed.
+//
+// Retries and the budget: `handle.queries_used` reports the client's
+// counter, and through a retrying transport that counter charges once per
+// *interface attempt*, not once per logical query (§2.1 meters what hits
+// the service — a query that succeeded on its third attempt consumed three
+// slots of the service's rate limit). So under fault injection a run
+// finishes fewer sampling rounds for the same budget, which is precisely
+// the degradation the transport exists to measure; the soft-budget
+// semantics are unchanged (the round in flight when attempts exhaust the
+// budget still completes). Pinned by transport_test.cc.
 RunResult RunWithBudget(const EstimatorHandle& handle, uint64_t budget,
                         size_t max_rounds = 1u << 20);
 

@@ -14,6 +14,13 @@ LbsClient::LbsClient(const LbsServer* server, ClientOptions options)
   LBSAGG_CHECK_GE(options.k, 1);
 }
 
+LbsClient::LbsClient(const LbsServer* server, ClientOptions options,
+                     LbsTransport* transport, BatchExecutor* batch)
+    : LbsClient(server, options) {
+  transport_ = transport;
+  batch_ = batch;
+}
+
 bool LbsClient::HasBudget(uint64_t upcoming) const {
   if (options_.budget == 0) return true;
   return queries_used_ + upcoming <= options_.budget;
@@ -40,9 +47,73 @@ double LbsClient::NumericAttribute(int id, int col) const {
 }
 
 std::vector<ServerHit> LbsClient::RawQuery(const Vec2& q) {
-  ++queries_used_;
+  if (transport_ == nullptr) {  // zero-overhead direct wire
+    ++queries_used_;
+    if (log_queries_) query_log_.push_back(q);
+    return server_->Query(q, k_, filter_);
+  }
+  TransportReply reply = transport_->Query(q, k_, filter_);
+  queries_used_ += static_cast<uint64_t>(reply.attempts);
   if (log_queries_) query_log_.push_back(q);
-  return server_->Query(q, k_, filter_);
+  return std::move(reply.hits);
+}
+
+std::vector<std::vector<ServerHit>> LbsClient::RawQueryBatch(
+    const std::vector<Vec2>& points) {
+  std::vector<std::vector<ServerHit>> pages(points.size());
+  if (transport_ != nullptr && batch_ != nullptr) {
+    std::vector<TransportReply> replies =
+        batch_->QueryBatch(points, k_, filter_);
+    for (size_t i = 0; i < points.size(); ++i) {
+      queries_used_ += static_cast<uint64_t>(replies[i].attempts);
+      if (log_queries_) query_log_.push_back(points[i]);
+      pages[i] = std::move(replies[i].hits);
+    }
+    return pages;
+  }
+  for (size_t i = 0; i < points.size(); ++i) pages[i] = RawQuery(points[i]);
+  return pages;
+}
+
+std::vector<std::vector<ServerHit>> LbsClient::MemoQueryBatch(
+    const std::vector<Vec2>& points) {
+  if (!options_.memoize_queries) return RawQueryBatch(points);
+  if (memo_grid_ == 0.0) memo_grid_ = LocKeyGrid(region());
+
+  // Resolve memo hits up front and deduplicate misses within the batch, so
+  // the accounting matches the sequential MemoQuery loop exactly.
+  std::vector<std::vector<ServerHit>> pages(points.size());
+  std::vector<Vec2> misses;
+  std::vector<LocKey> miss_keys;
+  std::unordered_map<LocKey, size_t, LocKeyHash> miss_index;
+  struct Pending {
+    size_t point_index;
+    size_t miss_index;
+  };
+  std::vector<Pending> pending;
+  for (size_t i = 0; i < points.size(); ++i) {
+    const LocKey key = MakeLocKey(points[i], memo_grid_);
+    if (auto it = memo_.find(key); it != memo_.end()) {
+      ++memo_hits_;
+      pages[i] = it->second;
+      continue;
+    }
+    auto [slot, inserted] = miss_index.try_emplace(key, misses.size());
+    if (inserted) {
+      misses.push_back(points[i]);
+      miss_keys.push_back(key);
+    } else {
+      ++memo_hits_;  // duplicate within the batch: the first fetch answers it
+    }
+    pending.push_back({i, slot->second});
+  }
+
+  const std::vector<std::vector<ServerHit>> fetched = RawQueryBatch(misses);
+  for (size_t m = 0; m < misses.size(); ++m) {
+    memo_[miss_keys[m]] = fetched[m];
+  }
+  for (const Pending& p : pending) pages[p.point_index] = fetched[p.miss_index];
+  return pages;
 }
 
 const std::vector<ServerHit>& LbsClient::MemoQuery(const Vec2& q) {
@@ -70,6 +141,20 @@ std::vector<LrClient::Item> LrClient::Query(const Vec2& q) {
                      h.distance});
   }
   return items;
+}
+
+std::vector<std::vector<LrClient::Item>> LrClient::QueryBatch(
+    const std::vector<Vec2>& points) {
+  const std::vector<std::vector<ServerHit>> pages = MemoQueryBatch(points);
+  std::vector<std::vector<Item>> results(pages.size());
+  for (size_t i = 0; i < pages.size(); ++i) {
+    results[i].reserve(pages[i].size());
+    for (const ServerHit& h : pages[i]) {
+      results[i].push_back(
+          {h.tuple_id, server_->EffectivePosition(h.tuple_id), h.distance});
+    }
+  }
+  return results;
 }
 
 std::vector<int> LnrClient::Query(const Vec2& q) {
@@ -129,6 +214,14 @@ std::vector<LrClient::Item> TrilaterationClient::Query(const Vec2& q) {
     items.push_back({h.tuple_id, cached->second, h.distance});
   }
   return items;
+}
+
+std::vector<std::vector<LrClient::Item>> TrilaterationClient::QueryBatch(
+    const std::vector<Vec2>& points) {
+  std::vector<std::vector<Item>> results;
+  results.reserve(points.size());
+  for (const Vec2& p : points) results.push_back(Query(p));
+  return results;
 }
 
 std::vector<DistanceClient::Item> DistanceClient::Query(const Vec2& q) {

@@ -8,6 +8,7 @@
 
 #include "geometry/loc_key.h"
 #include "lbs/server.h"
+#include "transport/transport.h"
 
 namespace lbsagg {
 
@@ -20,6 +21,12 @@ struct ClientOptions {
   // over budget still succeeds (a cell computation mid-flight may finish),
   // but estimators consult HasBudget() before starting new work, which is
   // how the paper's fixed-budget experiments operate.
+  //
+  // Retry accounting (§2.1): the budget counts *interface attempts*, not
+  // logical queries. Through a fault-injecting transport a retried query
+  // charges once per attempt — the service's rate limiter meters attempts,
+  // so a flaky network genuinely buys fewer logical answers per budget
+  // (runner.h documents the interaction with RunWithBudget).
   uint64_t budget = 0;
 
   // Cross-round query memo: remember every (quantized location → answer)
@@ -38,13 +45,35 @@ struct ClientOptions {
 // once.
 class LbsClient {
  public:
-  // `server` must outlive the client.
+  // `server` must outlive the client. Queries go straight to the server —
+  // the zero-overhead in-process wire, equivalent to a DirectTransport.
   LbsClient(const LbsServer* server, ClientOptions options);
+
+  // Routes every query through `transport` (latency, rate limits, faults,
+  // retries — see transport/simulated_transport.h). Each *interface
+  // attempt* the transport makes counts against the query budget. An
+  // optional `batch` executor (an AsyncDispatcher over the same transport)
+  // pipelines QueryBatch() calls across worker threads; without one,
+  // batches run sequentially with identical results. All three pointers
+  // must outlive the client.
+  LbsClient(const LbsServer* server, ClientOptions options,
+            LbsTransport* transport, BatchExecutor* batch = nullptr);
+
   virtual ~LbsClient() = default;
 
   int k() const { return k_; }
   uint64_t queries_used() const { return queries_used_; }
-  void ResetQueryCount() { queries_used_ = 0; }
+
+  // Resets every per-run statistic — the query counter, the memo-hit
+  // counter, and the query log — so a reused client reports internally
+  // consistent numbers (memo_hits() can never exceed the queries the
+  // current accounting period has seen). The memo *contents* survive: the
+  // service is static, so cached answers stay valid across runs.
+  void ResetQueryCount() {
+    queries_used_ = 0;
+    memo_hits_ = 0;
+    query_log_.clear();
+  }
 
   // True if `upcoming` more queries fit in the budget (always true when the
   // budget is unlimited).
@@ -88,18 +117,36 @@ class LbsClient {
   const std::vector<Vec2>& query_log() const { return query_log_; }
 
  protected:
-  // Issues one counted query.
+  // Issues one counted query (through the transport when one is attached;
+  // the cost charged is the transport's attempt count).
   std::vector<ServerHit> RawQuery(const Vec2& q);
+
+  // Issues `points.size()` independent counted queries and returns the
+  // result pages in submission order. With an attached BatchExecutor the
+  // backend work is pipelined across its workers; either way the pages,
+  // accounting, and query log are identical to issuing the points through
+  // RawQuery one at a time (transport metrics included — see the
+  // determinism contract in transport/simulated_transport.h).
+  std::vector<std::vector<ServerHit>> RawQueryBatch(
+      const std::vector<Vec2>& points);
 
   // Counted query behind the cross-round memo: a memo hit costs zero
   // interface queries and leaves no query-log entry. Identical to RawQuery
   // unless ClientOptions::memoize_queries.
   const std::vector<ServerHit>& MemoQuery(const Vec2& q);
 
+  // Batch variant of MemoQuery: answers memoized points client-side,
+  // dispatches only the misses (deduplicated within the batch, like the
+  // sequential path would), and returns pages by value in point order.
+  std::vector<std::vector<ServerHit>> MemoQueryBatch(
+      const std::vector<Vec2>& points);
+
   const LbsServer* server_;
 
  private:
   ClientOptions options_;
+  LbsTransport* transport_ = nullptr;  // null = direct in-process wire
+  BatchExecutor* batch_ = nullptr;
   int k_;
   TupleFilter filter_;
   uint64_t queries_used_ = 0;
@@ -129,6 +176,13 @@ class LrClient : public LbsClient {
   // derived clients can synthesize the same contract from poorer
   // interfaces (see TrilaterationClient).
   virtual std::vector<Item> Query(const Vec2& q);
+
+  // Batch variant for *independent* probes (Monte-Carlo membership tests,
+  // ring scans): same pages, accounting, and memo behavior as calling
+  // Query() point by point, but pipelined through the client's
+  // BatchExecutor when one is attached.
+  virtual std::vector<std::vector<Item>> QueryBatch(
+      const std::vector<Vec2>& points);
 };
 
 // LR-by-trilateration (§2.1): services like Skout and Momo return ranked
@@ -145,6 +199,11 @@ class TrilaterationClient : public LrClient {
   // location cannot be pinned down (they fall out of the top-k at every
   // probe offset) are dropped from the result.
   std::vector<Item> Query(const Vec2& q) override;
+
+  // Trilateration probes are sequential by nature (each result steers the
+  // next offset), so the batch contract degrades to a point-by-point loop.
+  std::vector<std::vector<Item>> QueryBatch(
+      const std::vector<Vec2>& points) override;
 
   // Number of tuples whose positions have been inferred so far.
   size_t inferred_positions() const { return position_cache_.size(); }

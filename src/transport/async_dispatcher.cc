@@ -1,0 +1,103 @@
+#include "transport/async_dispatcher.h"
+
+#include "util/check.h"
+
+namespace lbsagg {
+
+// Completion bookkeeping shared by one QueryBatch call and the workers
+// fulfilling its jobs; lives on the caller's stack for the call duration.
+struct AsyncDispatcher::BatchState {
+  std::mutex mu;
+  std::condition_variable done;
+  size_t remaining = 0;
+};
+
+AsyncDispatcher::AsyncDispatcher(LbsTransport* transport,
+                                 DispatcherOptions options)
+    : transport_(transport),
+      num_workers_(options.num_workers),
+      queue_capacity_(options.queue_capacity) {
+  LBSAGG_CHECK(transport_ != nullptr);
+  LBSAGG_CHECK_GT(queue_capacity_, 0u);
+  workers_.reserve(num_workers_);
+  for (unsigned i = 0; i < num_workers_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+AsyncDispatcher::~AsyncDispatcher() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  queue_not_empty_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void AsyncDispatcher::RunJob(LbsTransport* transport, const Job& job) {
+  *job.slot = transport->Fulfill(
+      job.plan, job.q, job.k, job.filter ? *job.filter : TupleFilter());
+  // Notify while holding the mutex: BatchState lives on the submitter's
+  // stack, and the submitter may destroy it the moment it observes
+  // remaining == 0 — which it cannot do before this lock is released, i.e.
+  // not until notify_one has returned. Signaling after unlock would race
+  // the condvar's destruction.
+  std::lock_guard<std::mutex> lock(job.batch->mu);
+  --job.batch->remaining;
+  job.batch->done.notify_one();
+}
+
+void AsyncDispatcher::WorkerLoop() {
+  while (true) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_not_empty_.wait(lock,
+                            [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    queue_not_full_.notify_one();
+    RunJob(transport_, job);
+  }
+}
+
+std::vector<TransportReply> AsyncDispatcher::QueryBatch(
+    const std::vector<Vec2>& queries, int k, const TupleFilter& filter) {
+  std::vector<TransportReply> replies(queries.size());
+  if (queries.empty()) return replies;
+
+  BatchState batch;
+  batch.remaining = queries.size();
+
+  if (num_workers_ == 0) {
+    // Inline mode: same Prepare order, fulfillment on the calling thread.
+    for (size_t i = 0; i < queries.size(); ++i) {
+      Job job{queries[i], k,        filter ? &filter : nullptr,
+              transport_->Prepare(queries[i], k), &replies[i], &batch};
+      RunJob(transport_, job);
+    }
+    return replies;
+  }
+
+  for (size_t i = 0; i < queries.size(); ++i) {
+    // Plans are made on this thread, in submission order — the transport's
+    // stateful policy pipeline never sees worker-thread nondeterminism.
+    Job job{queries[i], k,        filter ? &filter : nullptr,
+            transport_->Prepare(queries[i], k), &replies[i], &batch};
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_not_full_.wait(
+          lock, [this] { return queue_.size() < queue_capacity_; });
+      queue_.push_back(std::move(job));
+    }
+    queue_not_empty_.notify_one();
+  }
+
+  std::unique_lock<std::mutex> lock(batch.mu);
+  batch.done.wait(lock, [&batch] { return batch.remaining == 0; });
+  return replies;
+}
+
+}  // namespace lbsagg

@@ -1,0 +1,76 @@
+#ifndef LBSAGG_TRANSPORT_METRICS_H_
+#define LBSAGG_TRANSPORT_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "transport/transport.h"
+#include "util/table.h"
+
+namespace lbsagg {
+
+// Power-of-two-bucketed latency histogram: bucket i counts samples in
+// [2^(i-1), 2^i) ms, bucket 0 counts < 1 ms, the last bucket is unbounded.
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = 18;  // last bound: 2^16 ms ≈ 65 s
+
+  void Add(double ms);
+  uint64_t count() const { return count_; }
+  double total_ms() const { return total_ms_; }
+  double mean_ms() const { return count_ == 0 ? 0.0 : total_ms_ / count_; }
+  // Upper bound of the first bucket whose cumulative share reaches q.
+  double QuantileUpperBound(double q) const;
+  const uint64_t* buckets() const { return buckets_; }
+
+  // `{"count":..,"mean_ms":..,"p50_le_ms":..,"p99_le_ms":..,"buckets":[..]}`
+  std::string ToJson() const;
+
+  void Merge(const LatencyHistogram& other);
+  bool operator==(const LatencyHistogram&) const = default;
+
+ private:
+  uint64_t buckets_[kBuckets] = {};
+  uint64_t count_ = 0;
+  double total_ms_ = 0.0;
+};
+
+// Everything a transport observed, in deterministic order of recording.
+// Comparable with == so determinism tests can assert bit-equality.
+struct TransportMetrics {
+  uint64_t requests = 0;  // logical queries
+  uint64_t attempts = 0;  // interface attempts (== the §2.1 query cost)
+  uint64_t retries = 0;   // attempts - requests, spent on retryable faults
+
+  // Final outcome of each logical query, indexed by TransportOutcome.
+  uint64_t outcomes[kNumTransportOutcomes] = {};
+
+  // Attempt-level fault counts (a retried query contributes several).
+  uint64_t attempt_transient_errors = 0;
+  uint64_t attempt_timeouts = 0;
+
+  // Rate-limiter stalls.
+  uint64_t throttle_events = 0;
+  double throttle_wait_ms = 0.0;
+
+  // End-to-end simulated latency per logical query (incl. backoff+throttle).
+  LatencyHistogram latency;
+
+  // attempts_histogram[i] = logical queries that took exactly i+1 attempts.
+  std::vector<uint64_t> attempts_histogram;
+
+  void RecordAttemptsForRequest(int attempts_used);
+
+  // Multi-line pretty-printed JSON document.
+  std::string ToJson(int indent = 0) const;
+  // Fixed-width text rendering via util/table for human consumption.
+  Table ToTable() const;
+
+  void Merge(const TransportMetrics& other);
+  bool operator==(const TransportMetrics&) const = default;
+};
+
+}  // namespace lbsagg
+
+#endif  // LBSAGG_TRANSPORT_METRICS_H_

@@ -1,0 +1,21 @@
+#include "transport/transport.h"
+
+namespace lbsagg {
+
+const char* TransportOutcomeName(TransportOutcome outcome) {
+  switch (outcome) {
+    case TransportOutcome::kOk:
+      return "ok";
+    case TransportOutcome::kTruncated:
+      return "truncated";
+    case TransportOutcome::kTransientError:
+      return "transient_error";
+    case TransportOutcome::kTimeout:
+      return "timeout";
+    case TransportOutcome::kFatal:
+      return "fatal";
+  }
+  return "unknown";
+}
+
+}  // namespace lbsagg

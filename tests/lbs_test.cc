@@ -408,6 +408,34 @@ TEST(ClientMemo, FilterChangeInvalidates) {
   }
 }
 
+TEST(ClientMemo, ResetQueryCountClearsAllCounters) {
+  const Dataset d = MakeDataset(200, 9);
+  const LbsServer server(&d, {.max_k = 5});
+  LrClient client(&server, {.k = 5, .memoize_queries = true});
+  client.EnableQueryLog();
+
+  client.Query({10, 10});
+  client.Query({10, 10});
+  ASSERT_EQ(client.queries_used(), 1u);
+  ASSERT_EQ(client.memo_hits(), 1u);
+  ASSERT_EQ(client.query_log().size(), 1u);
+
+  // A reset client must report internally consistent statistics: all three
+  // counters back to zero together (memo_hits once trailed behind — a reset
+  // client could report more hits than queries issued).
+  client.ResetQueryCount();
+  EXPECT_EQ(client.queries_used(), 0u);
+  EXPECT_EQ(client.memo_hits(), 0u);
+  EXPECT_EQ(client.query_log().size(), 0u);
+
+  // The memo *contents* survive the reset (the service is static, so the
+  // cached answers stay valid): a repeat is still free, and the post-reset
+  // counters account for it from zero.
+  client.Query({10, 10});
+  EXPECT_EQ(client.queries_used(), 0u);
+  EXPECT_EQ(client.memo_hits(), 1u);
+}
+
 TEST(ClientMemo, OffByDefault) {
   const Dataset d = MakeDataset(200, 9);
   const LbsServer server(&d, {.max_k = 5});

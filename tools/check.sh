@@ -1,13 +1,17 @@
 #!/usr/bin/env bash
-# Full local gate: sanitizer build + tier-1 tests + perf smoke.
+# Full local gate: sanitizer builds + tier-1 tests + perf smoke.
 #
-#   tools/check.sh            # everything (ASAN/UBSAN ctest, then perf smoke)
+#   tools/check.sh            # everything (ASAN/UBSAN ctest, TSAN transport
+#                             # tests, then perf smoke)
 #   tools/check.sh --fast     # sanitizer tests only, skip the perf smoke
 #
-# The sanitizer build lives in build-asan/ so it never clobbers the regular
-# build/ tree. The perf smoke runs the hot-path micro benchmark from the
-# regular (optimized) build with a token min-time: it validates that the
-# bench code runs, not the timings — see BENCH_hotpath.json for those.
+# The sanitizer builds live in build-asan/ and build-tsan/ so they never
+# clobber the regular build/ tree. ASAN and TSAN cannot share a binary, so
+# the thread-sanitizer pass is its own build; it covers the suites that
+# exercise real threads (the transport dispatcher and the sweep fan-out).
+# The perf smoke runs the micro benchmarks from the regular (optimized)
+# build with a token min-time: it validates that the bench code runs, not
+# the timings — see BENCH_hotpath.json / BENCH_transport.json for those.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -26,6 +30,24 @@ cmake --build build-asan -j "$(nproc)" -- --quiet 2>/dev/null \
 
 echo "==> tier-1 tests under sanitizers"
 ctest --test-dir build-asan --output-on-failure -j "$(nproc)"
+
+echo "==> thread-sanitizer build (transport + sweep threading)"
+cmake -B build-tsan -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-sanitize-recover=all" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" \
+  > /dev/null
+cmake --build build-tsan -j "$(nproc)" \
+  --target transport_test transport_determinism_test sweep_determinism_test \
+  -- --quiet 2>/dev/null \
+  || cmake --build build-tsan -j "$(nproc)" \
+       --target transport_test transport_determinism_test \
+                sweep_determinism_test
+
+echo "==> threaded tests under TSAN"
+./build-tsan/tests/transport_test
+./build-tsan/tests/transport_determinism_test
+./build-tsan/tests/sweep_determinism_test
 
 if [[ "$FAST" == "0" ]]; then
   echo "==> perf smoke (optimized build, token min-time)"
