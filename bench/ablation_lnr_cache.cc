@@ -42,5 +42,6 @@ int main() {
               "%llu queries (mean of %d runs)\n\n",
               static_cast<unsigned long long>(budget), runs);
   table.Print();
+  MaybeWriteRunReport("ablation_lnr_cache", {});
   return 0;
 }

@@ -68,5 +68,6 @@ int main() {
               "(Theorem 2 / Corollary 2): bias falls off while query cost "
               "grows only logarithmically\n\n");
   table.Print();
+  bench::MaybeWriteRunReport("ablation_lnr_precision", {});
   return 0;
 }

@@ -46,5 +46,6 @@ int main() {
   std::printf("\nExpected shape: a small uniform component costs little when "
               "the census is good and\ncaps the damage when it is bad; pure "
               "uniform pays the full Figure-11 cell-size skew.\n");
+  MaybeWriteRunReport("ablation_mixture_sampler", {});
   return 0;
 }

@@ -2,11 +2,14 @@
 
 #include <cstdio>
 #include <atomic>
+#include <cstdlib>
+#include <fstream>
 #include <memory>
 #include <mutex>
 #include <thread>
 
 #include "geometry/loc_key.h"  // SplitMix64
+#include "obs/report.h"
 #include "util/table.h"
 
 namespace lbsagg {
@@ -216,6 +219,39 @@ LnrAggOptions DefaultLnrBenchOptions() {
   options.cell.search.delta_fraction = 1e-6;
   options.cell.search.delta_prime_fraction = 1e-4;
   return options;
+}
+
+void MaybeWriteRunReport(
+    const std::string& bench_name,
+    const std::map<std::string, std::vector<RunResult>>& traces,
+    const TransportMetrics* transport) {
+  const char* path = std::getenv("LBSAGG_RUN_REPORT");
+  if (path == nullptr || path[0] == '\0') return;
+
+  obs::RunReport report;
+  report.SetMeta("bench", bench_name);
+  for (const auto& [name, runs] : traces) {
+    RunningStats estimates;
+    RunningStats queries;
+    for (const RunResult& run : runs) {
+      estimates.Add(run.final_estimate);
+      queries.Add(static_cast<double>(run.queries));
+    }
+    report.AddStats(name + ".final_estimate", estimates);
+    report.AddStats(name + ".queries", queries);
+  }
+  report.SetSnapshot(obs::MetricsRegistry::Default().Snapshot());
+  if (transport != nullptr) {
+    report.AddJsonSection("transport", transport->ToJson(2));
+  }
+
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write run report to %s\n", path);
+    return;
+  }
+  out << report.ToJson() << "\n";
+  std::fprintf(stderr, "run report written to %s\n", path);
 }
 
 }  // namespace bench

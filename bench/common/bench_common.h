@@ -111,6 +111,20 @@ EstimatorSpec MakeNnoTransportSpec(const std::string& name, LbsServer* server,
 // O(ε); meter-scale edges would burn the budget on one sample).
 LnrAggOptions DefaultLnrBenchOptions();
 
+// Env-gated run-report emission (DESIGN.md §4.8): when LBSAGG_RUN_REPORT
+// names a path, writes one RunReport JSON artifact there — per-family
+// RunningStats over the runs' final estimates and query costs, a snapshot
+// of the process-wide metric plane (the benchmark clients and estimators
+// publish to obs::MetricsRegistry::Default()), and, when `transport` is
+// non-null, the sweep's merged TransportMetrics as a "transport" section.
+// Every bench/fig*/table*/ablation* target calls this after printing its
+// tables; without the env var it is a no-op, so default benchmark runs are
+// byte-identical to before.
+void MaybeWriteRunReport(
+    const std::string& bench_name,
+    const std::map<std::string, std::vector<RunResult>>& traces,
+    const TransportMetrics* transport = nullptr);
+
 }  // namespace bench
 }  // namespace lbsagg
 

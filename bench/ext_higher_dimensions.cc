@@ -10,6 +10,7 @@
 #include "lbs3/lbs3.h"
 #include "util/stats.h"
 #include "util/table.h"
+#include "common/bench_common.h"
 
 int main() {
   using namespace lbsagg;
@@ -46,5 +47,6 @@ int main() {
               "(500 tuples in a 1000^3 region; Theorem 1 with bisector "
               "planes + Monte-Carlo trials)\n\n");
   table.Print();
+  bench::MaybeWriteRunReport("ext_higher_dimensions", {});
   return 0;
 }

@@ -100,5 +100,6 @@ int main() {
     std::printf("Rendered the decomposition to %s (dark cells = dense "
                 "urban areas).\n", svg_path);
   }
+  bench::MaybeWriteRunReport("fig11_voronoi_decomposition", {});
   return 0;
 }

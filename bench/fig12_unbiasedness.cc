@@ -73,5 +73,6 @@ int main() {
     }
     std::printf("  %-12s %.0f .. %.0f\n", name.c_str(), lo, hi);
   }
+  MaybeWriteRunReport("fig12_unbiasedness", traces);
   return 0;
 }

@@ -43,5 +43,6 @@ int main() {
       "Figure 13 — query cost vs relative error, COUNT(schools): uniform vs "
       "census-weighted sampling",
       traces, truth);
+  MaybeWriteRunReport("fig13_sampling_strategy", traces);
   return 0;
 }

@@ -32,5 +32,6 @@ int main() {
   PrintCostVersusErrorTable(
       "Figure 14 — query cost vs relative error, COUNT(schools in US)",
       traces, truth);
+  MaybeWriteRunReport("fig14_count_schools", traces);
   return 0;
 }

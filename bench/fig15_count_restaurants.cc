@@ -31,5 +31,6 @@ int main() {
   PrintCostVersusErrorTable(
       "Figure 15 — query cost vs relative error, COUNT(restaurants in US)",
       traces, truth);
+  MaybeWriteRunReport("fig15_count_restaurants", traces);
   return 0;
 }

@@ -34,5 +34,6 @@ int main() {
   PrintCostVersusErrorTable(
       "Figure 16 — query cost vs relative error, SUM(school enrollment)",
       traces, truth);
+  MaybeWriteRunReport("fig16_sum_enrollment", traces);
   return 0;
 }

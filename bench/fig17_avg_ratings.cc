@@ -67,5 +67,6 @@ int main() {
       "one metro (" +
           std::to_string(metro_db.size()) + " POIs)",
       traces, truth, {0.10, 0.05, 0.03, 0.02, 0.01});
+  MaybeWriteRunReport("fig17_avg_ratings", traces);
   return 0;
 }

@@ -24,6 +24,7 @@ int main() {
   Table table({"fraction of POIs", "LR-LBS-NNO", "LR-LBS-AGG",
                "LNR-LBS-AGG"});
 
+  std::map<std::string, std::vector<RunResult>> all_traces;
   Rng rng(777);
   for (double fraction : {0.25, 0.5, 0.75, 1.0}) {
     const Dataset sub = fraction < 1.0 ? usa.dataset->Subsample(fraction, rng)
@@ -49,6 +50,10 @@ int main() {
         },
         config.runs, config.budget, config.seed_base);
 
+    const std::string suffix =
+        "@" + Table::Num(100.0 * fraction, 0) + "%";
+    for (const auto& [name, runs] : traces) all_traces[name + suffix] = runs;
+
     std::vector<std::string> row = {Table::Num(100.0 * fraction, 0) + "%"};
     for (const char* name : {"LR-LBS-NNO", "LR-LBS-AGG", "LNR-LBS-AGG"}) {
       const ErrorCurve curve = ComputeErrorCurve(traces.at(name), truth);
@@ -66,5 +71,6 @@ int main() {
   std::printf("Figure 18 — query cost to reach relative error %.2f vs "
               "database size, COUNT(schools)\n\n", target_error);
   table.Print();
+  MaybeWriteRunReport("fig18_db_size", all_traces);
   return 0;
 }

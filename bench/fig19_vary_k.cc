@@ -87,5 +87,6 @@ int main() {
               "COUNT(schools); LR target %.2f, LNR target %.2f\n\n",
               lr_target, lnr_target);
   table.Print();
+  MaybeWriteRunReport("fig19_vary_k", {});
   return 0;
 }

@@ -58,5 +58,6 @@ int main() {
       "Figure 20 — query savings of the error-reduction strategies "
       "(COUNT(restaurants); each variant adds one technique)",
       traces, truth);
+  MaybeWriteRunReport("fig20_error_reduction", traces);
   return 0;
 }

@@ -87,5 +87,6 @@ int main() {
               "targets (clean / obfuscated)\n\n",
               clean.size(), obfuscated.size());
   table.Print();
+  bench::MaybeWriteRunReport("fig21_localization", {});
   return 0;
 }

@@ -106,5 +106,6 @@ int main() {
   std::printf("Table 1 — online-demonstration aggregates over the simulated "
               "services\n\n");
   table.Print();
+  MaybeWriteRunReport("table1_online", {});
   return 0;
 }

@@ -10,7 +10,14 @@ namespace lbsagg {
 
 LnrEdgeFinder::LnrEdgeFinder(LnrClient* client, BinarySearchOptions options,
                              CellMembership membership)
-    : client_(client), options_(options), membership_(membership) {
+    : client_(client),
+      options_(options),
+      membership_(membership),
+      probes_counter_(
+          obs::GetCounter(options.registry, "estimator.binary_search.probes")),
+      depth_hist_(obs::GetHistogram(
+          options.registry, "estimator.binary_search.depth",
+          obs::SmallCountBounds(options.max_steps))) {
   LBSAGG_CHECK(client_ != nullptr);
   const double diag = Distance(client_->region().lo, client_->region().hi);
   delta_ = options_.delta_fraction * diag;
@@ -43,6 +50,7 @@ int NewcomerId(const std::vector<int>& near_ids,
 }  // namespace
 
 std::vector<int> LnrEdgeFinder::Probe(const Vec2& p) {
+  probes_counter_.Add(1);
   std::vector<int> ids = client_->Query(p);
   if (observer_) observer_(p, ids);
   return ids;
@@ -70,6 +78,8 @@ std::optional<FlipPoint> LnrEdgeFinder::FindFlipOnSegment(
       far_ids = std::move(ids);
     }
   }
+
+  depth_hist_.Observe(static_cast<double>(steps));
 
   FlipPoint flip;
   flip.midpoint = Midpoint(lo, hi);

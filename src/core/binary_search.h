@@ -7,6 +7,7 @@
 
 #include "geometry/line.h"
 #include "lbs/client.h"
+#include "obs/obs.h"
 
 namespace lbsagg {
 
@@ -18,6 +19,12 @@ struct BinarySearchOptions {
   double delta_fraction = 1e-9;
   double delta_prime_fraction = 1e-5;
   int max_steps = 80;  // cap per one-dimensional search
+
+  // Metric plane for the estimator.binary_search.* counters (probes, plus a
+  // bisection-depth histogram per one-dimensional search); null lands on
+  // obs::MetricsRegistry::Default(). Estimators propagate their registry
+  // here when this is unset.
+  obs::MetricsRegistry* registry = nullptr;
 };
 
 // Which membership predicate defines the cell being traced:
@@ -116,6 +123,8 @@ class LnrEdgeFinder {
   QueryObserver observer_;
   double delta_;
   double delta_prime_;
+  obs::CounterRef probes_counter_;
+  obs::HistogramRef depth_hist_;
 };
 
 }  // namespace lbsagg

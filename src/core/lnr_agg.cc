@@ -4,6 +4,19 @@
 
 namespace lbsagg {
 
+namespace {
+
+// One observability pointer instruments the whole stack: the estimator's
+// registry flows into the cell computer (and from there into the binary
+// searches) unless the caller pinned a different plane there explicitly.
+LnrCellOptions PropagateRegistry(LnrCellOptions cell,
+                                 obs::MetricsRegistry* registry) {
+  if (cell.registry == nullptr) cell.registry = registry;
+  return cell;
+}
+
+}  // namespace
+
 LnrAggEstimator::LnrAggEstimator(LnrClient* client,
                                  const QuerySampler* sampler,
                                  const AggregateSpec& aggregate,
@@ -12,9 +25,19 @@ LnrAggEstimator::LnrAggEstimator(LnrClient* client,
       sampler_(sampler),
       aggregate_(aggregate),
       options_(options),
-      cell_computer_(client, options.cell),
+      cell_computer_(client, PropagateRegistry(options.cell, options.registry)),
       localizer_(client, options.localize),
-      rng_(options.seed) {
+      rng_(options.seed),
+      rounds_counter_(
+          obs::GetCounter(options.registry, "estimator.lnr.rounds")),
+      cells_inferred_counter_(
+          obs::GetCounter(options.registry, "estimator.lnr.cells_inferred")),
+      cache_hits_counter_(
+          obs::GetCounter(options.registry, "estimator.lnr.cache_hits")),
+      ht_weight_hist_(obs::GetHistogram(options.registry,
+                                        "estimator.lnr.ht_weight",
+                                        obs::DecadeBounds(1.0, 1e9))),
+      tracer_(options.tracer) {
   LBSAGG_CHECK(client_ != nullptr);
   LBSAGG_CHECK(sampler_ != nullptr);
 }
@@ -23,6 +46,7 @@ void LnrAggEstimator::AccumulateTuple(int id, const Vec2& q0,
                                       double probability, double* numerator,
                                       double* denominator) {
   LBSAGG_CHECK_GT(probability, 0.0);
+  ht_weight_hist_.Observe(1.0 / probability);
   if (aggregate_.position_condition) {
     // §4.3: the tuple's location is not returned — infer it to the
     // binary-search precision, then evaluate the condition.
@@ -34,6 +58,7 @@ void LnrAggEstimator::AccumulateTuple(int id, const Vec2& q0,
 }
 
 void LnrAggEstimator::Step() {
+  obs::ScopedSpan round_span(tracer_, "estimator.round", "estimator");
   const Vec2 q = sampler_->Sample(rng_);
   const std::vector<int> ids = client_->Query(q);
 
@@ -54,13 +79,18 @@ void LnrAggEstimator::Step() {
             it != topk_probability_cache_.end()) {
           p = it->second;
           ++diagnostics_.cache_hits;
+          cache_hits_counter_.Add(1);
         } else {
-          const std::optional<LnrCellResult> cell =
-              cell_computer_.ComputeTopkCell(id, q);
+          std::optional<LnrCellResult> cell;
+          {
+            obs::ScopedSpan cell_span(tracer_, "estimator.cell", "estimator");
+            cell = cell_computer_.ComputeTopkCell(id, q);
+          }
           if (!cell.has_value() || cell->region.IsEmpty()) continue;
           p = sampler_->RegionProbability(cell->region);
           topk_probability_cache_.emplace(id, p);
           ++diagnostics_.cells_inferred;
+          cells_inferred_counter_.Add(1);
         }
         if (p <= 0.0) continue;
         AccumulateTuple(id, q, p, &round_numerator, &round_denominator);
@@ -74,14 +104,19 @@ void LnrAggEstimator::Step() {
             it != top1_probability_cache_.end()) {
           p = it->second;
           ++diagnostics_.cache_hits;
+          cache_hits_counter_.Add(1);
         } else {
-          const std::optional<LnrCellResult> cell =
-              cell_computer_.ComputeTop1Cell(id, q);
+          std::optional<LnrCellResult> cell;
+          {
+            obs::ScopedSpan cell_span(tracer_, "estimator.cell", "estimator");
+            cell = cell_computer_.ComputeTop1Cell(id, q);
+          }
           if (cell.has_value() && !cell->cell.IsEmpty()) {
             p = sampler_->RegionProbability(cell->cell);
           }
           top1_probability_cache_.emplace(id, p);
           ++diagnostics_.cells_inferred;
+          cells_inferred_counter_.Add(1);
         }
         if (p > 0.0) {
           AccumulateTuple(id, q, p, &round_numerator, &round_denominator);
@@ -93,6 +128,7 @@ void LnrAggEstimator::Step() {
   numerator_.Add(round_numerator);
   denominator_.Add(round_denominator);
   ++diagnostics_.rounds;
+  rounds_counter_.Add(1);
   trace_.push_back({client_->queries_used(), Estimate()});
 }
 

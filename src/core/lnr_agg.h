@@ -38,6 +38,16 @@ struct LnrAggOptions {
   bool reuse_cell_probabilities = true;
 
   uint64_t seed = 3;
+
+  // Metric plane for the estimator.lnr.* counters and the
+  // estimator.lnr.ht_weight histogram; null lands on
+  // obs::MetricsRegistry::Default(). Propagated into cell.registry (and from
+  // there into the binary searches) when that is unset.
+  obs::MetricsRegistry* registry = nullptr;
+
+  // When set, each Step() emits an "estimator.round" span with nested
+  // "estimator.cell" spans per cell inference.
+  obs::Tracer* tracer = nullptr;
 };
 
 // Algorithm LNR-LBS-AGG: SUM/COUNT (and AVG as SUM/COUNT) estimation over a
@@ -91,6 +101,11 @@ class LnrAggEstimator {
   RunningStats denominator_;
   LnrAggDiagnostics diagnostics_;
   std::vector<TracePoint> trace_;
+  obs::CounterRef rounds_counter_;
+  obs::CounterRef cells_inferred_counter_;
+  obs::CounterRef cache_hits_counter_;
+  obs::HistogramRef ht_weight_hist_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace lbsagg

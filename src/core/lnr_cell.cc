@@ -103,8 +103,20 @@ std::optional<Vec2> DetectCoverageDisc(const std::vector<Vec2>& points,
 }  // namespace
 
 LnrCellComputer::LnrCellComputer(LnrClient* client, LnrCellOptions options)
-    : client_(client), options_(options) {
+    : client_(client),
+      options_(options),
+      cells_counter_(
+          obs::GetCounter(options.registry, "estimator.lnr_cell.cells")),
+      edges_counter_(
+          obs::GetCounter(options.registry, "estimator.lnr_cell.edges")),
+      queries_counter_(
+          obs::GetCounter(options.registry, "estimator.lnr_cell.queries")) {
   LBSAGG_CHECK(client_ != nullptr);
+  // One observability pointer instruments the whole stack: flow the cell
+  // registry into the binary searches unless pinned there explicitly.
+  if (options_.search.registry == nullptr) {
+    options_.search.registry = options_.registry;
+  }
 }
 
 std::optional<LnrCellResult> LnrCellComputer::ComputeTop1Cell(int id,
@@ -257,6 +269,9 @@ std::optional<LnrCellResult> LnrCellComputer::ComputeTop1Cell(int id,
   result.cell = std::move(poly);
   result.area = result.cell.Area();
   result.queries = client_->queries_used() - start_queries;
+  cells_counter_.Add(1);
+  edges_counter_.Add(result.edges.size());
+  queries_counter_.Add(result.queries);
   return result;
 }
 
@@ -646,6 +661,9 @@ std::optional<LnrCellResult> LnrCellComputer::ComputeTopkCell(int id,
   result.area = region.area;
   result.region = std::move(region);
   result.queries = client_->queries_used() - start_queries;
+  cells_counter_.Add(1);
+  edges_counter_.Add(result.edges.size());
+  queries_counter_.Add(result.queries);
   return result;
 }
 

@@ -43,6 +43,11 @@ struct LnrCellOptions {
   // probes find anything wrong before a top-k cell is declared converged.
   // More rounds shave residual over-approximation at extra query cost.
   int interior_quiet_rounds = 2;
+
+  // Metric plane for the estimator.lnr_cell.* counters (cells, edges,
+  // queries); null lands on obs::MetricsRegistry::Default(). Propagated
+  // into search.registry when that is unset.
+  obs::MetricsRegistry* registry = nullptr;
 };
 
 // Infers the Voronoi cell of a tuple through a rank-only (LNR) interface —
@@ -74,6 +79,9 @@ class LnrCellComputer {
  private:
   LnrClient* client_;
   LnrCellOptions options_;
+  obs::CounterRef cells_counter_;
+  obs::CounterRef edges_counter_;
+  obs::CounterRef queries_counter_;
 };
 
 }  // namespace lbsagg

@@ -7,6 +7,19 @@
 
 namespace lbsagg {
 
+namespace {
+
+// One observability pointer instruments the whole stack: the estimator's
+// registry flows into the cell computer unless the caller pinned a
+// different plane there explicitly.
+LrCellOptions PropagateRegistry(LrCellOptions cell,
+                                obs::MetricsRegistry* registry) {
+  if (cell.registry == nullptr) cell.registry = registry;
+  return cell;
+}
+
+}  // namespace
+
 LrAggEstimator::LrAggEstimator(LrClient* client, const QuerySampler* sampler,
                                const AggregateSpec& aggregate,
                                LrAggOptions options)
@@ -14,8 +27,18 @@ LrAggEstimator::LrAggEstimator(LrClient* client, const QuerySampler* sampler,
       sampler_(sampler),
       aggregate_(aggregate),
       options_(options),
-      cell_computer_(client, &history_, sampler, options.cell),
-      rng_(options.seed) {
+      cell_computer_(client, &history_, sampler,
+                     PropagateRegistry(options.cell, options.registry)),
+      rng_(options.seed),
+      rounds_counter_(obs::GetCounter(options.registry, "estimator.lr.rounds")),
+      cells_exact_counter_(
+          obs::GetCounter(options.registry, "estimator.lr.cells_exact")),
+      cells_mc_counter_(
+          obs::GetCounter(options.registry, "estimator.lr.cells_monte_carlo")),
+      ht_weight_hist_(obs::GetHistogram(options.registry,
+                                        "estimator.lr.ht_weight",
+                                        obs::DecadeBounds(1.0, 1e9))),
+      tracer_(options.tracer) {
   LBSAGG_CHECK(client_ != nullptr);
   LBSAGG_CHECK(sampler_ != nullptr);
   if (!options_.adaptive_h) {
@@ -42,6 +65,7 @@ int LrAggEstimator::ChooseH(int id, const Vec2& pos) {
 }
 
 void LrAggEstimator::Step() {
+  obs::ScopedSpan round_span(tracer_, "estimator.round", "estimator");
   const Vec2 q = sampler_->Sample(rng_);
   std::vector<LrClient::Item> items = client_->Query(q);
 
@@ -94,15 +118,21 @@ void LrAggEstimator::Step() {
       continue;
     }
 
-    const LrCellComputer::Result cell =
-        cell_computer_.ComputeInverseProbability(item.id, item.location, h,
-                                                 rng_);
+    LrCellComputer::Result cell;
+    {
+      obs::ScopedSpan cell_span(tracer_, "estimator.cell", "estimator");
+      cell = cell_computer_.ComputeInverseProbability(item.id, item.location,
+                                                      h, rng_);
+    }
     diagnostics_.cell_queries += cell.queries;
     if (cell.exact) {
       ++diagnostics_.cells_exact;
+      cells_exact_counter_.Add(1);
     } else {
       ++diagnostics_.cells_monte_carlo;
+      cells_mc_counter_.Add(1);
     }
+    ht_weight_hist_.Observe(cell.inv_probability);
     ++diagnostics_.h_used[std::min<size_t>(h, 7)];
     round_numerator += numerator_value * cell.inv_probability;
     round_denominator += denominator_value * cell.inv_probability;
@@ -111,6 +141,7 @@ void LrAggEstimator::Step() {
   numerator_.Add(round_numerator);
   denominator_.Add(round_denominator);
   ++diagnostics_.rounds;
+  rounds_counter_.Add(1);
   trace_.push_back({client_->queries_used(), Estimate()});
 }
 

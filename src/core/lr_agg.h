@@ -9,6 +9,8 @@
 #include "core/lr_cell.h"
 #include "core/sampler.h"
 #include "lbs/client.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
 #include "util/rng.h"
 #include "util/stats.h"
 
@@ -49,6 +51,16 @@ struct LrAggOptions {
   LrCellOptions cell;
 
   uint64_t seed = 1;
+
+  // Metric plane for the estimator.lr.* counters and the estimator.lr.ht_weight
+  // histogram; null lands on obs::MetricsRegistry::Default(). Propagated into
+  // cell.registry when that is unset, so one pointer instruments the whole
+  // estimator stack.
+  obs::MetricsRegistry* registry = nullptr;
+
+  // When set, each Step() emits an "estimator.round" span with nested
+  // "estimator.cell" spans per Horvitz–Thompson cell computation.
+  obs::Tracer* tracer = nullptr;
 };
 
 // Algorithm LR-LBS-AGG (§3.3): completely unbiased SUM/COUNT estimation
@@ -96,6 +108,11 @@ class LrAggEstimator {
   RunningStats denominator_;  // used by kAvg only
   LrAggDiagnostics diagnostics_;
   std::vector<TracePoint> trace_;
+  obs::CounterRef rounds_counter_;
+  obs::CounterRef cells_exact_counter_;
+  obs::CounterRef cells_mc_counter_;
+  obs::HistogramRef ht_weight_hist_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace lbsagg

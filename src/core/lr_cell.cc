@@ -37,7 +37,13 @@ LrCellComputer::LrCellComputer(LrClient* client, History* history,
     : client_(client),
       history_(history),
       sampler_(sampler),
-      options_(options) {
+      options_(options),
+      refine_rounds_counter_(
+          obs::GetCounter(options.registry, "estimator.lr_cell.refine_rounds")),
+      mc_trials_counter_(
+          obs::GetCounter(options.registry, "estimator.lr_cell.mc_trials")),
+      queries_counter_(
+          obs::GetCounter(options.registry, "estimator.lr_cell.queries")) {
   LBSAGG_CHECK(client_ != nullptr);
   LBSAGG_CHECK(history_ != nullptr);
   LBSAGG_CHECK(sampler_ != nullptr);
@@ -205,6 +211,8 @@ LrCellComputer::Result LrCellComputer::ComputeInverseProbability(int id,
 
   if (outcome.exact) {
     result.inv_probability = 1.0 / region_prob;
+    refine_rounds_counter_.Add(static_cast<uint64_t>(result.rounds));
+    queries_counter_.Add(result.queries);
     return result;
   }
 
@@ -255,12 +263,17 @@ LrCellComputer::Result LrCellComputer::ComputeInverseProbability(int id,
 
   result.mc_trials = trials;
   result.inv_probability = static_cast<double>(trials) / region_prob;
+  refine_rounds_counter_.Add(static_cast<uint64_t>(result.rounds));
+  mc_trials_counter_.Add(static_cast<uint64_t>(result.mc_trials));
+  queries_counter_.Add(result.queries);
   return result;
 }
 
 TopkRegion LrCellComputer::ComputeExactCell(int id, const Vec2& pos, int h) {
   LoopOutcome outcome = RefineCell(id, pos, h, /*allow_early_stop=*/false);
   LBSAGG_CHECK(outcome.exact);
+  refine_rounds_counter_.Add(static_cast<uint64_t>(outcome.rounds));
+  queries_counter_.Add(outcome.queries);
   return std::move(outcome.region);
 }
 

@@ -7,6 +7,7 @@
 #include "core/sampler.h"
 #include "geometry/topk_region.h"
 #include "lbs/client.h"
+#include "obs/obs.h"
 #include "util/rng.h"
 
 namespace lbsagg {
@@ -48,6 +49,11 @@ struct LrCellOptions {
 
   // Safety cap on refinement rounds (never reached in practice).
   int max_rounds = 256;
+
+  // Metric plane for the estimator.lr_cell.* counters (refine_rounds,
+  // mc_trials, queries); null lands on obs::MetricsRegistry::Default().
+  // Estimators propagate their own registry here when this is unset.
+  obs::MetricsRegistry* registry = nullptr;
 };
 
 // Computes (top-h) Voronoi cells of returned tuples through a
@@ -107,6 +113,9 @@ class LrCellComputer {
   History* history_;
   const QuerySampler* sampler_;
   LrCellOptions options_;
+  obs::CounterRef refine_rounds_counter_;
+  obs::CounterRef mc_trials_counter_;
+  obs::CounterRef queries_counter_;
 };
 
 }  // namespace lbsagg

@@ -12,7 +12,15 @@ NnoEstimator::NnoEstimator(LrClient* client, const AggregateSpec& aggregate,
     : client_(client),
       aggregate_(aggregate),
       options_(options),
-      rng_(options.seed) {
+      rng_(options.seed),
+      rounds_counter_(obs::GetCounter(options.registry, "estimator.nno.rounds")),
+      growth_rounds_counter_(
+          obs::GetCounter(options.registry, "estimator.nno.growth_rounds")),
+      mc_probes_counter_(
+          obs::GetCounter(options.registry, "estimator.nno.mc_probes")),
+      mc_hits_counter_(
+          obs::GetCounter(options.registry, "estimator.nno.mc_hits")),
+      tracer_(options.tracer) {
   LBSAGG_CHECK(client_ != nullptr);
   LBSAGG_CHECK_GE(options_.ring_points, 3);
   LBSAGG_CHECK_GE(options_.area_samples, 1);
@@ -26,6 +34,7 @@ double NnoEstimator::EstimateCellArea(int id, const Vec2& pos) {
   double radius =
       options_.init_radius_factor * 1e-4 * Distance(box.lo, box.hi);
   for (int round = 0; round < options_.max_growth_rounds; ++round) {
+    growth_rounds_counter_.Add(1);
     bool any_hit = false;
     for (int i = 0; i < options_.ring_points; ++i) {
       const double angle = 2.0 * M_PI * (i + 0.5 * (round % 2)) /
@@ -75,6 +84,8 @@ double NnoEstimator::EstimateCellArea(int id, const Vec2& pos) {
          client_->QueryBatch(probes)) {
       if (!items.empty() && items.front().id == id) ++hits;
     }
+    mc_probes_counter_.Add(probes.size());
+    mc_hits_counter_.Add(static_cast<uint64_t>(hits));
     const double annulus = M_PI * (outer * outer - inner * inner);
     if (per_level > 0) {
       // The out-of-box share of the annulus contributes no area.
@@ -88,6 +99,8 @@ double NnoEstimator::EstimateCellArea(int id, const Vec2& pos) {
 }
 
 void NnoEstimator::Step() {
+  obs::ScopedSpan round_span(tracer_, "estimator.round", "estimator");
+  rounds_counter_.Add(1);
   const Box& box = client_->region();
   const Vec2 q = box.SamplePoint(rng_);
   const std::vector<LrClient::Item> items = client_->Query(q);
@@ -110,7 +123,11 @@ void NnoEstimator::Step() {
   double round_numerator = 0.0;
   double round_denominator = 0.0;
   if (numerator_value != 0.0 || denominator_value != 0.0) {
-    const double area = EstimateCellArea(top.id, top.location);
+    double area = 0.0;
+    {
+      obs::ScopedSpan cell_span(tracer_, "estimator.cell", "estimator");
+      area = EstimateCellArea(top.id, top.location);
+    }
     const double inv_p = box.Area() / area;
     round_numerator = numerator_value * inv_p;
     round_denominator = denominator_value * inv_p;

@@ -26,6 +26,14 @@ struct NnoOptions {
   // Maximum disc doublings.
   int max_growth_rounds = 12;
   uint64_t seed = 7;
+
+  // Metric plane for the estimator.nno.* counters (rounds, growth_rounds,
+  // mc_probes, mc_hits); null lands on obs::MetricsRegistry::Default().
+  obs::MetricsRegistry* registry = nullptr;
+
+  // When set, each Step() emits an "estimator.round" span with a nested
+  // "estimator.cell" span around the cell-area estimate.
+  obs::Tracer* tracer = nullptr;
 };
 
 // LR-LBS-NNO — the nearest-neighbor-oracle estimator of Dalvi et al. [10],
@@ -63,6 +71,11 @@ class NnoEstimator {
   RunningStats numerator_;
   RunningStats denominator_;
   std::vector<TracePoint> trace_;
+  obs::CounterRef rounds_counter_;
+  obs::CounterRef growth_rounds_counter_;
+  obs::CounterRef mc_probes_counter_;
+  obs::CounterRef mc_hits_counter_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace lbsagg

@@ -82,6 +82,24 @@ ErrorCurve ComputeErrorCurve(const std::vector<RunResult>& runs, double truth,
   return curve;
 }
 
+obs::RunReport BuildRunReport(const std::string& estimator_name,
+                              const RunResult& result,
+                              obs::MetricsRegistry* registry) {
+  obs::RunReport report;
+  report.SetMeta("estimator", estimator_name);
+  report.SetMetaNum("final_estimate", result.final_estimate);
+  report.SetMetaNum("queries", static_cast<double>(result.queries));
+  report.SetMetaNum("rounds", static_cast<double>(result.trace.size()));
+
+  RunningStats running_estimate;
+  for (const TracePoint& p : result.trace) running_estimate.Add(p.estimate);
+  report.AddStats("running_estimate", running_estimate);
+
+  if (registry == nullptr) registry = &obs::MetricsRegistry::Default();
+  report.SetSnapshot(registry->Snapshot());
+  return report;
+}
+
 double QueryCostForError(const ErrorCurve& curve, double target) {
   LBSAGG_CHECK(!curve.checkpoints.empty());
   for (size_t i = 0; i < curve.checkpoints.size(); ++i) {

@@ -2,9 +2,11 @@
 #define LBSAGG_CORE_RUNNER_H_
 
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "core/lr_agg.h"  // TracePoint
+#include "obs/report.h"
 #include "util/stats.h"
 
 namespace lbsagg {
@@ -88,6 +90,17 @@ ErrorCurve ComputeErrorCurve(const std::vector<RunResult>& runs, double truth,
 // checkpoint cost when the target is never reached (callers report it as a
 // lower bound).
 double QueryCostForError(const ErrorCurve& curve, double target);
+
+// Assembles the single run-report artifact (DESIGN.md §4.8) from one run:
+// run meta (estimator name, final estimate, query cost, rounds), a
+// RunningStats summary of the running-estimate trace, and a snapshot of the
+// metric plane — which carries whatever the run's components published
+// (estimator.*, client.*, spatial.*, transport.*). `registry == nullptr`
+// snapshots obs::MetricsRegistry::Default(). Callers layer on extra context
+// via AddStats/SetMeta/AddJsonSection (e.g. the transport's own JSON).
+obs::RunReport BuildRunReport(const std::string& estimator_name,
+                              const RunResult& result,
+                              obs::MetricsRegistry* registry = nullptr);
 
 }  // namespace lbsagg
 

@@ -10,7 +10,11 @@ namespace lbsagg {
 LbsClient::LbsClient(const LbsServer* server, ClientOptions options)
     : server_(server),
       options_(options),
-      k_(std::min(options.k, server->options().max_k)) {
+      k_(std::min(options.k, server->options().max_k)),
+      queries_counter_(obs::GetCounter(options.registry, "client.queries")),
+      memo_hits_counter_(
+          obs::GetCounter(options.registry, "client.memo_hits")),
+      tracer_(options.tracer) {
   LBSAGG_CHECK_GE(options.k, 1);
 }
 
@@ -23,7 +27,7 @@ LbsClient::LbsClient(const LbsServer* server, ClientOptions options,
 
 bool LbsClient::HasBudget(uint64_t upcoming) const {
   if (options_.budget == 0) return true;
-  return queries_used_ + upcoming <= options_.budget;
+  return queries_used() + upcoming <= options_.budget;
 }
 
 void LbsClient::SetPassThroughFilter(TupleFilter filter) {
@@ -47,14 +51,13 @@ double LbsClient::NumericAttribute(int id, int col) const {
 }
 
 std::vector<ServerHit> LbsClient::RawQuery(const Vec2& q) {
+  obs::ScopedSpan span(tracer_, "client.query", "client");
   if (transport_ == nullptr) {  // zero-overhead direct wire
-    ++queries_used_;
-    if (log_queries_) query_log_.push_back(q);
+    ChargeQuery(q, 1);
     return server_->Query(q, k_, filter_);
   }
   TransportReply reply = transport_->Query(q, k_, filter_);
-  queries_used_ += static_cast<uint64_t>(reply.attempts);
-  if (log_queries_) query_log_.push_back(q);
+  ChargeQuery(q, static_cast<uint64_t>(reply.attempts));
   return std::move(reply.hits);
 }
 
@@ -62,11 +65,11 @@ std::vector<std::vector<ServerHit>> LbsClient::RawQueryBatch(
     const std::vector<Vec2>& points) {
   std::vector<std::vector<ServerHit>> pages(points.size());
   if (transport_ != nullptr && batch_ != nullptr) {
+    obs::ScopedSpan span(tracer_, "client.query_batch", "client");
     std::vector<TransportReply> replies =
         batch_->QueryBatch(points, k_, filter_);
     for (size_t i = 0; i < points.size(); ++i) {
-      queries_used_ += static_cast<uint64_t>(replies[i].attempts);
-      if (log_queries_) query_log_.push_back(points[i]);
+      ChargeQuery(points[i], static_cast<uint64_t>(replies[i].attempts));
       pages[i] = std::move(replies[i].hits);
     }
     return pages;
@@ -94,7 +97,7 @@ std::vector<std::vector<ServerHit>> LbsClient::MemoQueryBatch(
   for (size_t i = 0; i < points.size(); ++i) {
     const LocKey key = MakeLocKey(points[i], memo_grid_);
     if (auto it = memo_.find(key); it != memo_.end()) {
-      ++memo_hits_;
+      CountMemoHit();
       pages[i] = it->second;
       continue;
     }
@@ -103,7 +106,7 @@ std::vector<std::vector<ServerHit>> LbsClient::MemoQueryBatch(
       misses.push_back(points[i]);
       miss_keys.push_back(key);
     } else {
-      ++memo_hits_;  // duplicate within the batch: the first fetch answers it
+      CountMemoHit();  // duplicate within the batch: the first fetch answers it
     }
     pending.push_back({i, slot->second});
   }
@@ -127,7 +130,7 @@ const std::vector<ServerHit>& LbsClient::MemoQuery(const Vec2& q) {
   if (inserted) {
     it->second = RawQuery(q);
   } else {
-    ++memo_hits_;
+    CountMemoHit();
   }
   return it->second;
 }

@@ -1,6 +1,7 @@
 #ifndef LBSAGG_LBS_CLIENT_H_
 #define LBSAGG_LBS_CLIENT_H_
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
@@ -8,6 +9,8 @@
 
 #include "geometry/loc_key.h"
 #include "lbs/server.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
 #include "transport/transport.h"
 
 namespace lbsagg {
@@ -37,6 +40,22 @@ struct ClientOptions {
   // because two locations closer than ~1e-9 of the region scale share a
   // memo slot, so counted-query traces differ from the memo-less run.
   bool memoize_queries = false;
+
+  // Metric plane for the client.* counters (queries, memo_hits); null lands
+  // on the process-wide obs::MetricsRegistry::Default(). Determinism tests
+  // inject a fresh registry per run and compare snapshots.
+  obs::MetricsRegistry* registry = nullptr;
+
+  // When set, every counted query emits a "client.query" span (nested
+  // between the estimator's round span and the transport's attempt spans).
+  // Null = no tracing, no overhead beyond one pointer test.
+  obs::Tracer* tracer = nullptr;
+};
+
+// Atomically drained per-client accounting (see SnapshotAndResetStats).
+struct ClientStats {
+  uint64_t queries = 0;    // interface attempts charged (§2.1 cost)
+  uint64_t memo_hits = 0;  // queries answered client-side at zero cost
 };
 
 // Base of the restricted public interfaces. Owns query accounting — the
@@ -62,16 +81,31 @@ class LbsClient {
   virtual ~LbsClient() = default;
 
   int k() const { return k_; }
-  uint64_t queries_used() const { return queries_used_; }
+  uint64_t queries_used() const {
+    return queries_used_.load(std::memory_order_relaxed);
+  }
+
+  // Atomically drains the query and memo-hit counters (each via one
+  // exchange) and returns the drained values: every increment lands in
+  // exactly one accounting period even while a batch is in flight on an
+  // AsyncDispatcher — the snapshot-then-reset contract the racy
+  // field-by-field reset could not give (pinned under TSAN by obs_test.cc).
+  ClientStats SnapshotAndResetStats() {
+    ClientStats stats;
+    stats.queries = queries_used_.exchange(0, std::memory_order_relaxed);
+    stats.memo_hits = memo_hits_.exchange(0, std::memory_order_relaxed);
+    return stats;
+  }
 
   // Resets every per-run statistic — the query counter, the memo-hit
   // counter, and the query log — so a reused client reports internally
   // consistent numbers (memo_hits() can never exceed the queries the
   // current accounting period has seen). The memo *contents* survive: the
-  // service is static, so cached answers stay valid across runs.
+  // service is static, so cached answers stay valid across runs. The
+  // counter drain is atomic (SnapshotAndResetStats); clearing the query
+  // log still requires no batch in flight.
   void ResetQueryCount() {
-    queries_used_ = 0;
-    memo_hits_ = 0;
+    (void)SnapshotAndResetStats();
     query_log_.clear();
   }
 
@@ -94,7 +128,9 @@ class LbsClient {
 
   // Number of queries answered from the memo (always 0 unless
   // ClientOptions::memoize_queries).
-  uint64_t memo_hits() const { return memo_hits_; }
+  uint64_t memo_hits() const {
+    return memo_hits_.load(std::memory_order_relaxed);
+  }
 
   // Attribute access for tuples the service returned: both LR and LNR
   // interfaces return non-location attributes (name, rating, gender, …).
@@ -144,18 +180,33 @@ class LbsClient {
   const LbsServer* server_;
 
  private:
+  // Charges `attempts` interface attempts for one counted query at `q`.
+  void ChargeQuery(const Vec2& q, uint64_t attempts) {
+    queries_used_.fetch_add(attempts, std::memory_order_relaxed);
+    queries_counter_.Add(attempts);
+    if (log_queries_) query_log_.push_back(q);
+  }
+
+  void CountMemoHit() {
+    memo_hits_.fetch_add(1, std::memory_order_relaxed);
+    memo_hits_counter_.Add(1);
+  }
+
   ClientOptions options_;
   LbsTransport* transport_ = nullptr;  // null = direct in-process wire
   BatchExecutor* batch_ = nullptr;
   int k_;
   TupleFilter filter_;
-  uint64_t queries_used_ = 0;
+  std::atomic<uint64_t> queries_used_{0};
   bool log_queries_ = false;
   std::vector<Vec2> query_log_;
+  obs::CounterRef queries_counter_;
+  obs::CounterRef memo_hits_counter_;
+  obs::Tracer* tracer_ = nullptr;
 
   // Cross-round memo (see ClientOptions::memoize_queries).
   double memo_grid_ = 0.0;
-  uint64_t memo_hits_ = 0;
+  std::atomic<uint64_t> memo_hits_{0};
   std::unordered_map<LocKey, std::vector<ServerHit>, LocKeyHash> memo_;
   std::vector<ServerHit> memo_scratch_;  // MemoQuery result when memo is off
 };

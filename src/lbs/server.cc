@@ -36,9 +36,14 @@ LbsServer::LbsServer(const Dataset* dataset, ServerOptions options)
       effective_pos_(ComputeEffectivePositions(*dataset, options)) {
   LBSAGG_CHECK_GE(options_.max_k, 1);
   switch (options_.index_backend) {
-    case IndexBackend::kKdTree:
-      index_ = std::make_unique<KdTree>(effective_pos_);
+    case IndexBackend::kKdTree: {
+      auto tree = std::make_unique<KdTree>(effective_pos_);
+      if (options_.stats_registry != nullptr) {
+        tree->EnableStats(options_.stats_registry);
+      }
+      index_ = std::move(tree);
       break;
+    }
     case IndexBackend::kGrid:
       index_ = std::make_unique<GridIndex>(effective_pos_, dataset->box());
       break;

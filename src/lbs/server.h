@@ -12,6 +12,10 @@
 
 namespace lbsagg {
 
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
+
 // How the server ranks candidate tuples (§5.3).
 enum class RankingMode {
   // Ascending Euclidean distance — the model used by most of the paper.
@@ -52,6 +56,14 @@ struct ServerOptions {
   uint64_t obfuscation_seed = 0x0bf5ca7ed;
 
   IndexBackend index_backend = IndexBackend::kKdTree;
+
+  // When set, the spatial index publishes its per-search work counters
+  // (spatial.kdtree.*) to this registry. Opt-in — unlike the client and
+  // estimator layers there is no null-means-default fallback, because the
+  // index search is the hottest loop in the system and only runs that emit
+  // run reports should pay the per-search counter flush. Pass
+  // &obs::MetricsRegistry::Default() to land on the process-wide plane.
+  obs::MetricsRegistry* stats_registry = nullptr;
 };
 
 // One ranked hit; `distance` is measured to the tuple's effective

@@ -1,0 +1,117 @@
+#ifndef LBSAGG_OBS_OBS_H_
+#define LBSAGG_OBS_OBS_H_
+
+// Hot-path instrumentation handles. Instrumented code never talks to the
+// registry directly: it resolves a name to a *Ref once at construction and
+// increments through the ref, which is a single relaxed atomic RMW. Passing
+// `registry == nullptr` resolves against MetricsRegistry::Default(), which
+// is how the "process-wide but explicitly injectable" contract works —
+// production code uses the default plane, determinism tests inject fresh
+// registries per run and compare snapshots.
+//
+// Compile-out: configuring with -DLBSAGG_OBS_DISABLED=ON defines
+// LBSAGG_OBS_DISABLED, which turns every ref into an empty struct with
+// inline no-op members. The local tallies feeding them become dead code the
+// optimizer deletes, so the instrumented binary is bit-for-bit free of
+// metric work — the baseline the ≤1% overhead gate in tools/check.sh
+// compares against.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace lbsagg {
+namespace obs {
+
+#ifndef LBSAGG_OBS_DISABLED
+
+inline constexpr bool kObsEnabled = true;
+
+class CounterRef {
+ public:
+  CounterRef() = default;
+  explicit CounterRef(Counter* cell) : cell_(cell) {}
+  void Add(uint64_t n = 1) const {
+    if (cell_ != nullptr) cell_->Add(n);
+  }
+
+ private:
+  Counter* cell_ = nullptr;
+};
+
+class GaugeRef {
+ public:
+  GaugeRef() = default;
+  explicit GaugeRef(Gauge* cell) : cell_(cell) {}
+  void Set(double v) const {
+    if (cell_ != nullptr) cell_->Set(v);
+  }
+
+ private:
+  Gauge* cell_ = nullptr;
+};
+
+class HistogramRef {
+ public:
+  HistogramRef() = default;
+  explicit HistogramRef(Histogram* cell) : cell_(cell) {}
+  void Observe(double v) const {
+    if (cell_ != nullptr) cell_->Observe(v);
+  }
+
+ private:
+  Histogram* cell_ = nullptr;
+};
+
+inline MetricsRegistry& Resolve(MetricsRegistry* registry) {
+  return registry != nullptr ? *registry : MetricsRegistry::Default();
+}
+
+inline CounterRef GetCounter(MetricsRegistry* registry,
+                             const std::string& name) {
+  return CounterRef(Resolve(registry).GetCounter(name));
+}
+
+inline GaugeRef GetGauge(MetricsRegistry* registry, const std::string& name) {
+  return GaugeRef(Resolve(registry).GetGauge(name));
+}
+
+inline HistogramRef GetHistogram(MetricsRegistry* registry,
+                                 const std::string& name,
+                                 std::vector<double> bounds) {
+  return HistogramRef(
+      Resolve(registry).GetHistogram(name, std::move(bounds)));
+}
+
+#else  // LBSAGG_OBS_DISABLED
+
+inline constexpr bool kObsEnabled = false;
+
+struct CounterRef {
+  void Add(uint64_t = 1) const {}
+};
+struct GaugeRef {
+  void Set(double) const {}
+};
+struct HistogramRef {
+  void Observe(double) const {}
+};
+
+inline CounterRef GetCounter(MetricsRegistry*, const std::string&) {
+  return {};
+}
+inline GaugeRef GetGauge(MetricsRegistry*, const std::string&) { return {}; }
+inline HistogramRef GetHistogram(MetricsRegistry*, const std::string&,
+                                 std::vector<double>) {
+  return {};
+}
+
+#endif  // LBSAGG_OBS_DISABLED
+
+}  // namespace obs
+}  // namespace lbsagg
+
+#endif  // LBSAGG_OBS_OBS_H_

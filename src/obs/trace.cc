@@ -1,0 +1,78 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <sstream>
+
+namespace lbsagg {
+namespace obs {
+
+namespace {
+
+// Small dense thread ids for the "tid" field: Chrome's format wants ints,
+// and per-thread lanes are what make same-thread spans nest by containment.
+int CurrentTid() {
+  static std::atomic<int> next{1};
+  thread_local int tid = next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+std::string FormatDouble(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+// Trace names are compile-time literals and metric-style strings; escape
+// the JSON specials anyway so a hostile name cannot corrupt the document.
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(static_cast<unsigned char>(c) < 0x20 ? ' ' : c);
+  }
+  return out;
+}
+
+}  // namespace
+
+double SteadyTraceClock::NowUs() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Tracer::Tracer(const TraceClock* clock)
+    : clock_(clock != nullptr ? clock : &default_clock_) {}
+
+void Tracer::AddComplete(const std::string& name, const std::string& category,
+                         double ts_us, double dur_us) {
+  const int tid = CurrentTid();
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back({name, category, ts_us, dur_us, tid});
+}
+
+size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::string Tracer::ToChromeTraceJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  for (size_t i = 0; i < events_.size(); ++i) {
+    const TraceEvent& e = events_[i];
+    if (i > 0) os << ',';
+    os << "\n{\"name\":\"" << EscapeJson(e.name) << "\",\"cat\":\""
+       << EscapeJson(e.category) << "\",\"ph\":\"X\",\"ts\":"
+       << FormatDouble(e.ts_us) << ",\"dur\":" << FormatDouble(e.dur_us)
+       << ",\"pid\":1,\"tid\":" << e.tid << "}";
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\"}";
+  return os.str();
+}
+
+}  // namespace obs
+}  // namespace lbsagg

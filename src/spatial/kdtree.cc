@@ -96,6 +96,19 @@ KdTree::KdTree(std::vector<Vec2> points) {
   }
 }
 
+void KdTree::EnableStats(obs::MetricsRegistry* registry) {
+#ifndef LBSAGG_OBS_DISABLED
+  searches_ = obs::GetCounter(registry, "spatial.kdtree.searches");
+  nodes_visited_ = obs::GetCounter(registry, "spatial.kdtree.nodes_visited");
+  leaves_scanned_ =
+      obs::GetCounter(registry, "spatial.kdtree.leaves_scanned");
+  points_tested_ = obs::GetCounter(registry, "spatial.kdtree.points_tested");
+  stats_enabled_ = true;
+#else
+  (void)registry;
+#endif
+}
+
 int KdTree::Build(std::vector<int>& order, const std::vector<Vec2>& input,
                   int lo, int hi, int depth) {
   const int me = static_cast<int>(nodes_.size());
@@ -148,6 +161,7 @@ void KdTree::SearchKnnSmall(const Vec2& q, int k, const Accept& accept,
   double worst2 = std::numeric_limits<double>::infinity();
 
   double d2s[kLeafSize];
+  SearchTally tally;
   PendingNode stack[kMaxStack];
   int sp = 0;
   stack[sp++] = {0, 0.0, 0.0, 0.0};
@@ -157,6 +171,7 @@ void KdTree::SearchKnnSmall(const Vec2& q, int k, const Accept& accept,
     int32_t node = top.node;
     double ox = top.ox, oy = top.oy;
     while (!(nodes_[node].tag & kLeafBit)) {
+      tally.Node();
       const Node& nd = nodes_[node];
       const double diff = (nd.tag == 0 ? q.x : q.y) - nd.split;
       const int32_t near = diff <= 0 ? node + 1 : nd.right;
@@ -175,6 +190,7 @@ void KdTree::SearchKnnSmall(const Vec2& q, int k, const Accept& accept,
     const int count = static_cast<int>(leaf.tag & ~kLeafBit);
     const double* yb = xb + count;
     const double* ib = yb + count;
+    tally.Leaf(count);
     for (int j = 0; j < count; ++j) {
       const double dx = xb[j] - q.x;
       const double dy = yb[j] - q.y;
@@ -200,6 +216,7 @@ void KdTree::SearchKnnSmall(const Vec2& q, int k, const Accept& accept,
       if (m == k) worst2 = best[m - 1].d2;
     }
   }
+  FlushTally(tally);
 
   out.resize(m);
   for (int i = 0; i < m; ++i) {
@@ -236,6 +253,7 @@ void KdTree::SearchKnn(const Vec2& q, int k, const Accept& accept,
   };
 
   double d2s[kLeafSize];
+  SearchTally tally;
   PendingNode stack[kMaxStack];
   int sp = 0;
   stack[sp++] = {0, 0.0, 0.0, 0.0};
@@ -246,6 +264,7 @@ void KdTree::SearchKnn(const Vec2& q, int k, const Accept& accept,
     double ox = top.ox, oy = top.oy;
     // Descend to the leaf on the query's side, deferring far subtrees.
     while (!(nodes_[node].tag & kLeafBit)) {
+      tally.Node();
       const Node& nd = nodes_[node];
       const double diff = (nd.tag == 0 ? q.x : q.y) - nd.split;
       const int32_t near = diff <= 0 ? node + 1 : nd.right;
@@ -266,6 +285,7 @@ void KdTree::SearchKnn(const Vec2& q, int k, const Accept& accept,
     const int count = static_cast<int>(leaf.tag & ~kLeafBit);
     const double* yb = xb + count;
     const double* ib = yb + count;
+    tally.Leaf(count);
     // Branch-free distance pass over the bucket (vectorizable), then the
     // scalar heap pass over the few that can matter.
     for (int j = 0; j < count; ++j) {
@@ -285,6 +305,7 @@ void KdTree::SearchKnn(const Vec2& q, int k, const Accept& accept,
     // typically right after the query's home leaf.
     if (worst2 == std::numeric_limits<double>::infinity() && m >= k) compact();
   }
+  FlushTally(tally);
 
   if (m > k) compact();
   std::sort(buf, buf + m, Better);
@@ -300,6 +321,7 @@ void KdTree::SearchNn(const Vec2& q, const Accept& accept,
   double best2 = std::numeric_limits<double>::infinity();
   int32_t best = -1;
   double d2s[kLeafSize];
+  SearchTally tally;
   PendingNode stack[kMaxStack];
   int sp = 0;
   stack[sp++] = {0, 0.0, 0.0, 0.0};
@@ -309,6 +331,7 @@ void KdTree::SearchNn(const Vec2& q, const Accept& accept,
     int32_t node = top.node;
     double ox = top.ox, oy = top.oy;
     while (!(nodes_[node].tag & kLeafBit)) {
+      tally.Node();
       const Node& nd = nodes_[node];
       const double diff = (nd.tag == 0 ? q.x : q.y) - nd.split;
       const int32_t near = diff <= 0 ? node + 1 : nd.right;
@@ -327,6 +350,7 @@ void KdTree::SearchNn(const Vec2& q, const Accept& accept,
     const int count = static_cast<int>(leaf.tag & ~kLeafBit);
     const double* yb = xb + count;
     const double* ib = yb + count;
+    tally.Leaf(count);
     for (int j = 0; j < count; ++j) {
       const double dx = xb[j] - q.x;
       const double dy = yb[j] - q.y;
@@ -343,6 +367,7 @@ void KdTree::SearchNn(const Vec2& q, const Accept& accept,
       best = id;
     }
   }
+  FlushTally(tally);
   if (best >= 0) out.push_back({best, std::sqrt(best2)});
 }
 
@@ -391,6 +416,7 @@ std::vector<Neighbor> KdTree::WithinRadius(const Vec2& q, double radius) const {
   if (nodes_.empty()) return result;
   const double r2 = radius * radius;
   double d2s[kLeafSize];
+  SearchTally tally;
   PendingNode stack[kMaxStack];
   int sp = 0;
   stack[sp++] = {0, 0.0, 0.0, 0.0};
@@ -400,6 +426,7 @@ std::vector<Neighbor> KdTree::WithinRadius(const Vec2& q, double radius) const {
     int32_t node = top.node;
     double ox = top.ox, oy = top.oy;
     while (!(nodes_[node].tag & kLeafBit)) {
+      tally.Node();
       const Node& nd = nodes_[node];
       const double diff = (nd.tag == 0 ? q.x : q.y) - nd.split;
       const int32_t near = diff <= 0 ? node + 1 : nd.right;
@@ -418,6 +445,7 @@ std::vector<Neighbor> KdTree::WithinRadius(const Vec2& q, double radius) const {
     const int count = static_cast<int>(leaf.tag & ~kLeafBit);
     const double* yb = xb + count;
     const double* ib = yb + count;
+    tally.Leaf(count);
     for (int j = 0; j < count; ++j) {
       const double dx = xb[j] - q.x;
       const double dy = yb[j] - q.y;
@@ -429,6 +457,7 @@ std::vector<Neighbor> KdTree::WithinRadius(const Vec2& q, double radius) const {
       }
     }
   }
+  FlushTally(tally);
   return result;
 }
 

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/obs.h"
 #include "spatial/spatial_index.h"
 
 namespace lbsagg {
@@ -44,6 +45,16 @@ class KdTree : public SpatialIndex {
   // Maximum root-to-leaf depth (diagnostics; bounds the search stack).
   int depth() const { return depth_; }
 
+  // Starts publishing per-search work counters (spatial.kdtree.searches /
+  // nodes_visited / leaves_scanned / points_tested) to `registry` (null =
+  // the process-wide default). Unlike the other layers this is opt-in, not
+  // on-by-default: the tree sits on the single hottest loop, so searches
+  // tally locally in registers and flush once per search — and only flush
+  // at all after EnableStats. LbsServer forwards ServerOptions::
+  // stats_registry here. Not thread-safe against in-flight searches; call
+  // before sharing the tree.
+  void EnableStats(obs::MetricsRegistry* registry);
+
  private:
   static constexpr int kLeafSize = 16;
   static constexpr uint32_t kLeafBit = 0x80000000u;
@@ -62,6 +73,36 @@ class KdTree : public SpatialIndex {
 
   int Build(std::vector<int>& order, const std::vector<Vec2>& input, int lo,
             int hi, int depth);
+
+  // Per-search tally kept in locals (registers) and flushed to the metric
+  // plane once per search; compiles to nothing under LBSAGG_OBS_DISABLED.
+  struct SearchTally {
+#ifndef LBSAGG_OBS_DISABLED
+    uint32_t nodes = 0;
+    uint32_t leaves = 0;
+    uint32_t points = 0;
+    void Node() { ++nodes; }
+    void Leaf(int count) {
+      ++leaves;
+      points += static_cast<uint32_t>(count);
+    }
+#else
+    void Node() {}
+    void Leaf(int) {}
+#endif
+  };
+
+  void FlushTally(const SearchTally& tally) const {
+#ifndef LBSAGG_OBS_DISABLED
+    if (!stats_enabled_) return;
+    searches_.Add(1);
+    nodes_visited_.Add(tally.nodes);
+    leaves_scanned_.Add(tally.leaves);
+    points_tested_.Add(tally.points);
+#else
+    (void)tally;
+#endif
+  }
 
   template <typename Accept>
   void SearchKnn(const Vec2& q, int k, const Accept& accept,
@@ -85,6 +126,12 @@ class KdTree : public SpatialIndex {
   std::vector<Node> nodes_;
   size_t size_ = 0;
   int depth_ = 0;
+
+  bool stats_enabled_ = false;
+  obs::CounterRef searches_;
+  obs::CounterRef nodes_visited_;
+  obs::CounterRef leaves_scanned_;
+  obs::CounterRef points_tested_;
 };
 
 }  // namespace lbsagg

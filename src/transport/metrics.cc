@@ -4,6 +4,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "obs/obs.h"
+
 namespace lbsagg {
 
 namespace {
@@ -143,6 +145,33 @@ void TransportMetrics::Merge(const TransportMetrics& other) {
   for (size_t i = 0; i < other.attempts_histogram.size(); ++i) {
     attempts_histogram[i] += other.attempts_histogram[i];
   }
+}
+
+void PublishTransportMetrics(const TransportMetrics& metrics,
+                             obs::MetricsRegistry* registry) {
+  obs::GetCounter(registry, "transport.requests").Add(metrics.requests);
+  obs::GetCounter(registry, "transport.attempts").Add(metrics.attempts);
+  obs::GetCounter(registry, "transport.retries").Add(metrics.retries);
+  for (int i = 0; i < kNumTransportOutcomes; ++i) {
+    obs::GetCounter(registry,
+                    std::string("transport.outcome.") +
+                        TransportOutcomeName(static_cast<TransportOutcome>(i)))
+        .Add(metrics.outcomes[i]);
+  }
+  obs::GetCounter(registry, "transport.attempt_transient_errors")
+      .Add(metrics.attempt_transient_errors);
+  obs::GetCounter(registry, "transport.attempt_timeouts")
+      .Add(metrics.attempt_timeouts);
+  obs::GetCounter(registry, "transport.throttle_events")
+      .Add(metrics.throttle_events);
+  obs::GetGauge(registry, "transport.throttle_wait_ms")
+      .Set(metrics.throttle_wait_ms);
+  obs::GetGauge(registry, "transport.latency_mean_ms")
+      .Set(metrics.latency.mean_ms());
+  obs::GetGauge(registry, "transport.latency_p50_le_ms")
+      .Set(metrics.latency.QuantileUpperBound(0.5));
+  obs::GetGauge(registry, "transport.latency_p99_le_ms")
+      .Set(metrics.latency.QuantileUpperBound(0.99));
 }
 
 }  // namespace lbsagg

@@ -10,6 +10,10 @@
 
 namespace lbsagg {
 
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
+
 // Power-of-two-bucketed latency histogram: bucket i counts samples in
 // [2^(i-1), 2^i) ms, bucket 0 counts < 1 ms, the last bucket is unbounded.
 class LatencyHistogram {
@@ -70,6 +74,16 @@ struct TransportMetrics {
   void Merge(const TransportMetrics& other);
   bool operator==(const TransportMetrics&) const = default;
 };
+
+// Bridges one transport-metrics snapshot into the shared metric plane as
+// transport.* counters and gauges (transport.requests, transport.attempts,
+// transport.outcome.<name>, transport.latency_mean_ms, …), so run reports
+// cover the transport layer without the obs library depending on transport.
+// Call once per accounting period with the delta (or the final snapshot);
+// counters *add*, gauges overwrite. `registry == nullptr` lands on
+// obs::MetricsRegistry::Default().
+void PublishTransportMetrics(const TransportMetrics& metrics,
+                             obs::MetricsRegistry* registry);
 
 }  // namespace lbsagg
 

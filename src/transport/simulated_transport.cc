@@ -13,7 +13,9 @@ SimulatedTransport::SimulatedTransport(const LbsServer* server,
       options_(options),
       latency_model_(options.latency),
       fault_injector_(options.faults, options.seed),
-      bucket_(options.rate_limit) {
+      bucket_(options.rate_limit),
+      fulfills_counter_(
+          obs::GetCounter(options.registry, "transport.fulfills")) {
   LBSAGG_CHECK(server_ != nullptr);
   LBSAGG_CHECK_GE(options_.retry.max_attempts, 1);
 }
@@ -42,6 +44,12 @@ TransportPlan SimulatedTransport::Prepare(const Vec2&, int) {
                                               attempt);
     if (fault.kind == AttemptFault::Kind::kTimeout) {
       attempt_ms = options_.faults.timeout_ms;
+    }
+    if (options_.tracer != nullptr) {
+      // Attempt endpoints are known exactly in virtual time (1 ms = 1000 ts
+      // units): the span starts when the rate limiter releases the attempt.
+      options_.tracer->AddComplete("transport.attempt", "transport",
+                                   t * 1000.0, attempt_ms * 1000.0);
     }
     t += attempt_ms;
 
@@ -78,6 +86,11 @@ TransportPlan SimulatedTransport::Prepare(const Vec2&, int) {
     t += BackoffMs(options_.retry, options_.seed, plan.ticket, attempt);
   }
 
+  if (options_.tracer != nullptr) {
+    options_.tracer->AddComplete("transport.request", "transport",
+                                 virtual_now_ms_ * 1000.0,
+                                 (t - virtual_now_ms_) * 1000.0);
+  }
   plan.latency_ms = t - virtual_now_ms_;
   virtual_now_ms_ = t;  // sequential-client clock: next query departs now
 
@@ -90,6 +103,7 @@ TransportPlan SimulatedTransport::Prepare(const Vec2&, int) {
 TransportReply SimulatedTransport::Fulfill(const TransportPlan& plan,
                                            const Vec2& q, int k,
                                            const TupleFilter& filter) const {
+  fulfills_counter_.Add(1);
   TransportReply reply;
   reply.outcome = plan.outcome;
   reply.attempts = plan.attempts;

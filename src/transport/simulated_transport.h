@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <mutex>
 
+#include "obs/obs.h"
+#include "obs/trace.h"
 #include "transport/metrics.h"
 #include "transport/policies.h"
 #include "transport/transport.h"
@@ -16,6 +18,19 @@ struct SimulatedTransportOptions {
   FaultOptions faults;
   RetryOptions retry;
   uint64_t seed = 0x5eed;
+
+  // Metric plane for the live transport.fulfills counter (incremented on the
+  // dispatcher's worker threads); null lands on
+  // obs::MetricsRegistry::Default(). The aggregate TransportMetrics snapshot
+  // is bridged separately via PublishTransportMetrics.
+  obs::MetricsRegistry* registry = nullptr;
+
+  // When set, every logical query emits one "transport.request" span with
+  // nested "transport.attempt" spans, stamped with the *virtual*-time
+  // endpoints computed in Prepare(). Pair with a Tracer bound to a
+  // FunctionTraceClock on VirtualNowMs so estimator spans share the
+  // timeline (obs/trace.h).
+  obs::Tracer* tracer = nullptr;
 };
 
 // A simulated network + service quota between the client interfaces and the
@@ -75,6 +90,7 @@ class SimulatedTransport final : public LbsTransport {
   uint64_t retries_spent_ = 0;
   double virtual_now_ms_ = 0.0;
   TransportMetrics metrics_;
+  obs::CounterRef fulfills_counter_;
 };
 
 }  // namespace lbsagg

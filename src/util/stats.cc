@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 
 #include "util/check.h"
 
@@ -48,6 +49,16 @@ double RunningStats::StandardError() const {
 
 double RunningStats::ConfidenceHalfWidth(double z) const {
   return z * StandardError();
+}
+
+std::string RunningStats::ToJson() const {
+  std::ostringstream os;
+  os << "{\"count\":" << count_ << ",\"mean\":" << mean_
+     << ",\"stddev\":" << std::sqrt(SampleVariance())
+     << ",\"se\":" << StandardError()
+     << ",\"ci95_half_width\":" << ConfidenceHalfWidth()
+     << ",\"min\":" << min_ << ",\"max\":" << max_ << "}";
+  return os.str();
 }
 
 namespace {

@@ -2,6 +2,7 @@
 #define LBSAGG_UTIL_STATS_H_
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 namespace lbsagg {
@@ -36,6 +37,11 @@ class RunningStats {
 
   double min() const { return min_; }
   double max() const { return max_; }
+
+  // One-line JSON object: `{"count":..,"mean":..,"stddev":..,"se":..,
+  // "ci95_half_width":..,"min":..,"max":..}`. Consumed by obs::RunReport;
+  // values use the default ostream double formatting.
+  std::string ToJson() const;
 
  private:
   size_t count_ = 0;

@@ -6,12 +6,15 @@
 // reproducible on machines with different core counts.
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "common/bench_common.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
 
 namespace lbsagg {
 namespace bench {
@@ -54,6 +57,62 @@ TEST(SweepDeterminism, OneVersusManyThreadsBitIdentical) {
       }
     }
   }
+}
+
+// The same determinism contract extended to the metric plane (DESIGN.md
+// §4.8): a run's counters and histograms are a pure function of its seed,
+// not of the dispatcher's worker count or scheduling. Each run injects a
+// fresh registry, so nothing leaks between runs or onto the process-wide
+// default plane.
+obs::MetricsSnapshot RunFlakyWithRegistry(unsigned dispatcher_workers,
+                                          uint64_t seed) {
+  UsaOptions usa_opts;
+  usa_opts.num_pois = 400;
+  static const UsaScenario* usa = new UsaScenario(BuildUsaScenario(usa_opts));
+
+  obs::MetricsRegistry registry;
+  // The spatial layer is opt-in; wire it too so the comparison covers the
+  // kd-tree's per-search counters under concurrent batch probes.
+  LbsServer server(usa->dataset.get(),
+                   {.max_k = 10, .stats_registry = &registry});
+
+  SimulatedTransportOptions topts;
+  topts.faults.transient_error_rate = 0.05;
+  topts.faults.truncate_rate = 0.03;
+  topts.retry.max_attempts = 3;
+  topts.seed = seed;
+  topts.registry = &registry;
+  SimulatedTransport transport(&server, topts);
+
+  std::unique_ptr<AsyncDispatcher> dispatcher;
+  if (dispatcher_workers > 0) {
+    dispatcher = std::make_unique<AsyncDispatcher>(
+        &transport, DispatcherOptions{dispatcher_workers, 64});
+  }
+  LrClient client(&server, {.k = 3, .budget = 300, .registry = &registry},
+                  &transport, dispatcher.get());
+  NnoEstimator est(&client, AggregateSpec::Count(),
+                   {.seed = seed, .registry = &registry});
+  (void)RunWithBudget(MakeHandle(&est), /*budget=*/300);
+  PublishTransportMetrics(transport.Metrics(), &registry);
+  return registry.Snapshot();
+}
+
+TEST(SweepDeterminism, MetricSnapshotsIdenticalAcrossWorkerCounts) {
+  const obs::MetricsSnapshot one = RunFlakyWithRegistry(1, 42);
+  const obs::MetricsSnapshot four = RunFlakyWithRegistry(4, 42);
+  const obs::MetricsSnapshot eight = RunFlakyWithRegistry(8, 42);
+  // The snapshots are name-sorted, so == is a full bit-identical compare of
+  // every counter, gauge and histogram across the worker counts.
+  EXPECT_EQ(one, four);
+  EXPECT_EQ(four, eight);
+}
+
+TEST(SweepDeterminism, MetricSnapshotsIdenticalAcrossRepeatedRuns) {
+  EXPECT_EQ(RunFlakyWithRegistry(4, 43), RunFlakyWithRegistry(4, 43));
+  // Different seeds must actually change the numbers, or the comparisons
+  // above prove nothing.
+  EXPECT_NE(RunFlakyWithRegistry(4, 43), RunFlakyWithRegistry(4, 44));
 }
 
 }  // namespace

@@ -118,6 +118,48 @@ TEST(RunningStats, MergeEqualsSequential) {
   EXPECT_NEAR(a.SampleVariance(), all.SampleVariance(), 1e-9);
 }
 
+TEST(RunningStats, MergeIsAssociative) {
+  // (a ∪ b) ∪ c and a ∪ (b ∪ c) must agree — run reports merge per-family
+  // accumulators in whatever order the sweeps complete.
+  Rng rng(41);
+  RunningStats a, b, c;
+  for (int i = 0; i < 300; ++i) {
+    const double x = rng.Normal(-1.0, 4.0);
+    (i % 3 == 0 ? a : i % 3 == 1 ? b : c).Add(x);
+  }
+
+  RunningStats left = a;   // (a ∪ b) ∪ c
+  left.Merge(b);
+  left.Merge(c);
+  RunningStats bc = b;     // a ∪ (b ∪ c)
+  bc.Merge(c);
+  RunningStats right = a;
+  right.Merge(bc);
+
+  EXPECT_EQ(left.count(), right.count());
+  EXPECT_NEAR(left.mean(), right.mean(), 1e-12);
+  EXPECT_NEAR(left.SampleVariance(), right.SampleVariance(), 1e-12);
+  EXPECT_EQ(left.min(), right.min());
+  EXPECT_EQ(left.max(), right.max());
+}
+
+TEST(RunningStats, ToJsonCarriesEveryField) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 6.0}) s.Add(x);
+  const std::string json = s.ToJson();
+  EXPECT_NE(json.find("\"count\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"mean\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"stddev\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"se\":"), std::string::npos);
+  EXPECT_NE(json.find("\"ci95_half_width\":"), std::string::npos);
+  EXPECT_NE(json.find("\"min\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"max\":6"), std::string::npos);
+
+  // Empty stats serialize with zeros, not NaNs — the report must stay
+  // valid JSON whatever the run produced.
+  EXPECT_EQ(RunningStats().ToJson().find("nan"), std::string::npos);
+}
+
 TEST(RunningStats, ConfidenceHalfWidthShrinks) {
   Rng rng(31);
   RunningStats s;

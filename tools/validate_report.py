@@ -1,0 +1,195 @@
+#!/usr/bin/env python3
+"""Validate a RunReport JSON artifact against tools/report_schema.json.
+
+Usage:
+    tools/validate_report.py report.json [--require-layers client,spatial,estimator,transport]
+
+Implements the schema contract with the standard library only (the
+container has no jsonschema package); tools/report_schema.json is the
+authoritative statement of the same contract — keep the two in sync.
+
+With --require-layers, additionally checks that the metric plane covers the
+named layers: each layer must contribute at least one `<layer>.` counter,
+except `transport`, which may instead appear as a sections.transport block
+(the TransportMetrics side-channel). This is what the CI observability job
+runs against examples/flaky_service --report.
+"""
+
+import argparse
+import json
+import sys
+
+NUMBER = (int, float)
+STATS_FIELDS = ["count", "mean", "stddev", "se", "ci95_half_width", "min", "max"]
+
+
+def fail(errors, path, message):
+    errors.append(f"{path}: {message}")
+
+
+def check_number(errors, path, value, minimum=None):
+    if isinstance(value, bool) or not isinstance(value, NUMBER):
+        fail(errors, path, f"expected a number, got {type(value).__name__}")
+        return
+    if minimum is not None and value < minimum:
+        fail(errors, path, f"expected >= {minimum}, got {value}")
+
+
+def check_count(errors, path, value):
+    if isinstance(value, bool) or not isinstance(value, int):
+        fail(errors, path, f"expected an integer, got {type(value).__name__}")
+        return
+    if value < 0:
+        fail(errors, path, f"expected >= 0, got {value}")
+
+
+def validate(report):
+    errors = []
+    if not isinstance(report, dict):
+        return ["top level: expected an object"]
+
+    for key in ["schema_version", "meta", "stats", "metrics", "sections"]:
+        if key not in report:
+            fail(errors, "top level", f"missing required key '{key}'")
+    if errors:
+        return errors
+
+    if report["schema_version"] != 1:
+        fail(errors, "schema_version", f"expected 1, got {report['schema_version']!r}")
+
+    meta = report["meta"]
+    if not isinstance(meta, dict):
+        fail(errors, "meta", "expected an object")
+    else:
+        for key, value in meta.items():
+            if isinstance(value, bool) or not isinstance(value, (str, *NUMBER)):
+                fail(errors, f"meta.{key}", "expected a string or number")
+
+    stats = report["stats"]
+    if not isinstance(stats, dict):
+        fail(errors, "stats", "expected an object")
+    else:
+        for name, block in stats.items():
+            path = f"stats.{name}"
+            if not isinstance(block, dict):
+                fail(errors, path, "expected an object")
+                continue
+            for field in STATS_FIELDS:
+                if field not in block:
+                    fail(errors, path, f"missing field '{field}'")
+            if "count" in block:
+                check_count(errors, f"{path}.count", block["count"])
+            for field in ["stddev", "se", "ci95_half_width"]:
+                if field in block:
+                    check_number(errors, f"{path}.{field}", block[field], minimum=0)
+            for field in ["mean", "min", "max"]:
+                if field in block:
+                    check_number(errors, f"{path}.{field}", block[field])
+
+    metrics = report["metrics"]
+    if not isinstance(metrics, dict):
+        fail(errors, "metrics", "expected an object")
+    else:
+        for key in ["counters", "gauges", "histograms"]:
+            if key not in metrics:
+                fail(errors, "metrics", f"missing required key '{key}'")
+        for name, value in metrics.get("counters", {}).items():
+            check_count(errors, f"metrics.counters.{name}", value)
+        for name, value in metrics.get("gauges", {}).items():
+            check_number(errors, f"metrics.gauges.{name}", value)
+        for name, hist in metrics.get("histograms", {}).items():
+            path = f"metrics.histograms.{name}"
+            if not isinstance(hist, dict):
+                fail(errors, path, "expected an object")
+                continue
+            for field in ["count", "sum", "bounds", "buckets"]:
+                if field not in hist:
+                    fail(errors, path, f"missing field '{field}'")
+            if "count" in hist:
+                check_count(errors, f"{path}.count", hist["count"])
+            if "sum" in hist:
+                check_number(errors, f"{path}.sum", hist["sum"])
+            bounds = hist.get("bounds", [])
+            buckets = hist.get("buckets", [])
+            if not isinstance(bounds, list) or not all(
+                not isinstance(b, bool) and isinstance(b, NUMBER) for b in bounds
+            ):
+                fail(errors, f"{path}.bounds", "expected an array of numbers")
+            elif bounds != sorted(bounds):
+                fail(errors, f"{path}.bounds", "expected ascending bounds")
+            if not isinstance(buckets, list):
+                fail(errors, f"{path}.buckets", "expected an array")
+            else:
+                for i, b in enumerate(buckets):
+                    check_count(errors, f"{path}.buckets[{i}]", b)
+                if isinstance(bounds, list) and len(buckets) != len(bounds) + 1:
+                    fail(
+                        errors,
+                        f"{path}.buckets",
+                        f"expected {len(bounds) + 1} buckets "
+                        f"(bounds + overflow), got {len(buckets)}",
+                    )
+                if "count" in hist and isinstance(hist["count"], int) and all(
+                    isinstance(b, int) for b in buckets
+                ):
+                    if sum(buckets) != hist["count"]:
+                        fail(
+                            errors,
+                            f"{path}.buckets",
+                            f"bucket sum {sum(buckets)} != count {hist['count']}",
+                        )
+
+    if not isinstance(report["sections"], dict):
+        fail(errors, "sections", "expected an object")
+
+    return errors
+
+
+def check_layers(report, layers):
+    errors = []
+    counters = report.get("metrics", {}).get("counters", {})
+    sections = report.get("sections", {})
+    for layer in layers:
+        covered = any(name.startswith(layer + ".") for name in counters)
+        if layer == "transport":
+            covered = covered or "transport" in sections
+        if not covered:
+            errors.append(
+                f"layer coverage: no '{layer}.' counters"
+                + (" and no sections.transport" if layer == "transport" else "")
+            )
+    return errors
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("report", help="path to the RunReport JSON file")
+    parser.add_argument(
+        "--require-layers",
+        default="",
+        help="comma-separated layers that must appear in the metric plane",
+    )
+    args = parser.parse_args()
+
+    try:
+        with open(args.report) as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"{args.report}: {e}", file=sys.stderr)
+        return 1
+
+    errors = validate(report)
+    layers = [l.strip() for l in args.require_layers.split(",") if l.strip()]
+    if not errors and layers:
+        errors = check_layers(report, layers)
+
+    if errors:
+        for error in errors:
+            print(f"{args.report}: {error}", file=sys.stderr)
+        return 1
+    print(f"{args.report}: valid run report (schema_version 1)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
