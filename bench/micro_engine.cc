@@ -1,0 +1,144 @@
+// Engine-layer micro-benchmarks: the per-round costs the estimation engine
+// adds on top of the acquisition work — appending observations to the
+// evidence log, folding a round into a consumer, replay-attaching a late
+// consumer to an existing log, and a full engine round over the simulated
+// server. Tracked in BENCH_engine.json (regenerate with
+//   ./build/bench/micro_engine --benchmark_format=json > BENCH_engine.json
+// on a quiet machine).
+
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "core/aggregate.h"
+#include "core/sampler.h"
+#include "engine/aggregate_query.h"
+#include "engine/engine.h"
+#include "engine/evidence_store.h"
+#include "engine/lr_resolver.h"
+#include "lbs/client.h"
+#include "lbs/server.h"
+#include "util/rng.h"
+#include "workload/scenarios.h"
+
+namespace lbsagg {
+namespace {
+
+// A synthetic evidence log with the shape LR rounds produce: a handful of
+// weighted observations per round.
+engine::EvidenceStore BuildStore(int rounds, int obs_per_round) {
+  engine::EvidenceStore store;
+  Rng rng(7);
+  uint64_t queries = 0;
+  for (int r = 0; r < rounds; ++r) {
+    store.BeginRound({rng.Uniform01() * 1000.0, rng.Uniform01() * 1000.0});
+    for (int i = 0; i < obs_per_round; ++i) {
+      engine::Observation obs;
+      obs.tuple_id = r * obs_per_round + i;
+      obs.rank = i + 1;
+      obs.weight = 1.0 + rng.Uniform01() * 100.0;
+      obs.cost = 3;
+      store.Append(obs);
+    }
+    queries += 3 * obs_per_round + 1;
+    store.EndRound(queries);
+  }
+  return store;
+}
+
+void BM_EvidenceAppend(benchmark::State& state) {
+  const int obs_per_round = static_cast<int>(state.range(0));
+  Rng rng(7);
+  engine::Observation obs;
+  obs.tuple_id = 1;
+  obs.weight = 42.0;
+  obs.cost = 3;
+  for (auto _ : state) {
+    engine::EvidenceStore store;
+    for (int r = 0; r < 64; ++r) {
+      store.BeginRound({rng.Uniform01(), rng.Uniform01()});
+      for (int i = 0; i < obs_per_round; ++i) store.Append(obs);
+      store.EndRound(static_cast<uint64_t>(r + 1) * 16);
+    }
+    benchmark::DoNotOptimize(store.num_observations());
+  }
+  state.SetItemsProcessed(state.iterations() * 64 * obs_per_round);
+}
+BENCHMARK(BM_EvidenceAppend)->Arg(1)->Arg(5)->Arg(20);
+
+struct EngineFixture {
+  UsaScenario usa;
+  LbsServer server;
+  UniformSampler sampler;
+  LrClient client;
+
+  EngineFixture()
+      : usa(BuildUsaScenario({.num_pois = 2000, .seed = 11})),
+        server(usa.dataset.get(), {.max_k = 5}),
+        sampler(usa.dataset->box()),
+        client(&server, {.k = 5}) {}
+};
+
+void BM_ConsumerFold(benchmark::State& state) {
+  static const EngineFixture* fixture = new EngineFixture();
+  static const engine::EvidenceStore* store =
+      new engine::EvidenceStore(BuildStore(1024, 5));
+  for (auto _ : state) {
+    engine::AggregateQuery query(AggregateSpec::Count(), &fixture->client);
+    for (size_t r = 0; r < store->num_rounds(); ++r) {
+      const engine::EvidenceRound& round = store->round(r);
+      query.ConsumeRound(round, store->observations(round),
+                         round.num_observations);
+    }
+    benchmark::DoNotOptimize(query.Estimate());
+  }
+  state.SetItemsProcessed(state.iterations() * store->num_rounds());
+}
+BENCHMARK(BM_ConsumerFold);
+
+// Replay-attaching a consumer to an engine whose log already holds N rounds
+// (what AddAggregate pays mid-run). The server fixture keeps the resolver
+// real; the measured loop only replays.
+
+void BM_ReplayAttach(benchmark::State& state) {
+  static const EngineFixture* fixture = new EngineFixture();
+  const int rounds = static_cast<int>(state.range(0));
+  LrClient client(&fixture->server, {.k = 5});
+  engine::LrCellResolver resolver(&client, &fixture->sampler, {.seed = 3});
+  engine::EstimationEngine eng(&resolver);
+  eng.AddAggregate(AggregateSpec::Count());
+  for (int i = 0; i < rounds; ++i) eng.Step();
+  const int rating = fixture->usa.columns.rating;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        eng.AddAggregate(AggregateSpec::Sum(rating, "SUM(rating)")));
+  }
+  state.SetItemsProcessed(state.iterations() * rounds);
+}
+BENCHMARK(BM_ReplayAttach)->Arg(64)->Arg(512);
+
+// One full engine round (sample, query, cell computation, append, fold) with
+// 1 vs 4 registered consumers — the marginal cost of extra aggregates.
+void BM_EngineRound(benchmark::State& state) {
+  static const EngineFixture* fixture = new EngineFixture();
+  const int num_aggregates = static_cast<int>(state.range(0));
+  const int rating = fixture->usa.columns.rating;
+  LrClient client(&fixture->server, {.k = 5});
+  engine::LrCellResolver resolver(&client, &fixture->sampler, {.seed = 5});
+  engine::EstimationEngine eng(&resolver);
+  eng.AddAggregate(AggregateSpec::Count());
+  for (int i = 1; i < num_aggregates; ++i) {
+    eng.AddAggregate(AggregateSpec::Sum(rating, "SUM(rating)"));
+  }
+  for (auto _ : state) {
+    eng.Step();
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["queries"] = static_cast<double>(eng.queries_used());
+}
+BENCHMARK(BM_EngineRound)->Arg(1)->Arg(4);
+
+}  // namespace
+}  // namespace lbsagg
+
+BENCHMARK_MAIN();

@@ -4,145 +4,16 @@
 
 namespace lbsagg {
 
-namespace {
-
-// One observability pointer instruments the whole stack: the estimator's
-// registry flows into the cell computer (and from there into the binary
-// searches) unless the caller pinned a different plane there explicitly.
-LnrCellOptions PropagateRegistry(LnrCellOptions cell,
-                                 obs::MetricsRegistry* registry) {
-  if (cell.registry == nullptr) cell.registry = registry;
-  return cell;
-}
-
-}  // namespace
-
 LnrAggEstimator::LnrAggEstimator(LnrClient* client,
                                  const QuerySampler* sampler,
                                  const AggregateSpec& aggregate,
                                  LnrAggOptions options)
     : client_(client),
-      sampler_(sampler),
-      aggregate_(aggregate),
-      options_(options),
-      cell_computer_(client, PropagateRegistry(options.cell, options.registry)),
-      localizer_(client, options.localize),
-      rng_(options.seed),
-      rounds_counter_(
-          obs::GetCounter(options.registry, "estimator.lnr.rounds")),
-      cells_inferred_counter_(
-          obs::GetCounter(options.registry, "estimator.lnr.cells_inferred")),
-      cache_hits_counter_(
-          obs::GetCounter(options.registry, "estimator.lnr.cache_hits")),
-      ht_weight_hist_(obs::GetHistogram(options.registry,
-                                        "estimator.lnr.ht_weight",
-                                        obs::DecadeBounds(1.0, 1e9))),
-      tracer_(options.tracer) {
+      resolver_(client, sampler, options),
+      engine_(&resolver_,
+              engine::EngineOptions{options.registry, options.tracer}),
+      query_(engine_.AddAggregate(aggregate)) {
   LBSAGG_CHECK(client_ != nullptr);
-  LBSAGG_CHECK(sampler_ != nullptr);
-}
-
-void LnrAggEstimator::AccumulateTuple(int id, const Vec2& q0,
-                                      double probability, double* numerator,
-                                      double* denominator) {
-  LBSAGG_CHECK_GT(probability, 0.0);
-  ht_weight_hist_.Observe(1.0 / probability);
-  if (aggregate_.position_condition) {
-    // §4.3: the tuple's location is not returned — infer it to the
-    // binary-search precision, then evaluate the condition.
-    const std::optional<Vec2> pos = localizer_.Locate(id, q0);
-    if (!pos.has_value() || !aggregate_.position_condition(*pos)) return;
-  }
-  *numerator += aggregate_.NumeratorValue(*client_, id) / probability;
-  *denominator += aggregate_.DenominatorValue(*client_, id) / probability;
-}
-
-void LnrAggEstimator::Step() {
-  obs::ScopedSpan round_span(tracer_, "estimator.round", "estimator");
-  const Vec2 q = sampler_->Sample(rng_);
-  const std::vector<int> ids = client_->Query(q);
-
-  double round_numerator = 0.0;
-  double round_denominator = 0.0;
-
-  if (!ids.empty()) {
-    if (options_.use_topk_cells && client_->k() > 1) {
-      // §4.2: each of the k returned tuples contributes, weighted by its
-      // (possibly concave) top-k cell.
-      for (int id : ids) {
-        if (!aggregate_.Passes(*client_, id)) {
-          continue;  // zero contribution — skip the cell inference
-        }
-        double p = 0.0;
-        if (const auto it = topk_probability_cache_.find(id);
-            options_.reuse_cell_probabilities &&
-            it != topk_probability_cache_.end()) {
-          p = it->second;
-          ++diagnostics_.cache_hits;
-          cache_hits_counter_.Add(1);
-        } else {
-          std::optional<LnrCellResult> cell;
-          {
-            obs::ScopedSpan cell_span(tracer_, "estimator.cell", "estimator");
-            cell = cell_computer_.ComputeTopkCell(id, q);
-          }
-          if (!cell.has_value() || cell->region.IsEmpty()) continue;
-          p = sampler_->RegionProbability(cell->region);
-          topk_probability_cache_.emplace(id, p);
-          ++diagnostics_.cells_inferred;
-          cells_inferred_counter_.Add(1);
-        }
-        if (p <= 0.0) continue;
-        AccumulateTuple(id, q, p, &round_numerator, &round_denominator);
-      }
-    } else {
-      const int id = ids.front();
-      if (aggregate_.Passes(*client_, id)) {
-        double p = 0.0;
-        if (const auto it = top1_probability_cache_.find(id);
-            options_.reuse_cell_probabilities &&
-            it != top1_probability_cache_.end()) {
-          p = it->second;
-          ++diagnostics_.cache_hits;
-          cache_hits_counter_.Add(1);
-        } else {
-          std::optional<LnrCellResult> cell;
-          {
-            obs::ScopedSpan cell_span(tracer_, "estimator.cell", "estimator");
-            cell = cell_computer_.ComputeTop1Cell(id, q);
-          }
-          if (cell.has_value() && !cell->cell.IsEmpty()) {
-            p = sampler_->RegionProbability(cell->cell);
-          }
-          top1_probability_cache_.emplace(id, p);
-          ++diagnostics_.cells_inferred;
-          cells_inferred_counter_.Add(1);
-        }
-        if (p > 0.0) {
-          AccumulateTuple(id, q, p, &round_numerator, &round_denominator);
-        }
-      }
-    }
-  }
-
-  numerator_.Add(round_numerator);
-  denominator_.Add(round_denominator);
-  ++diagnostics_.rounds;
-  rounds_counter_.Add(1);
-  trace_.push_back({client_->queries_used(), Estimate()});
-}
-
-double LnrAggEstimator::Estimate() const {
-  if (numerator_.count() == 0) return 0.0;
-  if (aggregate_.kind == AggregateSpec::Kind::kAvg) {
-    if (denominator_.mean() == 0.0) return 0.0;
-    return numerator_.mean() / denominator_.mean();
-  }
-  return numerator_.mean();
-}
-
-double LnrAggEstimator::ConfidenceHalfWidth(double z) const {
-  return numerator_.ConfidenceHalfWidth(z);
 }
 
 }  // namespace lbsagg

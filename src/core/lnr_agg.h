@@ -1,59 +1,29 @@
 #ifndef LBSAGG_CORE_LNR_AGG_H_
 #define LBSAGG_CORE_LNR_AGG_H_
 
-#include <unordered_map>
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/aggregate.h"
-#include "core/lnr_cell.h"
-#include "core/localize.h"
-#include "core/lr_agg.h"  // TracePoint
 #include "core/sampler.h"
+#include "core/trace_point.h"
+#include "engine/engine.h"
+#include "engine/lnr_resolver.h"  // LnrAggOptions, LnrAggDiagnostics
 #include "lbs/client.h"
-#include "util/rng.h"
-#include "util/stats.h"
 
 namespace lbsagg {
-
-// Per-run diagnostics of the rank-only estimator.
-struct LnrAggDiagnostics {
-  size_t rounds = 0;
-  size_t cells_inferred = 0;  // cells actually computed via binary search
-  size_t cache_hits = 0;      // samples served from the probability cache
-};
-
-// Configuration of Algorithm LNR-LBS-AGG (§4).
-struct LnrAggOptions {
-  // When true and the interface k > 1, each sample infers the top-k cell of
-  // every returned tuple (§4.2); otherwise only the top-1 tuple's convex
-  // cell is used.
-  bool use_topk_cells = false;
-
-  LnrCellOptions cell;
-  LocalizeOptions localize;
-
-  // §3.2.2 adapted to LNR: cache each tuple's inferred cell probability
-  // across samples (the service is static, so it never changes). Disable
-  // only for ablation.
-  bool reuse_cell_probabilities = true;
-
-  uint64_t seed = 3;
-
-  // Metric plane for the estimator.lnr.* counters and the
-  // estimator.lnr.ht_weight histogram; null lands on
-  // obs::MetricsRegistry::Default(). Propagated into cell.registry (and from
-  // there into the binary searches) when that is unset.
-  obs::MetricsRegistry* registry = nullptr;
-
-  // When set, each Step() emits an "estimator.round" span with nested
-  // "estimator.cell" spans per cell inference.
-  obs::Tracer* tracer = nullptr;
-};
 
 // Algorithm LNR-LBS-AGG: SUM/COUNT (and AVG as SUM/COUNT) estimation over a
 // rank-only kNN interface. The estimate carries a sampling bias bounded by
 // Theorem 2 that shrinks as the binary-search tolerance δ does — it can be
 // made arbitrarily small at O(log(1/ε)) extra queries per edge.
+//
+// A thin adapter over the estimation engine (DESIGN.md §4.9): the cell
+// inference, probability caching and localization live in
+// engine::LnrCellResolver, the HT accumulation in a single
+// engine::AggregateQuery. Single-aggregate runs are bit-identical to the
+// pre-engine monolith.
 class LnrAggEstimator {
  public:
   LnrAggEstimator(LnrClient* client, const QuerySampler* sampler,
@@ -61,51 +31,36 @@ class LnrAggEstimator {
 
   // One sampling round: one random location; cells of the used tuples are
   // inferred from ranks alone.
-  void Step();
+  void Step() { engine_.Step(); }
 
-  double Estimate() const;
+  double Estimate() const { return query_->Estimate(); }
 
   // Per-round means of the Horvitz–Thompson numerator and denominator.
   // Pooling these across independent runs gives a combined ratio estimator
   // whose small-sample bias shrinks with the total sample count (averaging
   // per-run ratios would not).
-  double NumeratorMean() const { return numerator_.mean(); }
-  double DenominatorMean() const { return denominator_.mean(); }
+  double NumeratorMean() const { return query_->NumeratorMean(); }
+  double DenominatorMean() const { return query_->DenominatorMean(); }
 
-  double ConfidenceHalfWidth(double z = 1.96) const;
-  size_t rounds() const { return numerator_.count(); }
+  double ConfidenceHalfWidth(double z = 1.96) const {
+    return query_->ConfidenceHalfWidth(z);
+  }
+  size_t rounds() const { return query_->rounds(); }
   uint64_t queries_used() const { return client_->queries_used(); }
-  const LnrAggDiagnostics& diagnostics() const { return diagnostics_; }
-  const std::vector<TracePoint>& trace() const { return trace_; }
+  const LnrAggDiagnostics& diagnostics() const {
+    return resolver_.diagnostics();
+  }
+  const std::vector<TracePoint>& trace() const { return query_->trace(); }
+
+  // Resolver diagnostics as raw JSON, picked up by MakeHandle for run
+  // reports.
+  std::string diagnostics_json() const { return resolver_.diagnostics_json(); }
 
  private:
-  // Horvitz–Thompson contribution of one tuple given its inferred cell
-  // probability; handles the optional position condition via localization.
-  void AccumulateTuple(int id, const Vec2& q0, double probability,
-                       double* numerator, double* denominator);
-
   LnrClient* client_;
-  const QuerySampler* sampler_;
-  AggregateSpec aggregate_;
-  LnrAggOptions options_;
-  LnrCellComputer cell_computer_;
-  Localizer localizer_;
-  // §3.2.2 adapted to LNR: the service is static, so a tuple's inferred
-  // cell probability never changes — computing it once per tuple makes
-  // every later sample of the same tuple free. Big-cell (rural) tuples are
-  // exactly the ones resampled most often.
-  std::unordered_map<int, double> top1_probability_cache_;
-  std::unordered_map<int, double> topk_probability_cache_;
-  Rng rng_;
-  RunningStats numerator_;
-  RunningStats denominator_;
-  LnrAggDiagnostics diagnostics_;
-  std::vector<TracePoint> trace_;
-  obs::CounterRef rounds_counter_;
-  obs::CounterRef cells_inferred_counter_;
-  obs::CounterRef cache_hits_counter_;
-  obs::HistogramRef ht_weight_hist_;
-  obs::Tracer* tracer_ = nullptr;
+  engine::LnrCellResolver resolver_;
+  engine::EstimationEngine engine_;
+  engine::AggregateQuery* query_;
 };
 
 }  // namespace lbsagg

@@ -18,7 +18,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "core/lr_agg.h"  // TracePoint
+#include "core/trace_point.h"
 #include "geometry3d/polytope3.h"
 #include "lbs3/lbs3.h"
 #include "util/rng.h"

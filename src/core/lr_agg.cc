@@ -1,161 +1,18 @@
 #include "core/lr_agg.h"
 
-#include <algorithm>
-#include <vector>
-
 #include "util/check.h"
 
 namespace lbsagg {
-
-namespace {
-
-// One observability pointer instruments the whole stack: the estimator's
-// registry flows into the cell computer unless the caller pinned a
-// different plane there explicitly.
-LrCellOptions PropagateRegistry(LrCellOptions cell,
-                                obs::MetricsRegistry* registry) {
-  if (cell.registry == nullptr) cell.registry = registry;
-  return cell;
-}
-
-}  // namespace
 
 LrAggEstimator::LrAggEstimator(LrClient* client, const QuerySampler* sampler,
                                const AggregateSpec& aggregate,
                                LrAggOptions options)
     : client_(client),
-      sampler_(sampler),
-      aggregate_(aggregate),
-      options_(options),
-      cell_computer_(client, &history_, sampler,
-                     PropagateRegistry(options.cell, options.registry)),
-      rng_(options.seed),
-      rounds_counter_(obs::GetCounter(options.registry, "estimator.lr.rounds")),
-      cells_exact_counter_(
-          obs::GetCounter(options.registry, "estimator.lr.cells_exact")),
-      cells_mc_counter_(
-          obs::GetCounter(options.registry, "estimator.lr.cells_monte_carlo")),
-      ht_weight_hist_(obs::GetHistogram(options.registry,
-                                        "estimator.lr.ht_weight",
-                                        obs::DecadeBounds(1.0, 1e9))),
-      tracer_(options.tracer) {
+      resolver_(client, sampler, options),
+      engine_(&resolver_,
+              engine::EngineOptions{options.registry, options.tracer}),
+      query_(engine_.AddAggregate(aggregate)) {
   LBSAGG_CHECK(client_ != nullptr);
-  LBSAGG_CHECK(sampler_ != nullptr);
-  if (!options_.adaptive_h) {
-    LBSAGG_CHECK_GE(options_.fixed_h, 1);
-  }
-}
-
-int LrAggEstimator::ChooseH(int id, const Vec2& pos) {
-  const int k = client_->k();
-  if (!options_.adaptive_h) return std::min(options_.fixed_h, k);
-  if (k == 1) return 1;
-  const double lambda0 = options_.lambda0_fraction * client_->region().Area();
-  // λ_h is non-decreasing in h: scan upward and stop at the first bound
-  // exceeding λ0. In the common case λ_2 already fails and a single region
-  // computation decides h = 1.
-  int chosen = 1;
-  for (int h = 2; h <= k; ++h) {
-    const double lambda_h =
-        history_.UpperBoundCellArea(id, pos, client_->region(), h);
-    if (lambda_h > lambda0) break;
-    chosen = h;
-  }
-  return chosen;
-}
-
-void LrAggEstimator::Step() {
-  obs::ScopedSpan round_span(tracer_, "estimator.round", "estimator");
-  const Vec2 q = sampler_->Sample(rng_);
-  std::vector<LrClient::Item> items = client_->Query(q);
-
-  // §5.3: services with non-distance ranking (e.g. Google Places
-  // "prominence") can reorder results, but an LR interface always returns
-  // locations — re-sorting by actual distance restores the nearest-neighbor
-  // semantics every cell argument relies on. A no-op for plain distance
-  // ranking.
-  std::stable_sort(items.begin(), items.end(),
-                   [](const LrClient::Item& a, const LrClient::Item& b) {
-                     return a.distance < b.distance;
-                   });
-
-  double round_numerator = 0.0;
-  double round_denominator = 0.0;
-
-  // Decide h for every returned tuple *before* ingesting the new locations:
-  // Algorithm 4 derives h from history alone, keeping the inclusion event
-  // independent of the current query's outcome.
-  std::vector<int> chosen_h(items.size(), 1);
-  for (size_t i = 0; i < items.size(); ++i) {
-    chosen_h[i] = ChooseH(items[i].id, items[i].location);
-  }
-  for (const LrClient::Item& item : items) {
-    history_.Record(item.id, item.location);
-  }
-
-  for (size_t i = 0; i < items.size(); ++i) {
-    const LrClient::Item& item = items[i];
-    const int rank = static_cast<int>(i) + 1;
-    const int h = chosen_h[i];
-    // The sample "q ∈ V_h(t)" occurred iff t ranks within the top h, so a
-    // tuple only contributes when rank <= h (see DESIGN.md on the Eq. (2)
-    // inclusion condition).
-    if (rank > h) continue;
-
-    // Location-based selection conditions use the returned coordinates
-    // directly on LR interfaces (§2.3).
-    if (aggregate_.position_condition &&
-        !aggregate_.position_condition(item.location)) {
-      continue;
-    }
-    const double numerator_value = aggregate_.NumeratorValue(*client_, item.id);
-    const double denominator_value =
-        aggregate_.DenominatorValue(*client_, item.id);
-    if (numerator_value == 0.0 && denominator_value == 0.0) continue;
-    if (numerator_value == 0.0 && aggregate_.kind != AggregateSpec::Kind::kAvg) {
-      // COUNT/SUM with a failed condition: the Horvitz–Thompson contribution
-      // is exactly 0 — no need to compute the cell.
-      continue;
-    }
-
-    LrCellComputer::Result cell;
-    {
-      obs::ScopedSpan cell_span(tracer_, "estimator.cell", "estimator");
-      cell = cell_computer_.ComputeInverseProbability(item.id, item.location,
-                                                      h, rng_);
-    }
-    diagnostics_.cell_queries += cell.queries;
-    if (cell.exact) {
-      ++diagnostics_.cells_exact;
-      cells_exact_counter_.Add(1);
-    } else {
-      ++diagnostics_.cells_monte_carlo;
-      cells_mc_counter_.Add(1);
-    }
-    ht_weight_hist_.Observe(cell.inv_probability);
-    ++diagnostics_.h_used[std::min<size_t>(h, 7)];
-    round_numerator += numerator_value * cell.inv_probability;
-    round_denominator += denominator_value * cell.inv_probability;
-  }
-
-  numerator_.Add(round_numerator);
-  denominator_.Add(round_denominator);
-  ++diagnostics_.rounds;
-  rounds_counter_.Add(1);
-  trace_.push_back({client_->queries_used(), Estimate()});
-}
-
-double LrAggEstimator::Estimate() const {
-  if (numerator_.count() == 0) return 0.0;
-  if (aggregate_.kind == AggregateSpec::Kind::kAvg) {
-    if (denominator_.mean() == 0.0) return 0.0;
-    return numerator_.mean() / denominator_.mean();
-  }
-  return numerator_.mean();
-}
-
-double LrAggEstimator::ConfidenceHalfWidth(double z) const {
-  return numerator_.ConfidenceHalfWidth(z);
 }
 
 }  // namespace lbsagg

@@ -2,69 +2,27 @@
 #define LBSAGG_CORE_LR_AGG_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/aggregate.h"
 #include "core/history.h"
-#include "core/lr_cell.h"
 #include "core/sampler.h"
+#include "core/trace_point.h"
+#include "engine/engine.h"
+#include "engine/lr_resolver.h"  // LrAggOptions, LrAggDiagnostics
 #include "lbs/client.h"
-#include "obs/obs.h"
-#include "obs/trace.h"
-#include "util/rng.h"
-#include "util/stats.h"
 
 namespace lbsagg {
 
-// One point of an estimation trace: the running estimate after a sampling
-// round, indexed by cumulative interface queries. Figure 12 plots these.
-struct TracePoint {
-  uint64_t queries = 0;
-  double estimate = 0.0;
-};
-
-// Per-estimator run diagnostics — what an operator needs to tune λ0, the
-// Monte-Carlo thresholds and the budget.
-struct LrAggDiagnostics {
-  size_t rounds = 0;            // sampling rounds completed
-  size_t cells_exact = 0;       // cells pinned down exactly (Theorem 1)
-  size_t cells_monte_carlo = 0; // cells finished by §3.2.4 trials
-  size_t h_used[8] = {};        // histogram of the h chosen per contribution
-                                // (index min(h,7))
-  uint64_t cell_queries = 0;    // queries spent inside cell computations
-};
-
-// Configuration of Algorithm LR-LBS-AGG (Algorithm 5).
-struct LrAggOptions {
-  // §3.2.3 adaptive choice of h per returned tuple (Algorithm 4). When
-  // false, a fixed h = min(fixed_h, k) is used for every tuple.
-  bool adaptive_h = true;
-  int fixed_h = 1;
-
-  // λ0 threshold of Algorithm 4 as a fraction of the bounding-box area: a
-  // top-h cell whose upper-bound area exceeds λ0 is not worth the queries.
-  // The default corresponds to a few times the mean top-1 cell at the
-  // benchmark scales (tuned like the paper tuned its λ0).
-  double lambda0_fraction = 2e-5;
-
-  // Cell computation flags (§3.2.1, §3.2.2, §3.2.4).
-  LrCellOptions cell;
-
-  uint64_t seed = 1;
-
-  // Metric plane for the estimator.lr.* counters and the estimator.lr.ht_weight
-  // histogram; null lands on obs::MetricsRegistry::Default(). Propagated into
-  // cell.registry when that is unset, so one pointer instruments the whole
-  // estimator stack.
-  obs::MetricsRegistry* registry = nullptr;
-
-  // When set, each Step() emits an "estimator.round" span with nested
-  // "estimator.cell" spans per Horvitz–Thompson cell computation.
-  obs::Tracer* tracer = nullptr;
-};
-
 // Algorithm LR-LBS-AGG (§3.3): completely unbiased SUM/COUNT estimation
 // over a location-returned kNN interface; AVG as SUM/COUNT.
+//
+// A thin adapter over the estimation engine (DESIGN.md §4.9): the sampling
+// and cell computation live in engine::LrCellResolver, the HT accumulation
+// in a single engine::AggregateQuery. Single-aggregate runs through this
+// class are bit-identical to the pre-engine monolith; register further
+// aggregates on an engine::EstimationEngine directly to share the budget.
 //
 // Usage: construct, then call Step() until the client budget is exhausted;
 // Estimate() returns the current unbiased estimate and trace() the history
@@ -77,42 +35,35 @@ class LrAggEstimator {
 
   // Runs one sampling round: one random query location, Horvitz–Thompson
   // contributions from (up to) all k returned tuples.
-  void Step();
+  void Step() { engine_.Step(); }
 
   // Current estimate: mean of per-round estimates (kAvg: ratio of means).
-  double Estimate() const;
+  double Estimate() const { return query_->Estimate(); }
 
   // Normal-approximation confidence half-width of the estimate (not
   // meaningful for kAvg).
-  double ConfidenceHalfWidth(double z = 1.96) const;
+  double ConfidenceHalfWidth(double z = 1.96) const {
+    return query_->ConfidenceHalfWidth(z);
+  }
 
-  size_t rounds() const { return numerator_.count(); }
+  size_t rounds() const { return query_->rounds(); }
   uint64_t queries_used() const { return client_->queries_used(); }
-  const LrAggDiagnostics& diagnostics() const { return diagnostics_; }
-  const std::vector<TracePoint>& trace() const { return trace_; }
-  History& history() { return history_; }
-  const LrAggOptions& options() const { return options_; }
+  const LrAggDiagnostics& diagnostics() const {
+    return resolver_.diagnostics();
+  }
+  const std::vector<TracePoint>& trace() const { return query_->trace(); }
+  History& history() { return resolver_.history(); }
+  const LrAggOptions& options() const { return resolver_.options(); }
+
+  // Resolver diagnostics as raw JSON, picked up by MakeHandle for run
+  // reports.
+  std::string diagnostics_json() const { return resolver_.diagnostics_json(); }
 
  private:
-  // Algorithm 4: the largest h ∈ [2, k] with λ_h(t) ≤ λ0, else 1.
-  int ChooseH(int id, const Vec2& pos);
-
   LrClient* client_;
-  const QuerySampler* sampler_;
-  AggregateSpec aggregate_;
-  LrAggOptions options_;
-  History history_;
-  LrCellComputer cell_computer_;
-  Rng rng_;
-  RunningStats numerator_;
-  RunningStats denominator_;  // used by kAvg only
-  LrAggDiagnostics diagnostics_;
-  std::vector<TracePoint> trace_;
-  obs::CounterRef rounds_counter_;
-  obs::CounterRef cells_exact_counter_;
-  obs::CounterRef cells_mc_counter_;
-  obs::HistogramRef ht_weight_hist_;
-  obs::Tracer* tracer_ = nullptr;
+  engine::LrCellResolver resolver_;
+  engine::EstimationEngine engine_;
+  engine::AggregateQuery* query_;
 };
 
 }  // namespace lbsagg

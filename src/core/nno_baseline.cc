@@ -1,8 +1,5 @@
 #include "core/nno_baseline.h"
 
-#include <algorithm>
-#include <cmath>
-
 #include "util/check.h"
 
 namespace lbsagg {
@@ -10,140 +7,11 @@ namespace lbsagg {
 NnoEstimator::NnoEstimator(LrClient* client, const AggregateSpec& aggregate,
                            NnoOptions options)
     : client_(client),
-      aggregate_(aggregate),
-      options_(options),
-      rng_(options.seed),
-      rounds_counter_(obs::GetCounter(options.registry, "estimator.nno.rounds")),
-      growth_rounds_counter_(
-          obs::GetCounter(options.registry, "estimator.nno.growth_rounds")),
-      mc_probes_counter_(
-          obs::GetCounter(options.registry, "estimator.nno.mc_probes")),
-      mc_hits_counter_(
-          obs::GetCounter(options.registry, "estimator.nno.mc_hits")),
-      tracer_(options.tracer) {
+      resolver_(client, options),
+      engine_(&resolver_,
+              engine::EngineOptions{options.registry, options.tracer}),
+      query_(engine_.AddAggregate(aggregate)) {
   LBSAGG_CHECK(client_ != nullptr);
-  LBSAGG_CHECK_GE(options_.ring_points, 3);
-  LBSAGG_CHECK_GE(options_.area_samples, 1);
-}
-
-double NnoEstimator::EstimateCellArea(int id, const Vec2& pos) {
-  const Box& box = client_->region();
-
-  // Grow a disc around t until a probe ring no longer returns t anywhere —
-  // heuristic containment of V(t), as in the bias-prone prior approach.
-  double radius =
-      options_.init_radius_factor * 1e-4 * Distance(box.lo, box.hi);
-  for (int round = 0; round < options_.max_growth_rounds; ++round) {
-    growth_rounds_counter_.Add(1);
-    bool any_hit = false;
-    for (int i = 0; i < options_.ring_points; ++i) {
-      const double angle = 2.0 * M_PI * (i + 0.5 * (round % 2)) /
-                           options_.ring_points;
-      const Vec2 probe =
-          box.Clamp(pos + Vec2{std::cos(angle), std::sin(angle)} * radius);
-      const std::vector<LrClient::Item> items = client_->Query(probe);
-      if (!items.empty() && items.front().id == id) {
-        any_hit = true;
-        break;
-      }
-    }
-    if (!any_hit) break;
-    radius *= 2.0;
-  }
-
-  // Multi-scale Monte-Carlo area estimate: membership probes in dyadic
-  // annuli from `radius` down, so the estimate keeps relative precision
-  // whether the cell fills the disc or only its very center. The estimate
-  // of |V(t)| is (roughly) unbiased; the estimator 1/|V̂| is not — the
-  // inherent bias of [10] that LR-LBS-AGG eliminates.
-  constexpr int kLevels = 8;
-  const int per_level = std::max(2, options_.area_samples / kLevels);
-  double area = 0.0;
-  double outer = radius;
-  for (int level = 0; level < kLevels; ++level) {
-    const double inner = outer * 0.5;
-    // The membership probes of one annulus are mutually independent, so
-    // they go through the client's batch path — pipelined across the
-    // dispatcher's workers when one is attached, with the exact same
-    // probe sequence, accounting, and result pages either way. All rng
-    // draws happen up front, in the sequential order.
-    std::vector<Vec2> probes;
-    probes.reserve(per_level);
-    for (int i = 0; i < per_level; ++i) {
-      // Uniform in the annulus (inner, outer].
-      const double u = rng_.Uniform01();
-      const double r =
-          std::sqrt(inner * inner + u * (outer * outer - inner * inner));
-      const double angle = rng_.Uniform(0.0, 2.0 * M_PI);
-      const Vec2 probe = pos + Vec2{std::cos(angle), std::sin(angle)} * r;
-      if (!box.Contains(probe)) continue;  // free: outside the region
-      probes.push_back(probe);
-    }
-    int hits = 0;
-    for (const std::vector<LrClient::Item>& items :
-         client_->QueryBatch(probes)) {
-      if (!items.empty() && items.front().id == id) ++hits;
-    }
-    mc_probes_counter_.Add(probes.size());
-    mc_hits_counter_.Add(static_cast<uint64_t>(hits));
-    const double annulus = M_PI * (outer * outer - inner * inner);
-    if (per_level > 0) {
-      // The out-of-box share of the annulus contributes no area.
-      area += annulus * hits / per_level;
-    }
-    outer = inner;
-  }
-  // The innermost disc is t's immediate neighborhood: count it as owned.
-  area += M_PI * outer * outer;
-  return area;
-}
-
-void NnoEstimator::Step() {
-  obs::ScopedSpan round_span(tracer_, "estimator.round", "estimator");
-  rounds_counter_.Add(1);
-  const Box& box = client_->region();
-  const Vec2 q = box.SamplePoint(rng_);
-  const std::vector<LrClient::Item> items = client_->Query(q);
-  if (items.empty()) {
-    numerator_.Add(0.0);
-    denominator_.Add(0.0);
-    trace_.push_back({client_->queries_used(), Estimate()});
-    return;
-  }
-
-  // Top-1 only — the remaining k-1 results are discarded by this method.
-  const LrClient::Item& top = items.front();
-  const bool position_ok = !aggregate_.position_condition ||
-                           aggregate_.position_condition(top.location);
-  const double numerator_value =
-      position_ok ? aggregate_.NumeratorValue(*client_, top.id) : 0.0;
-  const double denominator_value =
-      position_ok ? aggregate_.DenominatorValue(*client_, top.id) : 0.0;
-
-  double round_numerator = 0.0;
-  double round_denominator = 0.0;
-  if (numerator_value != 0.0 || denominator_value != 0.0) {
-    double area = 0.0;
-    {
-      obs::ScopedSpan cell_span(tracer_, "estimator.cell", "estimator");
-      area = EstimateCellArea(top.id, top.location);
-    }
-    const double inv_p = box.Area() / area;
-    round_numerator = numerator_value * inv_p;
-    round_denominator = denominator_value * inv_p;
-  }
-  numerator_.Add(round_numerator);
-  denominator_.Add(round_denominator);
-  trace_.push_back({client_->queries_used(), Estimate()});
-}
-
-double NnoEstimator::Estimate() const {
-  if (numerator_.count() == 0) return 0.0;
-  if (aggregate_.kind == AggregateSpec::Kind::kAvg) {
-    if (denominator_.mean() == 0.0) return 0.0;
-    return numerator_.mean() / denominator_.mean();
-  }
-  return numerator_.mean();
 }
 
 }  // namespace lbsagg

@@ -2,39 +2,16 @@
 #define LBSAGG_CORE_NNO_BASELINE_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/aggregate.h"
-#include "core/lr_agg.h"  // TracePoint
-#include "core/sampler.h"
+#include "core/trace_point.h"
+#include "engine/engine.h"
+#include "engine/nno_resolver.h"  // NnoOptions, NnoDiagnostics
 #include "lbs/client.h"
-#include "util/rng.h"
-#include "util/stats.h"
 
 namespace lbsagg {
-
-// Configuration of the prior-work baseline. The knobs mirror the tunable
-// parameters of [10]; benchmarks use settings tuned for its best behaviour,
-// as the paper's experiments did.
-struct NnoOptions {
-  // Points probed on each ring while growing the candidate disc.
-  int ring_points = 6;
-  // Monte-Carlo membership samples used for the area estimate.
-  int area_samples = 24;
-  // Initial disc radius as a multiple of the query→tuple distance.
-  double init_radius_factor = 2.0;
-  // Maximum disc doublings.
-  int max_growth_rounds = 12;
-  uint64_t seed = 7;
-
-  // Metric plane for the estimator.nno.* counters (rounds, growth_rounds,
-  // mc_probes, mc_hits); null lands on obs::MetricsRegistry::Default().
-  obs::MetricsRegistry* registry = nullptr;
-
-  // When set, each Step() emits an "estimator.round" span with a nested
-  // "estimator.cell" span around the cell-area estimate.
-  obs::Tracer* tracer = nullptr;
-};
 
 // LR-LBS-NNO — the nearest-neighbor-oracle estimator of Dalvi et al. [10],
 // the closest prior work (§1.2, §6.1 "Algorithms Evaluated").
@@ -44,38 +21,37 @@ struct NnoOptions {
 // adaptively grown disc around t. The estimate 1/p̂ is inherently biased
 // (E[1/p̂] ≠ 1/p) and each sample costs many queries — the two weaknesses
 // LR-LBS-AGG removes.
+//
+// A thin adapter over the estimation engine (DESIGN.md §4.9): the probing
+// lives in engine::NnoProbeResolver, the HT accumulation in a single
+// engine::AggregateQuery. Single-aggregate runs are bit-identical to the
+// pre-engine monolith.
 class NnoEstimator {
  public:
   NnoEstimator(LrClient* client, const AggregateSpec& aggregate,
                NnoOptions options = {});
 
   // One sampling round.
-  void Step();
+  void Step() { engine_.Step(); }
 
-  double Estimate() const;
+  double Estimate() const { return query_->Estimate(); }
   double ConfidenceHalfWidth(double z = 1.96) const {
-    return numerator_.ConfidenceHalfWidth(z);
+    return query_->ConfidenceHalfWidth(z);
   }
-  size_t rounds() const { return numerator_.count(); }
+  size_t rounds() const { return query_->rounds(); }
   uint64_t queries_used() const { return client_->queries_used(); }
-  const std::vector<TracePoint>& trace() const { return trace_; }
+  const NnoDiagnostics& diagnostics() const { return resolver_.diagnostics(); }
+  const std::vector<TracePoint>& trace() const { return query_->trace(); }
+
+  // Resolver diagnostics as raw JSON, picked up by MakeHandle for run
+  // reports.
+  std::string diagnostics_json() const { return resolver_.diagnostics_json(); }
 
  private:
-  // Monte-Carlo estimate of |V(t)| for the tuple at `pos`; consumes queries.
-  double EstimateCellArea(int id, const Vec2& pos);
-
   LrClient* client_;
-  AggregateSpec aggregate_;
-  NnoOptions options_;
-  Rng rng_;
-  RunningStats numerator_;
-  RunningStats denominator_;
-  std::vector<TracePoint> trace_;
-  obs::CounterRef rounds_counter_;
-  obs::CounterRef growth_rounds_counter_;
-  obs::CounterRef mc_probes_counter_;
-  obs::CounterRef mc_hits_counter_;
-  obs::Tracer* tracer_ = nullptr;
+  engine::NnoProbeResolver resolver_;
+  engine::EstimationEngine engine_;
+  engine::AggregateQuery* query_;
 };
 
 }  // namespace lbsagg

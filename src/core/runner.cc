@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "engine/engine.h"
 #include "util/check.h"
 
 namespace lbsagg {
@@ -45,6 +46,29 @@ RunResult RunUntilConfidence(const EstimatorHandle& handle,
   result.final_estimate = handle.estimate();
   result.queries = handle.queries_used();
   return result;
+}
+
+std::vector<RunResult> RunEngineWithBudget(engine::EstimationEngine* engine,
+                                           uint64_t budget,
+                                           size_t max_rounds) {
+  LBSAGG_CHECK(engine != nullptr);
+  LBSAGG_CHECK_GT(budget, 0u);
+  size_t rounds = 0;
+  while (engine->queries_used() < budget && rounds < max_rounds) {
+    engine->Step();
+    ++rounds;
+  }
+  std::vector<RunResult> results;
+  results.reserve(engine->num_aggregates());
+  for (size_t i = 0; i < engine->num_aggregates(); ++i) {
+    const engine::AggregateQuery& query = *engine->aggregate(i);
+    RunResult result;
+    result.trace = query.trace();
+    result.final_estimate = query.Estimate();
+    result.queries = engine->queries_used();
+    results.push_back(std::move(result));
+  }
+  return results;
 }
 
 double EstimateAtCost(const std::vector<TracePoint>& trace, uint64_t cost) {
@@ -97,6 +121,17 @@ obs::RunReport BuildRunReport(const std::string& estimator_name,
 
   if (registry == nullptr) registry = &obs::MetricsRegistry::Default();
   report.SetSnapshot(registry->Snapshot());
+  return report;
+}
+
+obs::RunReport BuildRunReport(const std::string& estimator_name,
+                              const RunResult& result,
+                              const EstimatorHandle& handle,
+                              obs::MetricsRegistry* registry) {
+  obs::RunReport report = BuildRunReport(estimator_name, result, registry);
+  if (handle.diagnostics_json != nullptr) {
+    report.AddJsonSection("diagnostics", handle.diagnostics_json());
+  }
   return report;
 }
 

@@ -5,11 +5,15 @@
 #include <string>
 #include <vector>
 
-#include "core/lr_agg.h"  // TracePoint
+#include "core/trace_point.h"
 #include "obs/report.h"
 #include "util/stats.h"
 
 namespace lbsagg {
+
+namespace engine {
+class EstimationEngine;
+}  // namespace engine
 
 // Type-erased handle over any estimator (LrAggEstimator, LnrAggEstimator,
 // NnoEstimator, ...) so the experiment driver can sweep them uniformly.
@@ -19,10 +23,13 @@ struct EstimatorHandle {
   std::function<uint64_t()> queries_used;
   // Optional: 95% confidence half-width of the current estimate.
   std::function<double()> confidence_half_width;
+  // Optional: estimator diagnostics as a raw JSON object — embedded by
+  // BuildRunReport without estimator-specific branches.
+  std::function<std::string()> diagnostics_json;
 };
 
 // Wraps a concrete estimator type exposing Step()/Estimate()/queries_used()
-// and, when available, ConfidenceHalfWidth().
+// and, when available, ConfidenceHalfWidth() and diagnostics_json().
 template <typename Estimator>
 EstimatorHandle MakeHandle(Estimator* estimator) {
   EstimatorHandle handle{
@@ -30,10 +37,18 @@ EstimatorHandle MakeHandle(Estimator* estimator) {
       [estimator] { return estimator->Estimate(); },
       [estimator] { return estimator->queries_used(); },
       nullptr,
+      nullptr,
   };
   if constexpr (requires { estimator->ConfidenceHalfWidth(); }) {
     handle.confidence_half_width = [estimator] {
       return estimator->ConfidenceHalfWidth();
+    };
+  }
+  if constexpr (requires {
+                  { estimator->diagnostics_json() } -> std::convertible_to<std::string>;
+                }) {
+    handle.diagnostics_json = [estimator] {
+      return estimator->diagnostics_json();
     };
   }
   return handle;
@@ -71,6 +86,15 @@ RunResult RunUntilConfidence(const EstimatorHandle& handle,
                              double target_fraction, uint64_t budget,
                              size_t min_rounds = 30);
 
+// Engine-native sweep path: steps the engine until `budget` interface
+// queries have been issued (soft-budget semantics as above) or `max_rounds`
+// rounds completed, then returns one RunResult per registered aggregate —
+// all carved from the same evidence stream, so the N results together cost
+// one budget. results[i] corresponds to engine->aggregate(i).
+std::vector<RunResult> RunEngineWithBudget(engine::EstimationEngine* engine,
+                                           uint64_t budget,
+                                           size_t max_rounds = 1u << 20);
+
 // The running estimate of a trace at query cost `c` (last round completed at
 // or before c; 0 before the first round).
 double EstimateAtCost(const std::vector<TracePoint>& trace, uint64_t cost);
@@ -95,11 +119,20 @@ double QueryCostForError(const ErrorCurve& curve, double target);
 // run meta (estimator name, final estimate, query cost, rounds), a
 // RunningStats summary of the running-estimate trace, and a snapshot of the
 // metric plane — which carries whatever the run's components published
-// (estimator.*, client.*, spatial.*, transport.*). `registry == nullptr`
-// snapshots obs::MetricsRegistry::Default(). Callers layer on extra context
-// via AddStats/SetMeta/AddJsonSection (e.g. the transport's own JSON).
+// (estimator.*, client.*, spatial.*, engine.*, transport.*).
+// `registry == nullptr` snapshots obs::MetricsRegistry::Default(). Callers
+// layer on extra context via AddStats/SetMeta/AddJsonSection (e.g. the
+// transport's own JSON).
 obs::RunReport BuildRunReport(const std::string& estimator_name,
                               const RunResult& result,
+                              obs::MetricsRegistry* registry = nullptr);
+
+// Same, plus the handle's diagnostics_json (when bound) as the
+// "diagnostics" section — per-estimator diagnostics with no
+// estimator-specific branches here.
+obs::RunReport BuildRunReport(const std::string& estimator_name,
+                              const RunResult& result,
+                              const EstimatorHandle& handle,
                               obs::MetricsRegistry* registry = nullptr);
 
 }  // namespace lbsagg

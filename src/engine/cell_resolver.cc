@@ -1,0 +1,56 @@
+#include "engine/cell_resolver.h"
+
+namespace lbsagg {
+namespace engine {
+
+bool EvidenceDemand::NeedsLocation() const {
+  for (const AggregateSpec* spec : specs_) {
+    if (spec->position_condition) return true;
+  }
+  return false;
+}
+
+bool EvidenceDemand::WantsLrTuple(const LbsClient& client, int id,
+                                  const Vec2& location) const {
+  for (const AggregateSpec* spec : specs_) {
+    // Location-based selection conditions use the returned coordinates
+    // directly on LR interfaces (§2.3).
+    if (spec->position_condition && !spec->position_condition(location)) {
+      continue;
+    }
+    const double numerator_value = spec->NumeratorValue(client, id);
+    const double denominator_value = spec->DenominatorValue(client, id);
+    if (numerator_value == 0.0 && denominator_value == 0.0) continue;
+    if (numerator_value == 0.0 && spec->kind != AggregateSpec::Kind::kAvg) {
+      // COUNT/SUM with a failed condition: the Horvitz–Thompson contribution
+      // is exactly 0 — no need to compute the cell.
+      continue;
+    }
+    return true;
+  }
+  return false;
+}
+
+bool EvidenceDemand::WantsRankedTuple(const LbsClient& client, int id) const {
+  for (const AggregateSpec* spec : specs_) {
+    if (spec->Passes(client, id)) return true;
+  }
+  return false;
+}
+
+bool EvidenceDemand::WantsProbeTuple(const LbsClient& client, int id,
+                                     const Vec2& location) const {
+  for (const AggregateSpec* spec : specs_) {
+    const bool position_ok =
+        !spec->position_condition || spec->position_condition(location);
+    const double numerator_value =
+        position_ok ? spec->NumeratorValue(client, id) : 0.0;
+    const double denominator_value =
+        position_ok ? spec->DenominatorValue(client, id) : 0.0;
+    if (numerator_value != 0.0 || denominator_value != 0.0) return true;
+  }
+  return false;
+}
+
+}  // namespace engine
+}  // namespace lbsagg

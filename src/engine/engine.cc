@@ -1,0 +1,72 @@
+#include "engine/engine.h"
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace lbsagg {
+namespace engine {
+
+EstimationEngine::EstimationEngine(CellResolver* resolver,
+                                   EngineOptions options)
+    : resolver_(resolver),
+      store_(EvidenceStoreOptions{options.registry, options.tracer}),
+      rounds_counter_(obs::GetCounter(options.registry, "engine.rounds")),
+      replayed_rounds_counter_(
+          obs::GetCounter(options.registry, "engine.replayed_rounds")),
+      tracer_(options.tracer) {
+  LBSAGG_CHECK(resolver_ != nullptr);
+}
+
+void EstimationEngine::RebuildDemand() {
+  std::vector<const AggregateSpec*> specs;
+  specs.reserve(queries_.size());
+  for (const std::unique_ptr<AggregateQuery>& q : queries_) {
+    specs.push_back(&q->spec());
+  }
+  demand_ = EvidenceDemand(std::move(specs));
+}
+
+AggregateQuery* EstimationEngine::AddAggregate(const AggregateSpec& spec) {
+  queries_.push_back(
+      std::make_unique<AggregateQuery>(spec, &resolver_->client()));
+  AggregateQuery* query = queries_.back().get();
+  RebuildDemand();
+  // Catch up on the shared evidence: the log is append-only, so replaying
+  // it gives the late consumer exactly the view an early consumer had.
+  for (size_t i = 0; i < store_.num_rounds(); ++i) {
+    const EvidenceRound& round = store_.round(i);
+    query->ConsumeRound(round, store_.observations(round),
+                        round.num_observations);
+    replayed_rounds_counter_.Add(1);
+  }
+  return query;
+}
+
+void EstimationEngine::Step() {
+  LBSAGG_CHECK(!queries_.empty()) << "Step with no registered aggregates";
+  const size_t index = store_.num_rounds();
+  {
+    obs::ScopedSpan round_span(tracer_, "engine.round", "engine");
+    resolver_->ResolveRound(demand_, &store_);
+  }
+  LBSAGG_CHECK_EQ(store_.num_rounds(), index + 1)
+      << "resolver must commit exactly one round per ResolveRound";
+  const EvidenceRound& round = store_.round(index);
+  const Observation* observations = store_.observations(round);
+  for (const std::unique_ptr<AggregateQuery>& query : queries_) {
+    query->ConsumeRound(round, observations, round.num_observations);
+  }
+  rounds_counter_.Add(1);
+}
+
+std::string EstimationEngine::diagnostics_json() const {
+  std::ostringstream out;
+  out << "{\"resolver\":" << resolver_->diagnostics_json()
+      << ",\"evidence\":" << store_.ToJson()
+      << ",\"aggregates\":" << queries_.size() << "}";
+  return out.str();
+}
+
+}  // namespace engine
+}  // namespace lbsagg

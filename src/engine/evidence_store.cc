@@ -1,0 +1,74 @@
+#include "engine/evidence_store.h"
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace lbsagg {
+namespace engine {
+
+EvidenceStore::EvidenceStore(EvidenceStoreOptions options)
+    : rounds_counter_(
+          obs::GetCounter(options.registry, "engine.evidence.rounds")),
+      observations_counter_(
+          obs::GetCounter(options.registry, "engine.evidence.observations")),
+      tracer_(options.tracer) {}
+
+void EvidenceStore::BeginRound(const Vec2& sample_point) {
+  LBSAGG_CHECK(!in_round_) << "BeginRound with a round already open";
+  in_round_ = true;
+  open_ = EvidenceRound{};
+  open_.round = rounds_.size();
+  open_.sample_point = sample_point;
+  open_.first_observation = log_.size();
+  if (tracer_ != nullptr) round_start_us_ = tracer_->NowUs();
+}
+
+void EvidenceStore::Append(const Observation& observation) {
+  LBSAGG_CHECK(in_round_) << "Append outside BeginRound/EndRound";
+  log_.push_back(observation);
+  ++open_.num_observations;
+  observations_counter_.Add(1);
+}
+
+const EvidenceRound& EvidenceStore::EndRound(uint64_t queries_after) {
+  LBSAGG_CHECK(in_round_) << "EndRound without BeginRound";
+  in_round_ = false;
+  open_.queries_after = queries_after;
+  rounds_.push_back(open_);
+  rounds_counter_.Add(1);
+  if (tracer_ != nullptr) {
+    tracer_->AddComplete("engine.evidence.round", "engine", round_start_us_,
+                         tracer_->NowUs() - round_start_us_);
+  }
+  return rounds_.back();
+}
+
+EvidenceSnapshot EvidenceStore::Snapshot() const {
+  EvidenceSnapshot snapshot;
+  snapshot.rounds = rounds_.size();
+  snapshot.observations = log_.size();
+  snapshot.queries = rounds_.empty() ? 0 : rounds_.back().queries_after;
+  return snapshot;
+}
+
+EvidenceSnapshot EvidenceStore::SnapshotAt(size_t round_index) const {
+  LBSAGG_CHECK_LT(round_index, rounds_.size());
+  const EvidenceRound& r = rounds_[round_index];
+  EvidenceSnapshot snapshot;
+  snapshot.rounds = round_index + 1;
+  snapshot.observations = r.first_observation + r.num_observations;
+  snapshot.queries = r.queries_after;
+  return snapshot;
+}
+
+std::string EvidenceStore::ToJson() const {
+  const EvidenceSnapshot s = Snapshot();
+  std::ostringstream out;
+  out << "{\"rounds\":" << s.rounds << ",\"observations\":" << s.observations
+      << ",\"queries\":" << s.queries << "}";
+  return out.str();
+}
+
+}  // namespace engine
+}  // namespace lbsagg

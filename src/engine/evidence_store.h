@@ -1,0 +1,93 @@
+#ifndef LBSAGG_ENGINE_EVIDENCE_STORE_H_
+#define LBSAGG_ENGINE_EVIDENCE_STORE_H_
+
+// Append-only evidence log (DESIGN.md §4.9). The acquisition layer writes
+// rounds through the BeginRound / Append* / EndRound protocol; the
+// aggregation layer reads immutable (round, observation-slice) pairs.
+//
+// Contract:
+//  - Append-only: committed rounds and observations are never mutated, so a
+//    consumer attached after N rounds can replay exactly what a consumer
+//    attached before round 0 saw.
+//  - Seed-deterministic: the store adds no nondeterminism of its own — its
+//    contents are a pure function of the resolver's seed and the service,
+//    which is what the sweep determinism tests pin (identical stores across
+//    repeated seeds and any dispatcher worker count).
+//  - Per-round snapshots: SnapshotAt(i) reports the cumulative
+//    (rounds, observations, queries) totals at the boundary after round i.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/observation.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
+
+namespace lbsagg {
+namespace engine {
+
+// Cumulative totals at a round boundary.
+struct EvidenceSnapshot {
+  uint64_t rounds = 0;
+  uint64_t observations = 0;
+  uint64_t queries = 0;
+};
+
+struct EvidenceStoreOptions {
+  // Metric plane for the engine.evidence.* counters; null lands on
+  // obs::MetricsRegistry::Default().
+  obs::MetricsRegistry* registry = nullptr;
+  // When set, each committed round emits an "engine.evidence.round" span
+  // covering BeginRound → EndRound.
+  obs::Tracer* tracer = nullptr;
+};
+
+class EvidenceStore {
+ public:
+  explicit EvidenceStore(EvidenceStoreOptions options = {});
+
+  // Opens a round at the sampled query point. Exactly one round may be open
+  // at a time.
+  void BeginRound(const Vec2& sample_point);
+
+  // Appends one observation to the open round.
+  void Append(const Observation& observation);
+
+  // Commits the open round; `queries_after` is the client's cumulative
+  // interface-query counter at the boundary. Returns the committed round.
+  const EvidenceRound& EndRound(uint64_t queries_after);
+
+  size_t num_rounds() const { return rounds_.size(); }
+  size_t num_observations() const { return log_.size(); }
+  const EvidenceRound& round(size_t i) const { return rounds_[i]; }
+
+  // The contiguous observation slice of a committed round (valid for
+  // `r.num_observations` entries; null when the round produced none).
+  const Observation* observations(const EvidenceRound& r) const {
+    return r.num_observations == 0 ? nullptr : log_.data() + r.first_observation;
+  }
+
+  EvidenceSnapshot Snapshot() const;
+  EvidenceSnapshot SnapshotAt(size_t round_index) const;
+
+  // {"rounds":N,"observations":M,"queries":Q} — embedded in run reports as
+  // the `engine` section.
+  std::string ToJson() const;
+
+ private:
+  std::vector<EvidenceRound> rounds_;
+  std::vector<Observation> log_;
+  bool in_round_ = false;
+  EvidenceRound open_;
+  obs::CounterRef rounds_counter_;
+  obs::CounterRef observations_counter_;
+  obs::Tracer* tracer_ = nullptr;
+  double round_start_us_ = 0.0;
+};
+
+}  // namespace engine
+}  // namespace lbsagg
+
+#endif  // LBSAGG_ENGINE_EVIDENCE_STORE_H_

@@ -1,0 +1,156 @@
+#include "engine/lr_resolver.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "util/check.h"
+
+namespace lbsagg {
+namespace engine {
+
+namespace {
+
+// One observability pointer instruments the whole stack: the resolver's
+// registry flows into the cell computer unless the caller pinned a
+// different plane there explicitly.
+LrCellOptions PropagateRegistry(LrCellOptions cell,
+                                obs::MetricsRegistry* registry) {
+  if (cell.registry == nullptr) cell.registry = registry;
+  return cell;
+}
+
+}  // namespace
+
+LrCellResolver::LrCellResolver(LrClient* client, const QuerySampler* sampler,
+                               LrAggOptions options)
+    : client_(client),
+      sampler_(sampler),
+      options_(options),
+      cell_computer_(client, &history_, sampler,
+                     PropagateRegistry(options.cell, options.registry)),
+      rng_(options.seed),
+      rounds_counter_(obs::GetCounter(options.registry, "estimator.lr.rounds")),
+      cells_exact_counter_(
+          obs::GetCounter(options.registry, "estimator.lr.cells_exact")),
+      cells_mc_counter_(
+          obs::GetCounter(options.registry, "estimator.lr.cells_monte_carlo")),
+      ht_weight_hist_(obs::GetHistogram(options.registry,
+                                        "estimator.lr.ht_weight",
+                                        obs::DecadeBounds(1.0, 1e9))),
+      tracer_(options.tracer) {
+  LBSAGG_CHECK(client_ != nullptr);
+  LBSAGG_CHECK(sampler_ != nullptr);
+  if (!options_.adaptive_h) {
+    LBSAGG_CHECK_GE(options_.fixed_h, 1);
+  }
+}
+
+int LrCellResolver::ChooseH(int id, const Vec2& pos) {
+  const int k = client_->k();
+  if (!options_.adaptive_h) return std::min(options_.fixed_h, k);
+  if (k == 1) return 1;
+  const double lambda0 = options_.lambda0_fraction * client_->region().Area();
+  // λ_h is non-decreasing in h: scan upward and stop at the first bound
+  // exceeding λ0. In the common case λ_2 already fails and a single region
+  // computation decides h = 1.
+  int chosen = 1;
+  for (int h = 2; h <= k; ++h) {
+    const double lambda_h =
+        history_.UpperBoundCellArea(id, pos, client_->region(), h);
+    if (lambda_h > lambda0) break;
+    chosen = h;
+  }
+  return chosen;
+}
+
+void LrCellResolver::ResolveRound(const EvidenceDemand& demand,
+                                  EvidenceStore* store) {
+  obs::ScopedSpan round_span(tracer_, "estimator.round", "estimator");
+  const Vec2 q = sampler_->Sample(rng_);
+  store->BeginRound(q);
+  std::vector<LrClient::Item> items = client_->Query(q);
+
+  // §5.3: services with non-distance ranking (e.g. Google Places
+  // "prominence") can reorder results, but an LR interface always returns
+  // locations — re-sorting by actual distance restores the nearest-neighbor
+  // semantics every cell argument relies on. A no-op for plain distance
+  // ranking.
+  std::stable_sort(items.begin(), items.end(),
+                   [](const LrClient::Item& a, const LrClient::Item& b) {
+                     return a.distance < b.distance;
+                   });
+
+  // Decide h for every returned tuple *before* ingesting the new locations:
+  // Algorithm 4 derives h from history alone, keeping the inclusion event
+  // independent of the current query's outcome.
+  std::vector<int> chosen_h(items.size(), 1);
+  for (size_t i = 0; i < items.size(); ++i) {
+    chosen_h[i] = ChooseH(items[i].id, items[i].location);
+  }
+  for (const LrClient::Item& item : items) {
+    history_.Record(item.id, item.location);
+  }
+
+  for (size_t i = 0; i < items.size(); ++i) {
+    const LrClient::Item& item = items[i];
+    const int rank = static_cast<int>(i) + 1;
+    const int h = chosen_h[i];
+    // The sample "q ∈ V_h(t)" occurred iff t ranks within the top h, so a
+    // tuple only contributes when rank <= h (see DESIGN.md on the Eq. (2)
+    // inclusion condition).
+    if (rank > h) continue;
+    if (!demand.WantsLrTuple(*client_, item.id, item.location)) continue;
+
+    const uint64_t queries_before = client_->queries_used();
+    LrCellComputer::Result cell;
+    {
+      obs::ScopedSpan cell_span(tracer_, "estimator.cell", "estimator");
+      cell = cell_computer_.ComputeInverseProbability(item.id, item.location,
+                                                      h, rng_);
+    }
+    diagnostics_.cell_queries += cell.queries;
+    if (cell.exact) {
+      ++diagnostics_.cells_exact;
+      cells_exact_counter_.Add(1);
+    } else {
+      ++diagnostics_.cells_monte_carlo;
+      cells_mc_counter_.Add(1);
+    }
+    ht_weight_hist_.Observe(cell.inv_probability);
+    ++diagnostics_.h_used[std::min<size_t>(h, 7)];
+
+    Observation obs;
+    obs.tuple_id = item.id;
+    obs.rank = rank;
+    obs.h = h;
+    obs.location = item.location;
+    obs.has_location = true;
+    obs.weight_form = WeightForm::kInverseProbability;
+    obs.weight = cell.inv_probability;
+    obs.exact = cell.exact;
+    obs.cost = client_->queries_used() - queries_before;
+    store->Append(obs);
+  }
+
+  ++diagnostics_.rounds;
+  rounds_counter_.Add(1);
+  store->EndRound(client_->queries_used());
+}
+
+std::string LrCellResolver::diagnostics_json() const {
+  std::ostringstream out;
+  out << "{\"resolver\":\"lr\",\"rounds\":" << diagnostics_.rounds
+      << ",\"cells_exact\":" << diagnostics_.cells_exact
+      << ",\"cells_monte_carlo\":" << diagnostics_.cells_monte_carlo
+      << ",\"cell_queries\":" << diagnostics_.cell_queries << ",\"h_used\":[";
+  for (size_t i = 0; i < 8; ++i) {
+    if (i > 0) out << ",";
+    out << diagnostics_.h_used[i];
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace engine
+}  // namespace lbsagg

@@ -1,0 +1,67 @@
+#ifndef LBSAGG_ENGINE_OBSERVATION_H_
+#define LBSAGG_ENGINE_OBSERVATION_H_
+
+// The unit of evidence the acquisition layer produces and the aggregation
+// layer consumes (DESIGN.md §4.9). One sampling round resolves zero or more
+// tuples into (tuple, weight, location, cost) observations; every
+// AggregateQuery folds the same observations into its own Horvitz–Thompson
+// estimate, so N aggregates ride one interface budget.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "geometry/vec2.h"
+
+namespace lbsagg {
+namespace engine {
+
+// How a tuple's resolved weight turns Q(t) into an HT contribution. The two
+// forms are kept distinct — rather than normalizing to one — because
+// floating-point `value * (1/p)` and `value / p` differ in the last ulp, and
+// the engine's contract is bit-identical traces with the pre-engine
+// estimators.
+enum class WeightForm : uint8_t {
+  // weight is an (unbiased estimate of the) inverse inclusion probability;
+  // contribution = value * weight. Produced by the LR cell computer and the
+  // NNO probe baseline.
+  kInverseProbability,
+  // weight is the inclusion probability itself; contribution =
+  // value / weight. Produced by the LNR cell inference.
+  kProbability,
+};
+
+// One resolved tuple. Attribute values are NOT materialized here: consumers
+// evaluate their own predicate/value column through the client's returned
+// attributes (free — no interface queries), which keeps the evidence log
+// aggregate-agnostic.
+struct Observation {
+  int tuple_id = -1;
+  int rank = 0;  // 1-based rank in the result page (0 = unknown)
+  int h = 1;     // top-h cell order backing the weight
+  // Returned coordinates (LR/NNO) or localized-to-precision coordinates
+  // (LNR, §4.3). has_location is false when the interface hides locations
+  // and no localization was demanded (or it failed to converge).
+  Vec2 location{};
+  bool has_location = false;
+  WeightForm weight_form = WeightForm::kInverseProbability;
+  double weight = 0.0;
+  bool exact = true;     // exact cell (Theorem 1) vs Monte-Carlo/heuristic
+  uint64_t cost = 0;     // interface queries spent resolving this observation
+};
+
+// One sampling round in the evidence log: the sampled query point plus the
+// contiguous slice of observations it produced. `queries_after` is the
+// client's cumulative interface-query counter at the round boundary — the
+// x-axis of every trace built from this evidence.
+struct EvidenceRound {
+  uint64_t round = 0;  // 0-based index in the log
+  Vec2 sample_point{};
+  uint64_t queries_after = 0;
+  size_t first_observation = 0;
+  size_t num_observations = 0;
+};
+
+}  // namespace engine
+}  // namespace lbsagg
+
+#endif  // LBSAGG_ENGINE_OBSERVATION_H_

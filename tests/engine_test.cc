@@ -1,0 +1,407 @@
+// The estimation engine (DESIGN.md §4.9): acquisition → evidence →
+// aggregation. These tests pin the layer contracts — the shared-evidence
+// AVG == SUM/COUNT identity, per-resolver unbiasedness, the evidence
+// store's append/replay/snapshot protocol, seed determinism, and the
+// adapter/engine equivalence that keeps the monolith-era API bit-identical.
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/aggregate.h"
+#include "core/lnr_agg.h"
+#include "core/lr_agg.h"
+#include "core/nno_baseline.h"
+#include "core/runner.h"
+#include "core/sampler.h"
+#include "engine/engine.h"
+#include "engine/lnr_resolver.h"
+#include "engine/lr_resolver.h"
+#include "engine/nno_resolver.h"
+#include "lbs/client.h"
+#include "lbs/server.h"
+#include "util/stats.h"
+#include "workload/scenarios.h"
+
+namespace lbsagg {
+namespace {
+
+UsaScenario SmallUsa(int n = 800, uint64_t seed = 2015) {
+  UsaOptions opts;
+  opts.num_pois = n;
+  opts.seed = seed;
+  return BuildUsaScenario(opts);
+}
+
+// --- Shared-evidence identities ---------------------------------------------
+
+// COUNT, SUM and AVG registered over the same condition fold the same
+// observation stream, so AVG = SUM/COUNT holds *by construction*: the AVG
+// consumer's numerator/denominator means are exactly the SUM/COUNT
+// consumers' numerator means. EXPECT_DOUBLE_EQ, not EXPECT_NEAR.
+TEST(EstimationEngine, AvgEqualsSumOverCountOnSharedEvidence) {
+  const UsaScenario usa = SmallUsa();
+  LbsServer server(usa.dataset.get(), {.max_k = 5});
+  LrClient client(&server, {.k = 5});
+  UniformSampler sampler(usa.dataset->box());
+  const int rating = usa.columns.rating;
+  const ReturnedTuplePredicate is_restaurant =
+      ColumnEquals(usa.columns.category, "restaurant");
+
+  engine::LrCellResolver resolver(&client, &sampler, {.seed = 7});
+  engine::EstimationEngine eng(&resolver);
+  auto* count = eng.AddAggregate(
+      AggregateSpec::CountWhere(is_restaurant, "COUNT(restaurants)"));
+  auto* sum = eng.AddAggregate(
+      AggregateSpec::SumWhere(rating, is_restaurant, "SUM(rating)"));
+  auto* avg = eng.AddAggregate(
+      AggregateSpec::AvgWhere(rating, is_restaurant, "AVG(rating)"));
+
+  for (int i = 0; i < 120; ++i) eng.Step();
+
+  ASSERT_GT(count->Estimate(), 0.0);
+  EXPECT_DOUBLE_EQ(avg->NumeratorMean(), sum->NumeratorMean());
+  EXPECT_DOUBLE_EQ(avg->DenominatorMean(), count->NumeratorMean());
+  EXPECT_DOUBLE_EQ(avg->Estimate(), sum->Estimate() / count->Estimate());
+
+  // One budget, three traces: every consumer saw every round.
+  EXPECT_EQ(count->trace().size(), 120u);
+  EXPECT_EQ(sum->trace().size(), 120u);
+  EXPECT_EQ(avg->trace().size(), 120u);
+  EXPECT_EQ(eng.evidence().num_rounds(), 120u);
+}
+
+// The same identity through the kProbability (LNR) weight form.
+TEST(EstimationEngine, AvgIdentityHoldsOnRankOnlyInterface) {
+  const UsaScenario usa = SmallUsa(300);
+  LbsServer server(usa.dataset.get(), {.max_k = 1});
+  LnrClient client(&server, {.k = 1});
+  UniformSampler sampler(usa.dataset->box());
+  const int rating = usa.columns.rating;
+  const ReturnedTuplePredicate is_restaurant =
+      ColumnEquals(usa.columns.category, "restaurant");
+
+  engine::LnrCellResolver resolver(&client, &sampler, {.seed = 5});
+  engine::EstimationEngine eng(&resolver);
+  auto* count = eng.AddAggregate(
+      AggregateSpec::CountWhere(is_restaurant, "COUNT(restaurants)"));
+  auto* sum = eng.AddAggregate(
+      AggregateSpec::SumWhere(rating, is_restaurant, "SUM(rating)"));
+  auto* avg = eng.AddAggregate(
+      AggregateSpec::AvgWhere(rating, is_restaurant, "AVG(rating)"));
+
+  for (int i = 0; i < 40; ++i) eng.Step();
+
+  ASSERT_GT(count->Estimate(), 0.0);
+  EXPECT_DOUBLE_EQ(avg->Estimate(), sum->Estimate() / count->Estimate());
+}
+
+// --- Replay / late registration ---------------------------------------------
+
+// A consumer registered mid-run replays the append-only log, so it ends up
+// bit-identical to one registered before round 0 — provided its demand is
+// covered by the earlier aggregates' (here: same condition).
+TEST(EstimationEngine, LateAggregateReplaysToIdenticalState) {
+  const UsaScenario usa = SmallUsa();
+  LbsServer server(usa.dataset.get(), {.max_k = 5});
+  UniformSampler sampler(usa.dataset->box());
+  const int rating = usa.columns.rating;
+
+  auto run = [&](bool late) {
+    LrClient client(&server, {.k = 5});
+    engine::LrCellResolver resolver(&client, &sampler, {.seed = 11});
+    engine::EstimationEngine eng(&resolver);
+    auto* avg = eng.AddAggregate(AggregateSpec::Avg(rating, "AVG(rating)"));
+    engine::AggregateQuery* sum = nullptr;
+    if (!late) {
+      sum = eng.AddAggregate(AggregateSpec::Sum(rating, "SUM(rating)"));
+    }
+    for (int i = 0; i < 30; ++i) eng.Step();
+    if (late) {
+      sum = eng.AddAggregate(AggregateSpec::Sum(rating, "SUM(rating)"));
+    }
+    for (int i = 0; i < 30; ++i) eng.Step();
+    (void)avg;
+    return sum->trace();
+  };
+
+  const std::vector<TracePoint> early = run(false);
+  const std::vector<TracePoint> late = run(true);
+  ASSERT_EQ(early.size(), late.size());
+  for (size_t i = 0; i < early.size(); ++i) {
+    EXPECT_EQ(early[i].queries, late[i].queries) << i;
+    EXPECT_EQ(early[i].estimate, late[i].estimate) << i;
+  }
+}
+
+// --- Adapter equivalence ----------------------------------------------------
+
+// The LrAggEstimator adapter and an engine-native single-aggregate run are
+// the same computation: identical traces, estimates, and query counts.
+TEST(EstimationEngine, AdapterMatchesEngineNativeRun) {
+  const UsaScenario usa = SmallUsa();
+  LbsServer server(usa.dataset.get(), {.max_k = 5});
+  UniformSampler sampler(usa.dataset->box());
+  const AggregateSpec spec = AggregateSpec::CountWhere(
+      ColumnEquals(usa.columns.category, "restaurant"), "COUNT(restaurants)");
+
+  LrClient adapter_client(&server, {.k = 5});
+  LrAggEstimator adapter(&adapter_client, &sampler, spec, {.seed = 13});
+  for (int i = 0; i < 80; ++i) adapter.Step();
+
+  LrClient native_client(&server, {.k = 5});
+  engine::LrCellResolver resolver(&native_client, &sampler, {.seed = 13});
+  engine::EstimationEngine eng(&resolver);
+  auto* query = eng.AddAggregate(spec);
+  for (int i = 0; i < 80; ++i) eng.Step();
+
+  EXPECT_EQ(adapter.queries_used(), eng.queries_used());
+  EXPECT_EQ(adapter.Estimate(), query->Estimate());
+  ASSERT_EQ(adapter.trace().size(), query->trace().size());
+  for (size_t i = 0; i < query->trace().size(); ++i) {
+    EXPECT_EQ(adapter.trace()[i].queries, query->trace()[i].queries);
+    EXPECT_EQ(adapter.trace()[i].estimate, query->trace()[i].estimate);
+  }
+}
+
+// --- Unbiasedness smoke, one per resolver -----------------------------------
+
+TEST(EstimationEngine, LrResolverUnbiasedSmoke) {
+  const UsaScenario usa = SmallUsa(600);
+  LbsServer server(usa.dataset.get(), {.max_k = 3});
+  UniformSampler sampler(usa.dataset->box());
+  RunningStats means;
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    LrClient client(&server, {.k = 3});
+    engine::LrCellResolver resolver(&client, &sampler, {.seed = seed});
+    engine::EstimationEngine eng(&resolver);
+    auto* count = eng.AddAggregate(AggregateSpec::Count());
+    for (int i = 0; i < 60; ++i) eng.Step();
+    means.Add(count->Estimate());
+  }
+  EXPECT_NEAR(means.mean(), 600.0, 3.0 * means.StandardError() + 20.0);
+}
+
+TEST(EstimationEngine, LnrResolverUnbiasedSmoke) {
+  const UsaScenario usa = SmallUsa(300);
+  LbsServer server(usa.dataset.get(), {.max_k = 1});
+  UniformSampler sampler(usa.dataset->box());
+  RunningStats means;
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    LnrClient client(&server, {.k = 1});
+    engine::LnrCellResolver resolver(&client, &sampler, {.seed = seed});
+    engine::EstimationEngine eng(&resolver);
+    auto* count = eng.AddAggregate(AggregateSpec::Count());
+    for (int i = 0; i < 40; ++i) eng.Step();
+    means.Add(count->Estimate());
+  }
+  // LNR carries the Theorem-2 tolerance bias on top of sampling noise.
+  EXPECT_NEAR(means.mean(), 300.0, 3.0 * means.StandardError() + 30.0);
+}
+
+TEST(EstimationEngine, NnoResolverSmoke) {
+  // The probe baseline is biased by design (E[1/p̂] != 1/p) — smoke-check
+  // it lands in a broad band around the truth, as the paper's Figure 12
+  // shows it does.
+  const UsaScenario usa = SmallUsa(600);
+  LbsServer server(usa.dataset.get(), {.max_k = 3});
+  RunningStats means;
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    LrClient client(&server, {.k = 3});
+    engine::NnoProbeResolver resolver(&client, {.seed = seed});
+    engine::EstimationEngine eng(&resolver);
+    auto* count = eng.AddAggregate(AggregateSpec::Count());
+    for (int i = 0; i < 40; ++i) eng.Step();
+    means.Add(count->Estimate());
+  }
+  EXPECT_GT(means.mean(), 0.5 * 600.0);
+  EXPECT_LT(means.mean(), 2.5 * 600.0);
+}
+
+// --- Evidence store contract ------------------------------------------------
+
+TEST(EvidenceStore, SnapshotsAreCumulativePerRound) {
+  engine::EvidenceStore store;
+  store.BeginRound({0.0, 0.0});
+  engine::Observation obs;
+  obs.tuple_id = 1;
+  obs.weight = 2.0;
+  store.Append(obs);
+  store.EndRound(10);
+  store.BeginRound({1.0, 1.0});
+  store.EndRound(15);
+  store.BeginRound({2.0, 2.0});
+  obs.tuple_id = 2;
+  store.Append(obs);
+  obs.tuple_id = 3;
+  store.Append(obs);
+  store.EndRound(31);
+
+  EXPECT_EQ(store.num_rounds(), 3u);
+  EXPECT_EQ(store.num_observations(), 3u);
+
+  const engine::EvidenceSnapshot s0 = store.SnapshotAt(0);
+  EXPECT_EQ(s0.rounds, 1u);
+  EXPECT_EQ(s0.observations, 1u);
+  EXPECT_EQ(s0.queries, 10u);
+  const engine::EvidenceSnapshot s1 = store.SnapshotAt(1);
+  EXPECT_EQ(s1.rounds, 2u);
+  EXPECT_EQ(s1.observations, 1u);
+  EXPECT_EQ(s1.queries, 15u);
+  const engine::EvidenceSnapshot s2 = store.SnapshotAt(2);
+  EXPECT_EQ(s2.rounds, 3u);
+  EXPECT_EQ(s2.observations, 3u);
+  EXPECT_EQ(s2.queries, 31u);
+
+  const engine::EvidenceSnapshot latest = store.Snapshot();
+  EXPECT_EQ(latest.rounds, s2.rounds);
+  EXPECT_EQ(latest.observations, s2.observations);
+  EXPECT_EQ(latest.queries, s2.queries);
+
+  EXPECT_EQ(store.ToJson(),
+            "{\"rounds\":3,\"observations\":3,\"queries\":31}");
+
+  // The middle round is empty; its slice is null with zero length.
+  EXPECT_EQ(store.observations(store.round(1)), nullptr);
+  EXPECT_EQ(store.round(2).num_observations, 2u);
+  EXPECT_EQ(store.observations(store.round(2))[0].tuple_id, 2);
+  EXPECT_EQ(store.observations(store.round(2))[1].tuple_id, 3);
+}
+
+// Bit-exact fingerprint of a store's full contents.
+uint64_t FingerprintStore(const engine::EvidenceStore& store) {
+  auto mix = [](uint64_t h, uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    return h;
+  };
+  auto mix_double = [&](uint64_t h, double d) {
+    uint64_t bits;
+    std::memcpy(&bits, &d, sizeof bits);
+    return mix(h, bits);
+  };
+  uint64_t h = 0;
+  for (size_t r = 0; r < store.num_rounds(); ++r) {
+    const engine::EvidenceRound& round = store.round(r);
+    h = mix(h, round.queries_after);
+    h = mix_double(h, round.sample_point.x);
+    h = mix_double(h, round.sample_point.y);
+    const engine::Observation* obs = store.observations(round);
+    for (size_t i = 0; i < round.num_observations; ++i) {
+      h = mix(h, static_cast<uint64_t>(obs[i].tuple_id));
+      h = mix(h, static_cast<uint64_t>(obs[i].rank));
+      h = mix(h, static_cast<uint64_t>(obs[i].h));
+      h = mix(h, static_cast<uint64_t>(obs[i].weight_form));
+      h = mix_double(h, obs[i].weight);
+      h = mix(h, obs[i].cost);
+      if (obs[i].has_location) {
+        h = mix_double(h, obs[i].location.x);
+        h = mix_double(h, obs[i].location.y);
+      }
+    }
+  }
+  return h;
+}
+
+uint64_t EvidenceFingerprintForSeed(uint64_t seed) {
+  UsaOptions opts;
+  opts.num_pois = 400;
+  static const UsaScenario* usa = new UsaScenario(BuildUsaScenario(opts));
+  static LbsServer* server = new LbsServer(usa->dataset.get(), {.max_k = 3});
+  static const UniformSampler* sampler =
+      new UniformSampler(usa->dataset->box());
+  LrClient client(server, {.k = 3});
+  engine::LrCellResolver resolver(&client, sampler, {.seed = seed});
+  engine::EstimationEngine eng(&resolver);
+  eng.AddAggregate(AggregateSpec::Count());
+  for (int i = 0; i < 50; ++i) eng.Step();
+  return FingerprintStore(eng.evidence());
+}
+
+TEST(EvidenceStore, DeterministicAcrossRepeatedSeeds) {
+  EXPECT_EQ(EvidenceFingerprintForSeed(42), EvidenceFingerprintForSeed(42));
+  EXPECT_EQ(EvidenceFingerprintForSeed(43), EvidenceFingerprintForSeed(43));
+  // Different seeds must actually change the evidence, or the equalities
+  // above prove nothing.
+  EXPECT_NE(EvidenceFingerprintForSeed(42), EvidenceFingerprintForSeed(43));
+}
+
+// --- Engine-native sweep path -----------------------------------------------
+
+TEST(EstimationEngine, RunEngineWithBudgetSharesOneBudget) {
+  const UsaScenario usa = SmallUsa();
+  LbsServer server(usa.dataset.get(), {.max_k = 5});
+  UniformSampler sampler(usa.dataset->box());
+  const int rating = usa.columns.rating;
+  const ReturnedTuplePredicate is_restaurant =
+      ColumnEquals(usa.columns.category, "restaurant");
+
+  LrClient client(&server, {.k = 5});
+  engine::LrCellResolver resolver(&client, &sampler, {.seed = 21});
+  engine::EstimationEngine eng(&resolver);
+  eng.AddAggregate(
+      AggregateSpec::CountWhere(is_restaurant, "COUNT(restaurants)"));
+  eng.AddAggregate(AggregateSpec::SumWhere(rating, is_restaurant, "SUM"));
+  eng.AddAggregate(AggregateSpec::AvgWhere(rating, is_restaurant, "AVG"));
+
+  const uint64_t budget = 500;
+  const std::vector<RunResult> results = RunEngineWithBudget(&eng, budget);
+  ASSERT_EQ(results.size(), 3u);
+  // All three answers came from the same (soft-bounded) budget.
+  for (const RunResult& r : results) {
+    EXPECT_EQ(r.queries, eng.queries_used());
+    EXPECT_EQ(r.trace.size(), eng.evidence().num_rounds());
+    EXPECT_GT(r.trace.size(), 0u);
+  }
+  EXPECT_GE(eng.queries_used(), budget);
+
+  // AVG = SUM/COUNT across the returned results too.
+  EXPECT_DOUBLE_EQ(results[2].final_estimate,
+                   results[1].final_estimate / results[0].final_estimate);
+}
+
+// diagnostics_json surfaces the resolver + evidence snapshot (embedded into
+// run reports as raw JSON).
+TEST(EstimationEngine, DiagnosticsJsonCoversLayers) {
+  const UsaScenario usa = SmallUsa(300);
+  LbsServer server(usa.dataset.get(), {.max_k = 3});
+  UniformSampler sampler(usa.dataset->box());
+  LrClient client(&server, {.k = 3});
+  engine::LrCellResolver resolver(&client, &sampler, {.seed = 3});
+  engine::EstimationEngine eng(&resolver);
+  eng.AddAggregate(AggregateSpec::Count());
+  for (int i = 0; i < 5; ++i) eng.Step();
+
+  const std::string json = eng.diagnostics_json();
+  EXPECT_NE(json.find("\"resolver\":"), std::string::npos);
+  EXPECT_NE(json.find("\"lr\""), std::string::npos);
+  EXPECT_NE(json.find("\"evidence\":"), std::string::npos);
+  EXPECT_NE(json.find("\"aggregates\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"rounds\":5"), std::string::npos);
+}
+
+// MakeHandle binds diagnostics_json via `requires`, so RunReport embeds
+// per-estimator diagnostics with no estimator-specific branches.
+TEST(EstimationEngine, MakeHandleBindsDiagnosticsJson) {
+  const UsaScenario usa = SmallUsa(300);
+  LbsServer server(usa.dataset.get(), {.max_k = 3});
+  UniformSampler sampler(usa.dataset->box());
+  LrClient client(&server, {.k = 3});
+  LrAggEstimator est(&client, &sampler, AggregateSpec::Count(), {.seed = 9});
+  const EstimatorHandle handle = MakeHandle(&est);
+  ASSERT_NE(handle.diagnostics_json, nullptr);
+  est.Step();
+  EXPECT_NE(handle.diagnostics_json().find("\"resolver\":\"lr\""),
+            std::string::npos);
+
+  obs::MetricsRegistry registry;
+  const RunResult result = RunWithBudget(handle, 50);
+  const obs::RunReport report =
+      BuildRunReport("lr", result, handle, &registry);
+  EXPECT_NE(report.ToJson().find("\"diagnostics\":"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lbsagg

@@ -5,6 +5,7 @@
 // counter interleaves. This is what makes every bench/fig*.cc number
 // reproducible on machines with different core counts.
 
+#include <cstring>
 #include <map>
 #include <memory>
 #include <string>
@@ -13,6 +14,8 @@
 #include <gtest/gtest.h>
 
 #include "common/bench_common.h"
+#include "engine/engine.h"
+#include "engine/nno_resolver.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
 
@@ -113,6 +116,117 @@ TEST(SweepDeterminism, MetricSnapshotsIdenticalAcrossRepeatedRuns) {
   // Different seeds must actually change the numbers, or the comparisons
   // above prove nothing.
   EXPECT_NE(RunFlakyWithRegistry(4, 43), RunFlakyWithRegistry(4, 44));
+}
+
+// The engine's evidence store adds no nondeterminism of its own: over the
+// fault-injecting transport and the worker-pool dispatcher, the full log —
+// round boundaries, observation order, and every observation's bit pattern
+// — plus the consumer traces and the metric plane are a pure function of
+// the seed, not of the dispatcher's worker count.
+struct EngineRun {
+  uint64_t evidence_hash = 0;
+  std::vector<TracePoint> count_trace;
+  std::vector<TracePoint> sum_trace;
+  obs::MetricsSnapshot snapshot;
+};
+
+uint64_t HashEvidence(const engine::EvidenceStore& store) {
+  auto mix = [](uint64_t h, uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    return h;
+  };
+  auto mix_double = [&](uint64_t h, double d) {
+    uint64_t bits;
+    std::memcpy(&bits, &d, sizeof bits);
+    return mix(h, bits);
+  };
+  uint64_t h = 0;
+  for (size_t r = 0; r < store.num_rounds(); ++r) {
+    const engine::EvidenceRound& round = store.round(r);
+    h = mix(h, round.queries_after);
+    h = mix_double(h, round.sample_point.x);
+    h = mix_double(h, round.sample_point.y);
+    const engine::Observation* obs = store.observations(round);
+    for (size_t i = 0; i < round.num_observations; ++i) {
+      h = mix(h, static_cast<uint64_t>(obs[i].tuple_id));
+      h = mix(h, static_cast<uint64_t>(obs[i].weight_form));
+      h = mix_double(h, obs[i].weight);
+      h = mix(h, obs[i].cost);
+    }
+  }
+  return h;
+}
+
+EngineRun RunEngineFlaky(unsigned dispatcher_workers, uint64_t seed) {
+  UsaOptions usa_opts;
+  usa_opts.num_pois = 400;
+  static const UsaScenario* usa = new UsaScenario(BuildUsaScenario(usa_opts));
+  const int rating = usa->columns.rating;
+
+  obs::MetricsRegistry registry;
+  LbsServer server(usa->dataset.get(),
+                   {.max_k = 10, .stats_registry = &registry});
+
+  SimulatedTransportOptions topts;
+  topts.faults.transient_error_rate = 0.05;
+  topts.faults.truncate_rate = 0.03;
+  topts.retry.max_attempts = 3;
+  topts.seed = seed;
+  topts.registry = &registry;
+  SimulatedTransport transport(&server, topts);
+
+  std::unique_ptr<AsyncDispatcher> dispatcher;
+  if (dispatcher_workers > 0) {
+    dispatcher = std::make_unique<AsyncDispatcher>(
+        &transport, DispatcherOptions{dispatcher_workers, 64});
+  }
+  LrClient client(&server, {.k = 3, .budget = 300, .registry = &registry},
+                  &transport, dispatcher.get());
+
+  engine::NnoProbeResolver resolver(&client,
+                                    {.seed = seed, .registry = &registry});
+  engine::EstimationEngine eng(&resolver,
+                               engine::EngineOptions{.registry = &registry});
+  auto* count = eng.AddAggregate(AggregateSpec::Count());
+  auto* sum = eng.AddAggregate(AggregateSpec::Sum(rating, "SUM(rating)"));
+  (void)RunEngineWithBudget(&eng, /*budget=*/300);
+  PublishTransportMetrics(transport.Metrics(), &registry);
+
+  EngineRun run;
+  run.evidence_hash = HashEvidence(eng.evidence());
+  run.count_trace = count->trace();
+  run.sum_trace = sum->trace();
+  run.snapshot = registry.Snapshot();
+  return run;
+}
+
+void ExpectEngineRunsIdentical(const EngineRun& a, const EngineRun& b) {
+  EXPECT_EQ(a.evidence_hash, b.evidence_hash);
+  ASSERT_EQ(a.count_trace.size(), b.count_trace.size());
+  for (size_t i = 0; i < a.count_trace.size(); ++i) {
+    EXPECT_EQ(a.count_trace[i].queries, b.count_trace[i].queries);
+    EXPECT_EQ(a.count_trace[i].estimate, b.count_trace[i].estimate);
+  }
+  ASSERT_EQ(a.sum_trace.size(), b.sum_trace.size());
+  for (size_t i = 0; i < a.sum_trace.size(); ++i) {
+    EXPECT_EQ(a.sum_trace[i].queries, b.sum_trace[i].queries);
+    EXPECT_EQ(a.sum_trace[i].estimate, b.sum_trace[i].estimate);
+  }
+  EXPECT_EQ(a.snapshot, b.snapshot);
+}
+
+TEST(SweepDeterminism, EngineEvidenceIdenticalAcrossWorkerCounts) {
+  const EngineRun one = RunEngineFlaky(1, 42);
+  const EngineRun four = RunEngineFlaky(4, 42);
+  const EngineRun eight = RunEngineFlaky(8, 42);
+  ExpectEngineRunsIdentical(one, four);
+  ExpectEngineRunsIdentical(four, eight);
+}
+
+TEST(SweepDeterminism, EngineEvidenceIdenticalAcrossRepeatedSeeds) {
+  ExpectEngineRunsIdentical(RunEngineFlaky(4, 43), RunEngineFlaky(4, 43));
+  EXPECT_NE(RunEngineFlaky(4, 43).evidence_hash,
+            RunEngineFlaky(4, 44).evidence_hash);
 }
 
 }  // namespace

@@ -39,17 +39,21 @@ cmake -B build-tsan -S . \
   > /dev/null
 cmake --build build-tsan -j "$(nproc)" \
   --target transport_test transport_determinism_test sweep_determinism_test \
-           obs_test \
+           obs_test engine_test \
   -- --quiet 2>/dev/null \
   || cmake --build build-tsan -j "$(nproc)" \
        --target transport_test transport_determinism_test \
-                sweep_determinism_test obs_test
+                sweep_determinism_test obs_test engine_test
 
 echo "==> threaded tests under TSAN"
 ./build-tsan/tests/transport_test
 ./build-tsan/tests/transport_determinism_test
+# sweep_determinism_test includes the engine-native evidence determinism
+# suite (NnoProbeResolver over the async dispatcher at 1/4/8 workers);
+# engine_test pins the single-threaded engine contracts under TSAN too.
 ./build-tsan/tests/sweep_determinism_test
 ./build-tsan/tests/obs_test
+./build-tsan/tests/engine_test
 
 if [[ "$FAST" == "0" ]]; then
   echo "==> perf smoke (optimized build, token min-time)"

@@ -10,9 +10,10 @@ authoritative statement of the same contract — keep the two in sync.
 
 With --require-layers, additionally checks that the metric plane covers the
 named layers: each layer must contribute at least one `<layer>.` counter,
-except `transport`, which may instead appear as a sections.transport block
-(the TransportMetrics side-channel). This is what the CI observability job
-runs against examples/flaky_service --report.
+except `transport` and `engine`, which may instead appear as a
+sections.transport / sections.engine block (the subsystems' JSON
+side-channels). This is what the CI observability job runs against
+examples/flaky_service --report and examples/multi_aggregate --report.
 """
 
 import argparse
@@ -139,10 +140,39 @@ def validate(report):
                             f"bucket sum {sum(buckets)} != count {hist['count']}",
                         )
 
-    if not isinstance(report["sections"], dict):
+    sections = report["sections"]
+    if not isinstance(sections, dict):
         fail(errors, "sections", "expected an object")
+    elif "engine" in sections:
+        validate_engine_section(errors, sections["engine"])
 
     return errors
+
+
+def validate_engine_section(errors, engine):
+    """The estimation engine's diagnostics_json (DESIGN.md §4.9): resolver
+    diagnostics + evidence-store totals + registered aggregate count."""
+    path = "sections.engine"
+    if not isinstance(engine, dict):
+        fail(errors, path, "expected an object")
+        return
+    for key in ["resolver", "evidence", "aggregates"]:
+        if key not in engine:
+            fail(errors, path, f"missing required key '{key}'")
+    if "resolver" in engine and not isinstance(engine["resolver"], dict):
+        fail(errors, f"{path}.resolver", "expected an object")
+    if "aggregates" in engine:
+        check_count(errors, f"{path}.aggregates", engine["aggregates"])
+    evidence = engine.get("evidence")
+    if evidence is not None:
+        if not isinstance(evidence, dict):
+            fail(errors, f"{path}.evidence", "expected an object")
+        else:
+            for key in ["rounds", "observations", "queries"]:
+                if key not in evidence:
+                    fail(errors, f"{path}.evidence", f"missing field '{key}'")
+                else:
+                    check_count(errors, f"{path}.evidence.{key}", evidence[key])
 
 
 def check_layers(report, layers):
@@ -151,12 +181,16 @@ def check_layers(report, layers):
     sections = report.get("sections", {})
     for layer in layers:
         covered = any(name.startswith(layer + ".") for name in counters)
-        if layer == "transport":
-            covered = covered or "transport" in sections
+        if layer in ("transport", "engine"):
+            covered = covered or layer in sections
         if not covered:
             errors.append(
                 f"layer coverage: no '{layer}.' counters"
-                + (" and no sections.transport" if layer == "transport" else "")
+                + (
+                    f" and no sections.{layer}"
+                    if layer in ("transport", "engine")
+                    else ""
+                )
             )
     return errors
 
