@@ -1,0 +1,33 @@
+#ifndef LBSAGG_BENCH_COMMON_BENCH_MAIN_H_
+#define LBSAGG_BENCH_COMMON_BENCH_MAIN_H_
+
+// Shared main() for the google-benchmark micro binaries (micro_*.cc).
+//
+// Identical to BENCHMARK_MAIN() except that it first records the *library
+// under test*'s build type in the benchmark context, so every JSON dump
+// (BENCH_*.json) carries "lbsagg_build_type": "release" | "debug" | ....
+// The stock "library_build_type" context key is NOT that: google-benchmark
+// fills it from its own compile (the system libbenchmark here is a debug
+// build), so it says "debug" even when lbsagg is compiled -O3. Perf
+// baselines must be read against lbsagg_build_type.
+
+#include <benchmark/benchmark.h>
+
+// Injected by bench/CMakeLists.txt from CMAKE_BUILD_TYPE (lowercased);
+// "unspecified" when the build was configured without a build type.
+#ifndef LBSAGG_BUILD_TYPE
+#define LBSAGG_BUILD_TYPE "unspecified"
+#endif
+
+#define LBSAGG_BENCHMARK_MAIN()                                           \
+  int main(int argc, char** argv) {                                       \
+    benchmark::AddCustomContext("lbsagg_build_type", LBSAGG_BUILD_TYPE);  \
+    benchmark::Initialize(&argc, argv);                                   \
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;     \
+    benchmark::RunSpecifiedBenchmarks();                                  \
+    benchmark::Shutdown();                                                \
+    return 0;                                                             \
+  }                                                                       \
+  int main(int, char**)
+
+#endif  // LBSAGG_BENCH_COMMON_BENCH_MAIN_H_

@@ -10,6 +10,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common/bench_main.h"
+
 #include "core/aggregate.h"
 #include "core/sampler.h"
 #include "engine/aggregate_query.h"
@@ -141,4 +143,4 @@ BENCHMARK(BM_EngineRound)->Arg(1)->Arg(4);
 }  // namespace
 }  // namespace lbsagg
 
-BENCHMARK_MAIN();
+LBSAGG_BENCHMARK_MAIN();

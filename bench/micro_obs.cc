@@ -10,6 +10,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common/bench_main.h"
+
 #include "obs/metrics.h"
 #include "obs/obs.h"
 #include "obs/trace.h"
@@ -116,4 +118,4 @@ BENCHMARK(BM_ScopedSpanActive);
 }  // namespace
 }  // namespace lbsagg
 
-BENCHMARK_MAIN();
+LBSAGG_BENCHMARK_MAIN();

@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common/bench_main.h"
+
 #include "core/ground_truth.h"
 #include "core/sampler.h"
 #include "geometry/delaunay.h"
@@ -127,4 +129,4 @@ BENCHMARK(BM_CensusRegionProbability);
 }  // namespace
 }  // namespace lbsagg
 
-BENCHMARK_MAIN();
+LBSAGG_BENCHMARK_MAIN();

@@ -10,6 +10,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common/bench_main.h"
+
 #include "lbs/client.h"
 #include "lbs/server.h"
 #include "transport/async_dispatcher.h"
@@ -125,4 +127,4 @@ BENCHMARK(BM_DispatcherBatch)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
 }  // namespace
 }  // namespace lbsagg
 
-BENCHMARK_MAIN();
+LBSAGG_BENCHMARK_MAIN();

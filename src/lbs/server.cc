@@ -3,8 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "spatial/grid_index.h"
-#include "spatial/kdtree.h"
+#include "spatial/backend.h"
 #include "util/check.h"
 #include "util/rng.h"
 
@@ -35,19 +34,8 @@ LbsServer::LbsServer(const Dataset* dataset, ServerOptions options)
       options_(options),
       effective_pos_(ComputeEffectivePositions(*dataset, options)) {
   LBSAGG_CHECK_GE(options_.max_k, 1);
-  switch (options_.index_backend) {
-    case IndexBackend::kKdTree: {
-      auto tree = std::make_unique<KdTree>(effective_pos_);
-      if (options_.stats_registry != nullptr) {
-        tree->EnableStats(options_.stats_registry);
-      }
-      index_ = std::move(tree);
-      break;
-    }
-    case IndexBackend::kGrid:
-      index_ = std::make_unique<GridIndex>(effective_pos_, dataset->box());
-      break;
-  }
+  index_ = MakeSpatialIndex(options_.index_backend, effective_pos_,
+                            dataset->box(), options_.stats_registry);
   if (options_.ranking == RankingMode::kProminence) {
     LBSAGG_CHECK(std::isfinite(options_.max_radius))
         << "prominence ranking requires a finite max_radius";

@@ -8,13 +8,10 @@
 #include <memory>
 
 #include "lbs/dataset.h"
+#include "spatial/backend.h"
 #include "spatial/spatial_index.h"
 
 namespace lbsagg {
-
-namespace obs {
-class MetricsRegistry;
-}  // namespace obs
 
 // How the server ranks candidate tuples (§5.3).
 enum class RankingMode {
@@ -25,12 +22,10 @@ enum class RankingMode {
   kProminence,
 };
 
-// Spatial index backend of the simulated service (invisible through the
-// interface; exists so the index implementations cross-check each other).
-enum class IndexBackend {
-  kKdTree,
-  kGrid,
-};
+// Spatial index backend of the simulated service — invisible through the
+// interface (all backends return bit-identical results; see
+// spatial/backend.h for the selection trade-offs).
+using IndexBackend = SpatialBackend;
 
 // Server-side configuration mirroring the real-world interface constraints
 // catalogued in §2.1 and §5.3.
@@ -58,7 +53,8 @@ struct ServerOptions {
   IndexBackend index_backend = IndexBackend::kKdTree;
 
   // When set, the spatial index publishes its per-search work counters
-  // (spatial.kdtree.*) to this registry. Opt-in — unlike the client and
+  // (spatial.kdtree.* / spatial.learned.*) to this registry. Opt-in —
+  // unlike the client and
   // estimator layers there is no null-means-default fallback, because the
   // index search is the hottest loop in the system and only runs that emit
   // run reports should pay the per-search counter flush. Pass

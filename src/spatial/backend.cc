@@ -1,0 +1,56 @@
+#include "spatial/backend.h"
+
+#include "spatial/brute_force.h"
+#include "spatial/grid_index.h"
+#include "spatial/kdtree.h"
+#include "spatial/learned_index.h"
+
+namespace lbsagg {
+
+const char* SpatialBackendName(SpatialBackend backend) {
+  switch (backend) {
+    case SpatialBackend::kKdTree:
+      return "kdtree";
+    case SpatialBackend::kGrid:
+      return "grid";
+    case SpatialBackend::kBruteForce:
+      return "brute";
+    case SpatialBackend::kLearned:
+      return "learned";
+  }
+  return "unknown";
+}
+
+std::optional<SpatialBackend> ParseSpatialBackend(const std::string& name) {
+  if (name == "kdtree") return SpatialBackend::kKdTree;
+  if (name == "grid") return SpatialBackend::kGrid;
+  if (name == "brute") return SpatialBackend::kBruteForce;
+  if (name == "learned") return SpatialBackend::kLearned;
+  return std::nullopt;
+}
+
+const char* SpatialBackendChoices() { return "kdtree | grid | brute | learned"; }
+
+std::unique_ptr<SpatialIndex> MakeSpatialIndex(
+    SpatialBackend backend, const std::vector<Vec2>& points, const Box& box,
+    obs::MetricsRegistry* stats_registry) {
+  switch (backend) {
+    case SpatialBackend::kKdTree: {
+      auto tree = std::make_unique<KdTree>(points);
+      if (stats_registry != nullptr) tree->EnableStats(stats_registry);
+      return tree;
+    }
+    case SpatialBackend::kGrid:
+      return std::make_unique<GridIndex>(points, box);
+    case SpatialBackend::kBruteForce:
+      return std::make_unique<BruteForceIndex>(points);
+    case SpatialBackend::kLearned: {
+      auto learned = std::make_unique<LearnedIndex>(points);
+      if (stats_registry != nullptr) learned->EnableStats(stats_registry);
+      return learned;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace lbsagg

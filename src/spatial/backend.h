@@ -1,0 +1,53 @@
+#ifndef LBSAGG_SPATIAL_BACKEND_H_
+#define LBSAGG_SPATIAL_BACKEND_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "geometry/box.h"
+#include "spatial/spatial_index.h"
+
+namespace lbsagg {
+
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
+
+// The selectable SpatialIndex implementations. All four return bit-identical
+// results through the SpatialIndex interface (spatial_equivalence_test.cc),
+// so the choice is purely a build-time/query-time trade-off:
+//   kKdTree     — flat preorder k-d tree; the default, fastest at mid scale.
+//   kGrid       — uniform grid; competitive on uniformly dense data.
+//   kBruteForce — O(n) scan; the test oracle, fine for tiny datasets.
+//   kLearned    — Morton-ordered learned index (PGM-style PLA over the
+//                 curve) with SoA blocks and batched distance kernels;
+//                 overtakes the k-d tree at ~10^6 points (DESIGN.md §4.10).
+enum class SpatialBackend {
+  kKdTree,
+  kGrid,
+  kBruteForce,
+  kLearned,
+};
+
+// Canonical lowercase name ("kdtree" | "grid" | "brute" | "learned").
+const char* SpatialBackendName(SpatialBackend backend);
+
+// Parses a canonical name; nullopt for anything else.
+std::optional<SpatialBackend> ParseSpatialBackend(const std::string& name);
+
+// All selectable backend names, comma-separated, for usage/help strings.
+const char* SpatialBackendChoices();
+
+// Builds the chosen index over `points`. `box` is the dataset's bounding
+// region (the grid backend buckets over it; the others derive their own
+// bounds). When `stats_registry` is non-null the backends that publish
+// per-search work counters (kdtree, learned) start publishing to it.
+std::unique_ptr<SpatialIndex> MakeSpatialIndex(
+    SpatialBackend backend, const std::vector<Vec2>& points, const Box& box,
+    obs::MetricsRegistry* stats_registry = nullptr);
+
+}  // namespace lbsagg
+
+#endif  // LBSAGG_SPATIAL_BACKEND_H_

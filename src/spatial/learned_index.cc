@@ -1,0 +1,935 @@
+#include "spatial/learned_index.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <type_traits>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#include <immintrin.h>
+#endif
+
+#include "util/check.h"
+
+namespace lbsagg {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Spreads the 32 bits of v into the even bit positions of a 64-bit word.
+inline uint64_t SpreadBits(uint32_t v) {
+  uint64_t x = v;
+  x = (x | (x << 16)) & 0x0000FFFF0000FFFFull;
+  x = (x | (x << 8)) & 0x00FF00FF00FF00FFull;
+  x = (x | (x << 4)) & 0x0F0F0F0F0F0F0F0Full;
+  x = (x | (x << 2)) & 0x3333333333333333ull;
+  x = (x | (x << 1)) & 0x5555555555555555ull;
+  return x;
+}
+
+// Morton (Z-order) key: x bits on even positions, y bits on odd. The key is
+// f(x) + g(y) with f, g strictly monotone over disjoint bit positions, so it
+// is monotone in each coordinate separately — which makes
+// [morton(box.lo), morton(box.hi)] a superset of the keys inside any
+// axis-aligned box, the covering property every search below relies on.
+inline uint64_t MortonOf(uint32_t x, uint32_t y) {
+  return SpreadBits(x) | (SpreadBits(y) << 1);
+}
+
+// Quantizes a coordinate onto the 32-bit grid: floor((v − lo) · scale),
+// clamped. Subtraction and multiplication round monotonically and floor is
+// monotone, so quantization preserves coordinate order.
+inline uint32_t Quantize(double v, double lo, double scale) {
+  const double t = (v - lo) * scale;
+  if (t <= 0.0) return 0;
+  if (t >= 4294967295.0) return 0xFFFFFFFFu;
+  return static_cast<uint32_t>(t);
+}
+
+// Decomposes the Morton cover of the quantized box [cx_lo, cx_hi] ×
+// [cy_lo, cy_hi] into at most four disjoint key intervals, written to
+// iv[i] = {first key, last key} in ascending key order; returns the count.
+//
+// The naive cover [morton(lo), morton(hi)] explodes whenever the box
+// crosses a high Z boundary — the corner-to-corner interval then spans a
+// huge run of dead key space. Instead, pick the cell level L with 2^L
+// larger than the box span on both axes: the box then crosses at most one
+// level-L boundary per axis, so it lies inside at most four aligned
+// level-L cells — and an aligned power-of-two cell is exactly one
+// contiguous Z interval [base, base + 4^L − 1]. Total slop is bounded by
+// the four cells' area instead of the corner interval's unbounded run.
+struct ZInterval {
+  uint64_t lo = 0;  // first key of the interval
+  uint64_t hi = 0;  // last key (inclusive)
+};
+
+int ZCoverIntervals(uint32_t cx_lo, uint32_t cy_lo, uint32_t cx_hi,
+                    uint32_t cy_hi, ZInterval iv[4]) {
+  const int lvl = std::max(std::bit_width(cx_hi - cx_lo),
+                           std::bit_width(cy_hi - cy_lo));
+  int niv = 0;
+  if (lvl >= 32) {  // box spans over half the grid: one full-range interval
+    iv[niv++] = {0, ~0ull};
+  } else {
+    const uint32_t mask = ~0u << lvl;
+    const uint64_t len = (uint64_t{1} << (2 * lvl)) - 1;
+    const uint32_t xs2[2] = {cx_lo, cx_hi};
+    const uint32_t ys2[2] = {cy_lo, cy_hi};
+    const int nx = ((cx_lo ^ cx_hi) >> lvl) != 0 ? 2 : 1;
+    const int ny = ((cy_lo ^ cy_hi) >> lvl) != 0 ? 2 : 1;
+    for (int ix = 0; ix < nx; ++ix) {
+      for (int iy = 0; iy < ny; ++iy) {
+        // Aligned base keeps the low 2·lvl key bits zero, so base + len is
+        // the cell's last key and cannot overflow.
+        const uint64_t base = MortonOf(xs2[ix] & mask, ys2[iy] & mask);
+        iv[niv++] = {base, base + len};
+      }
+    }
+    // The 2x2 cells' Z order depends on which coordinate bit differs;
+    // order the (at most four) intervals by key.
+    std::sort(iv, iv + niv,
+              [](const ZInterval& a, const ZInterval& e) { return a.lo < e.lo; });
+  }
+  return niv;
+}
+
+// Candidate under the shared (squared distance, index) total order of
+// spatial_index.h.
+struct Candidate {
+  double d2;
+  int32_t index;
+};
+
+inline bool Better(const Candidate& a, const Candidate& b) {
+  return a.d2 < b.d2 || (a.d2 == b.d2 && a.index < b.index);
+}
+
+// The k best candidates under Better. Point ids are unique so no two
+// candidates compare equal; a candidate tying the current worst on
+// (d2, index) with a larger index is dropped — the same tie-break every
+// other backend applies. Storage is inline for k <= kInline, so the query
+// path allocates nothing; the ~2k pushes per query stay cheap two ways:
+// small k keeps the array sorted with short backwards shift-inserts
+// (exactly where upper_bound would land each candidate), larger k keeps a
+// max-heap — worst at the root, O(log k) replacement — and Finalize sorts
+// once at the end. Either way the surviving set and its final (d2, index)
+// order are identical.
+struct TopK {
+  static constexpr int kInline = 64;
+  static constexpr int kMaxSorted = 64;
+
+  explicit TopK(int k) : k_(k), heap_mode_(k > kMaxSorted) {
+    if (k > kInline) {
+      spill_.resize(static_cast<size_t>(k));
+      data = spill_.data();
+    } else {
+      data = inline_;
+    }
+  }
+
+  bool full() const { return sz == k_; }
+
+  void Push(double d2, int32_t id) {
+    const Candidate c{d2, id};
+    if (sz < k_) {
+      data[sz++] = c;
+      if (!heap_mode_) {
+        int i = sz - 1;
+        while (i > 0 && Better(c, data[i - 1])) {
+          data[i] = data[i - 1];
+          --i;
+        }
+        data[i] = c;
+      } else if (sz == k_) {
+        std::make_heap(data, data + k_, Better);
+      }
+      if (sz == k_) worst2 = heap_mode_ ? data[0].d2 : data[k_ - 1].d2;
+      return;
+    }
+    if (heap_mode_) {
+      if (!Better(c, data[0])) return;
+      // Replace-top: drop the root (the worst) and sift c down in one
+      // pass — half the compares of pop_heap + push_heap.
+      int i = 0;
+      for (;;) {
+        int child = 2 * i + 1;
+        if (child >= k_) break;
+        if (child + 1 < k_ && Better(data[child], data[child + 1])) ++child;
+        if (!Better(c, data[child])) break;
+        data[i] = data[child];
+        i = child;
+      }
+      data[i] = c;
+      worst2 = data[0].d2;
+    } else {
+      if (!Better(c, data[k_ - 1])) return;
+      int i = k_ - 1;
+      while (i > 0 && Better(c, data[i - 1])) {
+        data[i] = data[i - 1];
+        --i;
+      }
+      data[i] = c;
+      worst2 = data[k_ - 1].d2;
+    }
+  }
+
+  // Restores the sorted (d2, index) order heap mode deferred. Must run
+  // before the results are read out; sorted mode is already in order.
+  void Finalize() {
+    if (heap_mode_) std::sort(data, data + sz, Better);
+  }
+
+  Candidate* data;
+  int sz = 0;
+  double worst2 = kInf;
+  int k_;
+  bool heap_mode_;
+  Candidate inline_[kInline];
+  std::vector<Candidate> spill_;
+};
+
+// ---------------------------------------------------------------------------
+// Batched distance-and-screen kernel: one pass over a block's SoA
+// coordinates computing every squared distance AND the bitmask of lanes
+// with d2 <= bound (bit j = point j). Folding the screen into the kernel
+// removes the branchy per-point compare from the scan loop — after the
+// top-k fills, almost every block yields an empty or near-empty mask, so
+// the caller touches only the few surviving lanes. The portable loop
+// autovectorizes under the baseline ISA; on x86-64 an AVX2 clone (function-
+// multiversioning attribute, no -mavx2 needed at configure time) using
+// explicit compare+movemask is selected once at startup by a runtime CPUID
+// check. No FMA: fusing dx·dx + dy·dy would change roundings and break the
+// bit-identical cross-backend contract. A bound of +inf passes every lane.
+
+uint64_t BatchD2ScreenPortable(const double* xs, const double* ys, int n,
+                               double qx, double qy, double bound,
+                               double* out) {
+  uint64_t mask = 0;
+  for (int j = 0; j < n; ++j) {
+    const double dx = xs[j] - qx;
+    const double dy = ys[j] - qy;
+    out[j] = dx * dx + dy * dy;
+    mask |= static_cast<uint64_t>(out[j] <= bound) << j;
+  }
+  return mask;
+}
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define LBSAGG_LEARNED_SIMD_DISPATCH 1
+__attribute__((target("avx2"))) uint64_t BatchD2ScreenAvx2(
+    const double* xs, const double* ys, int n, double qx, double qy,
+    double bound, double* out) {
+  uint64_t mask = 0;
+  const __m256d vqx = _mm256_set1_pd(qx);
+  const __m256d vqy = _mm256_set1_pd(qy);
+  const __m256d vb = _mm256_set1_pd(bound);
+  int j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const __m256d dx = _mm256_sub_pd(_mm256_loadu_pd(xs + j), vqx);
+    const __m256d dy = _mm256_sub_pd(_mm256_loadu_pd(ys + j), vqy);
+    const __m256d d2 =
+        _mm256_add_pd(_mm256_mul_pd(dx, dx), _mm256_mul_pd(dy, dy));
+    _mm256_storeu_pd(out + j, d2);
+    mask |= static_cast<uint64_t>(
+                _mm256_movemask_pd(_mm256_cmp_pd(d2, vb, _CMP_LE_OQ)))
+            << j;
+  }
+  for (; j < n; ++j) {
+    const double dx = xs[j] - qx;
+    const double dy = ys[j] - qy;
+    out[j] = dx * dx + dy * dy;
+    mask |= static_cast<uint64_t>(out[j] <= bound) << j;
+  }
+  return mask;
+}
+#endif
+
+using BatchD2Fn = uint64_t (*)(const double*, const double*, int, double,
+                               double, double, double*);
+
+BatchD2Fn ResolveBatchD2() {
+#ifdef LBSAGG_LEARNED_SIMD_DISPATCH
+  if (__builtin_cpu_supports("avx2")) return BatchD2ScreenAvx2;
+#endif
+  return BatchD2ScreenPortable;
+}
+
+const BatchD2Fn kBatchD2 = ResolveBatchD2();
+
+#ifdef LBSAGG_LEARNED_SIMD_DISPATCH
+// Writes the indices of the m = min(k, n) smallest entries of d2s[0..n) to
+// out, in exact ascending (d2, index) order, and returns m. Branchless
+// selection: the block's distances live in ymm registers and each pick is
+// a fixed min-reduce + compare + single-lane knockout — no data-dependent
+// branches, unlike an insertion loop, whose mispredicted shifts dominate
+// the seeding scan's cost. Ties pick the lowest lane first (countr_zero),
+// which is exactly the Better tie-break. Requires n <= kBlockSize.
+__attribute__((target("avx2"))) int SelectSmallestAvx2(const double* d2s,
+                                                       int n, int k,
+                                                       int* out) {
+  constexpr int kMaxLanes = LearnedIndex::kBlockSize;
+  alignas(32) double buf[kMaxLanes];
+  const int nv = (n + 3) / 4;
+  int j = 0;
+  for (; j < n; ++j) buf[j] = d2s[j];
+  for (; j < nv * 4; ++j) buf[j] = kInf;
+  __m256d v[kMaxLanes / 4];
+  for (int i = 0; i < nv; ++i) v[i] = _mm256_load_pd(buf + 4 * i);
+  const __m256d vinf = _mm256_set1_pd(kInf);
+  // blendv keys off the sign bit; an all-ones lane selects vinf.
+  alignas(32) static const uint64_t kLaneMask[4][4] = {
+      {~0ull, 0, 0, 0}, {0, ~0ull, 0, 0}, {0, 0, ~0ull, 0}, {0, 0, 0, ~0ull}};
+  const int m = k < n ? k : n;
+  for (int pick = 0; pick < m; ++pick) {
+    __m256d acc = v[0];
+    for (int i = 1; i < nv; ++i) acc = _mm256_min_pd(acc, v[i]);
+    const __m256d t1 = _mm256_min_pd(acc, _mm256_permute2f128_pd(acc, acc, 1));
+    const __m256d vmin = _mm256_min_pd(t1, _mm256_permute_pd(t1, 0x5));
+    uint64_t em = 0;
+    for (int i = 0; i < nv; ++i) {
+      em |= static_cast<uint64_t>(
+                _mm256_movemask_pd(_mm256_cmp_pd(v[i], vmin, _CMP_EQ_OQ)))
+            << (4 * i);
+    }
+    const int lane = std::countr_zero(em);
+    v[lane >> 2] = _mm256_blendv_pd(
+        v[lane >> 2], vinf,
+        _mm256_load_pd(reinterpret_cast<const double*>(kLaneMask[lane & 3])));
+    out[pick] = lane;
+  }
+  return m;
+}
+#endif
+
+using SelectFn = int (*)(const double*, int, int, int*);
+
+SelectFn ResolveSelect() {
+#ifdef LBSAGG_LEARNED_SIMD_DISPATCH
+  if (__builtin_cpu_supports("avx2")) return SelectSmallestAvx2;
+#endif
+  return nullptr;
+}
+
+// Non-null when an AVX2 seeding selection is available; the scalar seeding
+// loop stays as the portable path (and the filtered path, which must apply
+// the accept test before any selection could discard points).
+const SelectFn kSelectSmallest = ResolveSelect();
+
+// Tag for the unfiltered accept path: lets the scan statically pick the
+// branchless seeding selection, which is only sound when every point is
+// acceptable (selecting k-of-block then filtering could starve the top-k).
+struct AcceptAll {
+  constexpr bool operator()(int) const { return true; }
+};
+
+}  // namespace
+
+LearnedIndex::LearnedIndex(const std::vector<Vec2>& points) {
+  n_ = points.size();
+  if (n_ == 0) return;
+
+  double min_x = points[0].x, max_x = min_x;
+  double min_y = points[0].y, max_y = min_y;
+  for (const Vec2& p : points) {
+    min_x = std::min(min_x, p.x);
+    max_x = std::max(max_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_y = std::max(max_y, p.y);
+  }
+  x0_ = min_x;
+  y0_ = min_y;
+  sx_ = max_x > min_x ? 4294967295.0 / (max_x - min_x) : 0.0;
+  sy_ = max_y > min_y ? 4294967295.0 / (max_y - min_y) : 0.0;
+
+  std::vector<uint64_t> key_of(n_);
+  for (size_t i = 0; i < n_; ++i) key_of[i] = MortonKey(points[i]);
+
+  // Space-filling-curve order with ids breaking key ties, so the storage
+  // order — hence every scan — is deterministic.
+  std::vector<int32_t> order(n_);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int32_t a, int32_t b) {
+    return key_of[a] < key_of[b] || (key_of[a] == key_of[b] && a < b);
+  });
+
+  keys_.resize(n_);
+  xs_.resize(n_);
+  ys_.resize(n_);
+  ids_.resize(n_);
+  for (size_t i = 0; i < n_; ++i) {
+    const int32_t id = order[i];
+    keys_[i] = key_of[id];
+    xs_[i] = points[id].x;
+    ys_[i] = points[id].y;
+    ids_[i] = id;
+  }
+
+  const size_t blocks = (n_ + kBlockSize - 1) / kBlockSize;
+  block_first_key_.resize(blocks);
+  for (size_t b = 0; b < blocks; ++b) {
+    block_first_key_[b] = keys_[b * kBlockSize];
+  }
+  block_xlo_.resize(blocks);
+  block_xhi_.resize(blocks);
+  block_ylo_.resize(blocks);
+  block_yhi_.resize(blocks);
+  for (size_t b = 0; b < blocks; ++b) {
+    const size_t lo = b * kBlockSize;
+    const size_t hi = std::min(n_, lo + kBlockSize);
+    double xlo = xs_[lo], xhi = xlo, ylo = ys_[lo], yhi = ylo;
+    for (size_t i = lo + 1; i < hi; ++i) {
+      xlo = std::min(xlo, xs_[i]);
+      xhi = std::max(xhi, xs_[i]);
+      ylo = std::min(ylo, ys_[i]);
+      yhi = std::max(yhi, ys_[i]);
+    }
+    block_xlo_[b] = xlo;
+    block_xhi_[b] = xhi;
+    block_ylo_[b] = ylo;
+    block_yhi_[b] = yhi;
+  }
+
+  const size_t supers = (blocks + kSuperSize - 1) / kSuperSize;
+  super_xlo_.resize(supers);
+  super_xhi_.resize(supers);
+  super_ylo_.resize(supers);
+  super_yhi_.resize(supers);
+  for (size_t s = 0; s < supers; ++s) {
+    const size_t lo = s * kSuperSize;
+    const size_t hi = std::min(blocks, lo + kSuperSize);
+    double xlo = block_xlo_[lo], xhi = block_xhi_[lo];
+    double ylo = block_ylo_[lo], yhi = block_yhi_[lo];
+    for (size_t b = lo + 1; b < hi; ++b) {
+      xlo = std::min(xlo, block_xlo_[b]);
+      xhi = std::max(xhi, block_xhi_[b]);
+      ylo = std::min(ylo, block_ylo_[b]);
+      yhi = std::max(yhi, block_yhi_[b]);
+    }
+    super_xlo_[s] = xlo;
+    super_xhi_[s] = xhi;
+    super_ylo_[s] = ylo;
+    super_yhi_[s] = yhi;
+  }
+
+  BuildModel();
+
+  // The searches only ever consult the block-granular directory; the full
+  // key column was only needed to fit and audit the model.
+  keys_.clear();
+  keys_.shrink_to_fit();
+}
+
+uint64_t LearnedIndex::MortonKey(const Vec2& p) const {
+  return MortonOf(Quantize(p.x, x0_, sx_), Quantize(p.y, y0_, sy_));
+}
+
+void LearnedIndex::EnableStats(obs::MetricsRegistry* registry) {
+#ifndef LBSAGG_OBS_DISABLED
+  searches_ = obs::GetCounter(registry, "spatial.learned.searches");
+  blocks_scanned_ =
+      obs::GetCounter(registry, "spatial.learned.blocks_scanned");
+  points_tested_ = obs::GetCounter(registry, "spatial.learned.points_tested");
+  stats_enabled_ = true;
+#else
+  (void)registry;
+#endif
+}
+
+void LearnedIndex::BuildModel() {
+  // Shrinking-cone PLA fit of rank(key): the segment keeps the interval of
+  // slopes that predict every covered point within ±kEpsilon ranks; when a
+  // point empties the interval, the segment closes and a new one starts
+  // there. long double keeps 64-bit key differences exact in the slope
+  // bounds on x86.
+  constexpr long double kNoCeiling = std::numeric_limits<long double>::max();
+  segments_.clear();
+  size_t seg_start = 0;
+  long double slope_lo = 0.0L;
+  long double slope_hi = kNoCeiling;
+
+  const auto close_segment = [&] {
+    Segment s;
+    s.first_key = keys_[seg_start];
+    s.first_rank = static_cast<uint32_t>(seg_start);
+    s.slope = slope_hi == kNoCeiling
+                  ? 0.0
+                  : static_cast<double>((slope_lo + slope_hi) / 2.0L);
+    segments_.push_back(s);
+  };
+
+  for (size_t i = seg_start + 1; i < n_; ++i) {
+    const uint64_t dk = keys_[i] - keys_[seg_start];
+    const long double dy = static_cast<long double>(i - seg_start);
+    bool fits;
+    if (dk == 0) {
+      // Duplicate keys: the line passes through the segment origin, so only
+      // the rank gap itself is constrained.
+      fits = dy <= static_cast<long double>(kEpsilon);
+    } else {
+      const long double x = static_cast<long double>(dk);
+      const long double lo = (dy - kEpsilon) / x;
+      const long double hi = (dy + kEpsilon) / x;
+      const long double nlo = std::max(slope_lo, lo);
+      const long double nhi = std::min(slope_hi, hi);
+      fits = nlo <= nhi;
+      if (fits) {
+        slope_lo = nlo;
+        slope_hi = nhi;
+      }
+    }
+    if (!fits) {
+      close_segment();
+      seg_start = i;
+      slope_lo = 0.0L;
+      slope_hi = kNoCeiling;
+    }
+  }
+  close_segment();
+
+  // Root directory: pick enough prefix bits that buckets hold ~1 segment
+  // each (capped at 2^16 entries = 256 KiB), then record where each
+  // bucket's segments start. Keys with top bits p can only be covered by a
+  // segment in [root_[p], root_[p+1]) or the last one before the bucket.
+  int bits = 0;
+  while ((size_t{1} << bits) < segments_.size() && bits < 16) ++bits;
+  root_shift_ = 64 - bits;
+  const size_t buckets = size_t{1} << bits;
+  root_.assign(buckets + 1, static_cast<uint32_t>(segments_.size()));
+  size_t si = 0;
+  for (size_t p = 0; p < buckets; ++p) {
+    const uint64_t boundary =
+        bits == 0 ? 0 : static_cast<uint64_t>(p) << root_shift_;
+    while (si < segments_.size() && segments_[si].first_key < boundary) ++si;
+    root_[p] = static_cast<uint32_t>(si);
+  }
+
+  // Audit pass: record the worst prediction error the finished model makes,
+  // resolving segments exactly as Rank() does. Lookups gallop from the
+  // prediction, so a larger-than-epsilon error (FP rounding at the cone
+  // edges, duplicate-key splits) costs time, never correctness.
+  max_model_error_ = 0;
+  size_t s = 0;
+  for (size_t i = 0; i < n_; ++i) {
+    while (s + 1 < segments_.size() && segments_[s + 1].first_key <= keys_[i]) {
+      ++s;
+    }
+    const Segment& seg = segments_[s];
+    double pred = static_cast<double>(seg.first_rank) +
+                  seg.slope * static_cast<double>(keys_[i] - seg.first_key);
+    pred = std::clamp(pred, 0.0, static_cast<double>(n_ - 1));
+    const double err = std::abs(pred - static_cast<double>(i));
+    max_model_error_ = std::max(
+        max_model_error_, static_cast<int>(std::min(err, 1e9)));
+  }
+}
+
+size_t LearnedIndex::PredictRank(uint64_t key) const {
+  // Covering segment: the last one with first_key <= key. Everything before
+  // the key's root bucket starts below the key, everything after starts
+  // above it, so the search stays inside [root_[p], root_[p+1]) — the
+  // bucket just narrows the same global upper_bound.
+  const size_t bucket = root_shift_ >= 64 ? 0 : key >> root_shift_;
+  const auto it = std::upper_bound(segments_.begin() + root_[bucket],
+                                   segments_.begin() + root_[bucket + 1], key,
+                                   [](uint64_t k, const Segment& s) {
+                                     return k < s.first_key;
+                                   });
+  if (it == segments_.begin()) return 0;
+  const Segment& s = *(it - 1);
+  const double p = static_cast<double>(s.first_rank) +
+                   s.slope * static_cast<double>(key - s.first_key);
+  return p <= 0.0
+             ? 0
+             : static_cast<size_t>(std::min(p, static_cast<double>(n_ - 1)));
+}
+
+size_t LearnedIndex::UpperBoundBlock(uint64_t key, size_t seed) const {
+  // The seed is any nearby block — the caller's predicted query block, or
+  // the result of the previous corner lookup (ball corners land blocks
+  // apart). Galloping from it establishes a correct bracket wherever it
+  // lands, over the block-granular key directory (8 bytes per 64 points;
+  // the probes share cache lines when the seed is close), never keys_[].
+  const size_t nb = block_first_key_.size();
+  size_t lo = std::min(seed, nb - 1);
+  size_t hi = lo + 1;
+  size_t step = 1;
+  while (lo > 0 && block_first_key_[lo] > key) {
+    lo = lo > step ? lo - step : 0;
+    step <<= 1;
+  }
+  step = 1;
+  while (hi < nb && block_first_key_[hi - 1] <= key) {
+    hi = std::min(nb, hi + step);
+    step <<= 1;
+  }
+  return static_cast<size_t>(
+      std::upper_bound(block_first_key_.begin() + lo,
+                       block_first_key_.begin() + hi, key) -
+      block_first_key_.begin());
+}
+
+template <typename Accept>
+void LearnedIndex::SearchKnn(const Vec2& q, int k, const Accept& accept,
+                             std::vector<Neighbor>& out) const {
+  const size_t nb = (n_ + kBlockSize - 1) / kBlockSize;
+  // Pull the block's coordinate lines toward the core before they are
+  // needed; at large n every block scan is DRAM-bound, so issuing the
+  // fetches early (and for several blocks at once, below) overlaps the
+  // misses instead of paying them serially.
+  const auto prefetch_block = [&](size_t b) {
+    const size_t start = b * kBlockSize;
+    const char* px = reinterpret_cast<const char*>(xs_.data() + start);
+    const char* py = reinterpret_cast<const char*>(ys_.data() + start);
+    for (size_t off = 0; off < kBlockSize * sizeof(double); off += 64) {
+      __builtin_prefetch(px + off);
+      __builtin_prefetch(py + off);
+    }
+  };
+
+  // Phase 1 seed blocks: the predicted curve block and both curve
+  // neighbors. Prefetching all three up front overlaps their DRAM fetches
+  // with each other (and with the result-heap setup below) — the neighbors
+  // are almost always inside the candidate ball's cover anyway, so this
+  // moves work the cover scan would do serially into the overlap window,
+  // and tightens worst2 before the cover corners are computed.
+  const size_t b0 = std::min(PredictRank(MortonKey(q)) / kBlockSize, nb - 1);
+  const size_t p1_lo = b0 > 0 ? b0 - 1 : b0;
+  const size_t p1_hi = b0 + 1 < nb ? b0 + 1 : b0;
+  for (size_t b = p1_lo; b <= p1_hi; ++b) prefetch_block(b);
+  // The seed block's ids are read for every push; start their lines too.
+  for (size_t off = 0; off < kBlockSize * sizeof(int32_t); off += 64) {
+    __builtin_prefetch(
+        reinterpret_cast<const char*>(ids_.data() + b0 * kBlockSize) + off);
+  }
+  // Pre-size the result now so its allocation overlaps the fetches in
+  // flight instead of trailing the search; the final resize only shrinks.
+  out.reserve(static_cast<size_t>(k));
+
+  TopK top(k);
+  SearchTally tally;
+
+  const auto scan_block = [&](size_t b) {
+    const size_t start = b * kBlockSize;
+    const int count = static_cast<int>(std::min<size_t>(kBlockSize, n_ - start));
+    double d2s[kBlockSize];
+    uint64_t mask = kBatchD2(xs_.data() + start, ys_.data() + start, count,
+                             q.x, q.y, top.worst2, d2s);
+    tally.Block(count);
+    if (!top.full()) {
+      // Seeding: the mask was computed against a stale (possibly infinite)
+      // worst2 and would pass every lane, so the block is re-screened here.
+      if constexpr (std::is_same_v<Accept, AcceptAll>) {
+        if (kSelectSmallest != nullptr) {
+          // Unfiltered: branchless-select the k smallest lanes, then push
+          // them in ascending order — every insert is an append, and the
+          // first lane past the (shrinking) bound ends the block. A point
+          // outside its block's k smallest can never make the final top-k,
+          // so discarding the rest is exact — except at the cutoff value:
+          // the selection breaks d2 ties by lane, but the result contract
+          // breaks them by point id, and ids are not in lane order. Lanes
+          // strictly below the cutoff are safe (every tie of theirs was
+          // also selected); lanes equal to the m-th pick's d2 are re-fed
+          // through Push, whose (d2, id) compare applies the exact
+          // tie-break. With distinct distances the extra pass re-pushes
+          // only the last pick's value and costs one compare per lane.
+          int sel[kBlockSize];
+          const int m = kSelectSmallest(d2s, count, k, sel);
+          const double cutoff = d2s[sel[m - 1]];
+          for (int t = 0; t < m; ++t) {
+            const int j = sel[t];
+            if (d2s[j] >= cutoff || d2s[j] > top.worst2) break;
+            top.Push(d2s[j], ids_[start + j]);
+          }
+          for (int j = 0; j < count; ++j) {
+            if (d2s[j] == cutoff) top.Push(d2s[j], ids_[start + j]);
+          }
+          return;
+        }
+      }
+      // Filtered or portable: scalar loop re-screening each point against
+      // the bound as it shrinks push by push (the accept test must run
+      // before any selection could discard points).
+      for (int j = 0; j < count; ++j) {
+        if (d2s[j] > top.worst2) continue;
+        const int32_t id = ids_[start + j];
+        if (!accept(id)) continue;
+        top.Push(d2s[j], id);
+      }
+      return;
+    }
+    // Steady state: only the surviving lanes — nearly always none. Push
+    // re-screens against the shrinking worst2, so a stale bit costs a
+    // compare, never a wrong result.
+    while (mask != 0) {
+      const int j = std::countr_zero(mask);
+      mask &= mask - 1;
+      const int32_t id = ids_[start + j];
+      if (!accept(id)) continue;
+      top.Push(d2s[j], id);
+    }
+  };
+
+  // Exact lower bound on any in-block d2 from the block bounding box; each
+  // axis gap is a rounded-down true difference and fl is monotone, so the
+  // pruning test can never discard a block holding a true candidate.
+  const auto block_min_d2 = [&](size_t b) {
+    const double ox =
+        std::max({0.0, block_xlo_[b] - q.x, q.x - block_xhi_[b]});
+    const double oy =
+        std::max({0.0, block_ylo_[b] - q.y, q.y - block_yhi_[b]});
+    return ox * ox + oy * oy;
+  };
+
+  // Phase 1: scan blocks outward from the predicted seed block — adjacent
+  // curve ranges — until k candidates bound the ball. The raw prediction is
+  // enough of a seed: phase 2 restores correctness no matter where it lands.
+  size_t lo_b = b0, hi_b = b0;  // inclusive scanned block range
+  scan_block(b0);  // first: tightens worst2 before the neighbors screen
+  // The neighbors scan eagerly (their lines are in flight) unless the
+  // bound b0 just established already rules them out; a skipped neighbor
+  // is re-screened by the cover scan, which prunes it again. Deferring
+  // them to the cover pool instead measures worse — even with the tight
+  // aligned-cell cover: the ball radius they tighten here would otherwise
+  // size the cover, and a looser ball survives containment more often.
+  if (p1_lo < b0 && !(top.full() && block_min_d2(p1_lo) > top.worst2)) {
+    scan_block(p1_lo);
+    lo_b = p1_lo;
+  }
+  if (p1_hi > b0 && !(top.full() && block_min_d2(p1_hi) > top.worst2)) {
+    scan_block(p1_hi);
+    hi_b = p1_hi;
+  }
+  bool go_left = true;
+  while (!top.full() && (lo_b > 0 || hi_b + 1 < nb)) {
+    if ((go_left && lo_b > 0) || hi_b + 1 >= nb) {
+      scan_block(--lo_b);
+    } else {
+      scan_block(++hi_b);
+    }
+    go_left = !go_left;
+  }
+
+  // Phase 2: cover the candidate ball. Every point with d2 <= worst2 lies
+  // in the box q ± r, whose corners are widened by one ulp so
+  // sqrt/subtraction rounding cannot shave the boundary. The box's Morton
+  // keys are covered by at most four aligned-cell intervals
+  // (ZCoverIntervals); each interval maps to a block range — the first
+  // block that can hold a key >= iv.lo is the one before upper_bound(iv.lo)
+  // (every later block starts above it), and blocks from upper_bound(iv.hi)
+  // on start above iv.hi, so they cannot intersect. worst2 keeps shrinking
+  // as the scan proceeds, which only tightens the in-block screen — the
+  // cover stays a superset.
+  //
+  // An interval already inside the contiguous phase-1 range [lo_b, hi_b] is
+  // dropped outright: every key below block lo_b's first key is in an
+  // earlier block, every key from block hi_b+1's first key on is in a later
+  // one. A tight ball from a well-predicted seed lands all four intervals
+  // there for most queries, ending the search for two compares per
+  // interval. The lower test is strict because a run of equal keys can
+  // straddle the lo_b boundary (iv.lo == first key leaves the earlier
+  // duplicates uncovered).
+  size_t ranges[4][2];
+  int nranges = 0;
+  if (!top.full()) {
+    ranges[nranges][0] = 0;
+    ranges[nranges][1] = nb;
+    ++nranges;
+  } else {
+    const double r = std::nextafter(std::sqrt(top.worst2), kInf);
+    const Vec2 lo_corner{std::nextafter(q.x - r, -kInf),
+                         std::nextafter(q.y - r, -kInf)};
+    const Vec2 hi_corner{std::nextafter(q.x + r, kInf),
+                         std::nextafter(q.y + r, kInf)};
+    ZInterval iv[4];
+    const int niv = ZCoverIntervals(Quantize(lo_corner.x, x0_, sx_),
+                                    Quantize(lo_corner.y, y0_, sy_),
+                                    Quantize(hi_corner.x, x0_, sx_),
+                                    Quantize(hi_corner.y, y0_, sy_), iv);
+    size_t hint = b0;  // gallop seed chains through the sorted intervals
+    for (int i = 0; i < niv; ++i) {
+      if ((lo_b == 0 || block_first_key_[lo_b] < iv[i].lo) &&
+          (hi_b + 1 >= nb || iv[i].hi < block_first_key_[hi_b + 1])) {
+        continue;
+      }
+      const size_t ub = UpperBoundBlock(iv[i].lo, hint);
+      const size_t lo = ub == 0 ? 0 : ub - 1;
+      const size_t hi = UpperBoundBlock(iv[i].hi, ub);
+      hint = hi;
+      // Intervals are sorted, and key→block is monotone, so ranges arrive
+      // sorted too; merge overlap so no block is ever scanned twice.
+      if (nranges > 0 && lo <= ranges[nranges - 1][1]) {
+        ranges[nranges - 1][1] = std::max(ranges[nranges - 1][1], hi);
+      } else {
+        ranges[nranges][0] = lo;
+        ranges[nranges][1] = hi;
+        ++nranges;
+      }
+    }
+  }
+  // Exact lower bound on any in-superblock d2, same argument as
+  // block_min_d2: every block box lies inside its superblock box, so a
+  // superblock that fails the screen cannot hold a candidate in any of its
+  // kSuperSize blocks — one test discards 4096 points of the cover.
+  const auto super_min_d2 = [&](size_t s) {
+    const double ox =
+        std::max({0.0, super_xlo_[s] - q.x, q.x - super_xhi_[s]});
+    const double oy =
+        std::max({0.0, super_ylo_[s] - q.y, q.y - super_yhi_[s]});
+    return ox * ox + oy * oy;
+  };
+
+  // Surviving blocks are collected — each one's lines prefetched on
+  // discovery, so the DRAM misses of consecutive candidates overlap — and
+  // then drained nearest-first: scanning the block with the smallest
+  // distance bound first shrinks worst2 the way a kd-tree's best-first
+  // descent does, which empties the later blocks' masks and lets the drain
+  // stop outright at the first block whose bound exceeds worst2.
+  struct BlockCand {
+    double min_d2;
+    size_t b;
+  };
+  BlockCand cand[kSuperSize];
+  int ncand = 0;
+  const auto drain = [&] {
+    std::sort(cand, cand + ncand, [](const BlockCand& a, const BlockCand& e) {
+      return a.min_d2 < e.min_d2 || (a.min_d2 == e.min_d2 && a.b < e.b);
+    });
+    for (int i = 0; i < ncand; ++i) {
+      if (top.full() && cand[i].min_d2 > top.worst2) break;
+      scan_block(cand[i].b);
+    }
+    ncand = 0;
+  };
+  for (int ri = 0; ri < nranges; ++ri) {
+    for (size_t b = ranges[ri][0]; b < ranges[ri][1];) {
+      const size_t sb = b / kSuperSize;
+      const size_t sb_end = std::min(ranges[ri][1], (sb + 1) * kSuperSize);
+      if (top.full() && super_min_d2(sb) > top.worst2) {
+        b = sb_end;
+        continue;
+      }
+      for (; b < sb_end; ++b) {
+        if (b >= lo_b && b <= hi_b) continue;  // phase 1 covered it
+        const double bd2 = block_min_d2(b);
+        if (top.full() && bd2 > top.worst2) continue;
+        prefetch_block(b);
+        cand[ncand++] = {bd2, b};
+        if (ncand == static_cast<int>(kSuperSize)) drain();
+      }
+    }
+  }
+  drain();
+  FlushTally(tally);
+
+  top.Finalize();
+  out.resize(static_cast<size_t>(top.sz));
+  for (int i = 0; i < top.sz; ++i) {
+    out[i] = {top.data[i].index, std::sqrt(top.data[i].d2)};
+  }
+}
+
+std::vector<Neighbor> LearnedIndex::Nearest(const Vec2& q, int k) const {
+  std::vector<Neighbor> out;
+  if (k <= 0 || n_ == 0) return out;
+  SearchKnn(q, k, AcceptAll{}, out);
+  return out;
+}
+
+std::vector<Neighbor> LearnedIndex::NearestFiltered(
+    const Vec2& q, int k, const IndexFilter& filter) const {
+  std::vector<Neighbor> out;
+  if (k <= 0 || n_ == 0) return out;
+  if (filter) {
+    SearchKnn(q, k, [&filter](int index) { return filter(index); }, out);
+  } else {
+    SearchKnn(q, k, AcceptAll{}, out);
+  }
+  return out;
+}
+
+std::vector<Neighbor> LearnedIndex::WithinRadius(const Vec2& q,
+                                                 double radius) const {
+  LBSAGG_CHECK_GE(radius, 0.0);
+  std::vector<Neighbor> result;
+  if (n_ == 0) return result;
+  SearchTally tally;
+  const double r2 = radius * radius;
+
+  // Same block-granular ball cover as the kNN phase 2, for the fixed
+  // radius. The corners are widened by one ulp so a point at exactly
+  // `radius` (whose d2 <= r2 screen below is exact) can never fall outside
+  // the key range.
+  const Vec2 lo_corner{std::nextafter(q.x - radius, -kInf),
+                       std::nextafter(q.y - radius, -kInf)};
+  const Vec2 hi_corner{std::nextafter(q.x + radius, kInf),
+                       std::nextafter(q.y + radius, kInf)};
+  const size_t nblocks = block_first_key_.size();
+  const size_t seed =
+      std::min(PredictRank(MortonKey(q)) / kBlockSize, nblocks - 1);
+  // Same aligned-cell cover as SearchKnn's phase 2: at most four tight key
+  // intervals instead of one corner-to-corner interval, merged into sorted
+  // disjoint block ranges so no block is scanned twice.
+  ZInterval iv[4];
+  const int niv = ZCoverIntervals(Quantize(lo_corner.x, x0_, sx_),
+                                  Quantize(lo_corner.y, y0_, sy_),
+                                  Quantize(hi_corner.x, x0_, sx_),
+                                  Quantize(hi_corner.y, y0_, sy_), iv);
+  size_t ranges[4][2];
+  int nranges = 0;
+  size_t hint = seed;
+  for (int i = 0; i < niv; ++i) {
+    const size_t ub = UpperBoundBlock(iv[i].lo, hint);
+    const size_t lo = ub == 0 ? 0 : ub - 1;
+    const size_t hi = UpperBoundBlock(iv[i].hi, ub);
+    hint = hi;
+    if (nranges > 0 && lo <= ranges[nranges - 1][1]) {
+      ranges[nranges - 1][1] = std::max(ranges[nranges - 1][1], hi);
+    } else {
+      ranges[nranges][0] = lo;
+      ranges[nranges][1] = hi;
+      ++nranges;
+    }
+  }
+  double d2s[kBlockSize];
+  for (int ri = 0; ri < nranges; ++ri) {
+    const size_t cb_lo = ranges[ri][0];
+    const size_t cb_hi = ranges[ri][1];
+    for (size_t b = cb_lo; b < cb_hi; ++b) {
+      if (b % kSuperSize == 0 && b + kSuperSize <= cb_hi) {
+        // Two-level prune: drop the whole superblock when its box misses the
+        // ball (see super_min_d2 in SearchKnn for the containment argument).
+        const size_t s = b / kSuperSize;
+        const double sox =
+            std::max({0.0, super_xlo_[s] - q.x, q.x - super_xhi_[s]});
+        const double soy =
+            std::max({0.0, super_ylo_[s] - q.y, q.y - super_yhi_[s]});
+        if (sox * sox + soy * soy > r2) {
+          b += kSuperSize - 1;
+          continue;
+        }
+      }
+      const double ox =
+          std::max({0.0, block_xlo_[b] - q.x, q.x - block_xhi_[b]});
+      const double oy =
+          std::max({0.0, block_ylo_[b] - q.y, q.y - block_yhi_[b]});
+      if (ox * ox + oy * oy > r2) continue;
+      const size_t start = b * kBlockSize;
+      const int count = static_cast<int>(std::min<size_t>(kBlockSize, n_ - start));
+      uint64_t mask = kBatchD2(xs_.data() + start, ys_.data() + start, count,
+                               q.x, q.y, r2, d2s);
+      tally.Block(count);
+      while (mask != 0) {
+        const int j = std::countr_zero(mask);
+        mask &= mask - 1;
+        result.push_back({ids_[start + j], std::sqrt(d2s[j])});
+      }
+    }
+  }
+  FlushTally(tally);
+  return result;
+}
+
+}  // namespace lbsagg

@@ -1,0 +1,177 @@
+#ifndef LBSAGG_SPATIAL_LEARNED_INDEX_H_
+#define LBSAGG_SPATIAL_LEARNED_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/obs.h"
+#include "spatial/spatial_index.h"
+
+namespace lbsagg {
+
+// Learned spatial index: a PGM-style epsilon-bounded piecewise-linear model
+// over Morton (Z-order) keys in place of a tree (DESIGN.md §4.10). The
+// dataset is static per run, so the index is bulk-load only.
+//
+// Layout: points are sorted by (Morton key, id) and stored as
+// structure-of-arrays — `xs_[]` / `ys_[]` / `ids_[]` plus the sorted
+// `keys_[]` — in fixed blocks of kBlockSize points. Each block keeps its
+// bounding box in four parallel arrays, so a range scan skips a far block
+// with four compares and scans a near block with one batched, vectorizable
+// distance-and-screen pass (an AVX2 variant of the kernel — no FMA, whose
+// fused roundings would break bit-identity with the other backends — is
+// compiled behind a function-multiversioning attribute and picked once at
+// runtime; the portable loop autovectorizes with the baseline ISA).
+//
+// The model: segments of an epsilon-bounded piecewise-linear fit of the
+// (key → rank) function, built in one pass with the shrinking-cone
+// algorithm (exemplar: PGM / tarantool's GeometricBlock, SNIPPETS.md §3).
+// Lookups predict a position from the covering segment and finish with a
+// galloping search from the prediction over the block-granular key
+// directory (block_first_key_), so they stay correct even if a prediction
+// strays beyond kEpsilon — the bound only sets the expected O(log kEpsilon)
+// finish — and never touch the full key column, which is discarded after
+// the build.
+//
+// Queries answer from curve ranges: a kNN search predicts the query's rank,
+// scans blocks outward until k candidates bound the ball, then covers the
+// ball's remaining keys with at most four aligned Z-cell intervals (Morton
+// keys are monotone per coordinate, and an aligned power-of-two cell is one
+// contiguous key run — see ZCoverIntervals in the .cc) pruned by bounding
+// box and drained nearest-first. WithinRadius covers its ball the same way.
+// Results rank by the exact (squared distance, index) total order of
+// spatial_index.h, bit-identical to KdTree/GridIndex/BruteForceIndex
+// (spatial_equivalence_test.cc pins all four).
+class LearnedIndex : public SpatialIndex {
+ public:
+  // Target PLA prediction error (in ranks). A segment ends when the
+  // shrinking cone can no longer keep every covered key within this bound.
+  // Tight on purpose: at 8 the prediction lands inside the seed block's
+  // immediate neighborhood essentially always, which is what lets the kNN
+  // search trust its first three block scans to bound the ball; the extra
+  // segments (~n/100) cost only build time and a few hundred KB, and
+  // lookups stay O(1) through the root directory.
+  static constexpr int kEpsilon = 8;
+  // SoA leaf block: one batched distance pass per block. 32 points = two
+  // 256-byte coordinate runs, four cache lines each.
+  static constexpr int kBlockSize = 32;
+  // Blocks per superblock. A ball's Morton cover can span many more blocks
+  // than intersect the ball (even aligned Z cells overshoot the box they
+  // cover); the superblock bounding boxes let the cover scan discard 64
+  // blocks — 2048 points — with four compares.
+  static constexpr int kSuperSize = 64;
+
+  // Builds the index over `points` in O(n log n) (the Morton sort).
+  explicit LearnedIndex(const std::vector<Vec2>& points);
+
+  size_t size() const override { return n_; }
+  std::vector<Neighbor> Nearest(const Vec2& q, int k) const override;
+  std::vector<Neighbor> NearestFiltered(const Vec2& q, int k,
+                                        const IndexFilter& filter) const
+      override;
+  std::vector<Neighbor> WithinRadius(const Vec2& q,
+                                     double radius) const override;
+
+  // Diagnostics: number of PLA segments, and the largest |predicted rank −
+  // true rank| observed while fitting (≤ kEpsilon unless FP rounding in the
+  // cone slopes leaked — lookups stay correct either way).
+  size_t segments() const { return segments_.size(); }
+  int max_model_error() const { return max_model_error_; }
+
+  // Morton key of p under this index's quantization grid (exposed for
+  // tests: key order is what the storage is sorted by).
+  uint64_t MortonKey(const Vec2& p) const;
+
+  // Starts publishing per-search work counters (spatial.learned.searches /
+  // blocks_scanned / points_tested) to `registry` (null = the process-wide
+  // default). Opt-in for the same reason as KdTree::EnableStats: the search
+  // sits on the hottest loop. Not thread-safe against in-flight searches.
+  void EnableStats(obs::MetricsRegistry* registry);
+
+ private:
+  // One epsilon-bounded linear segment: predicted rank for `key` ≥
+  // `first_key` is first_rank + slope · (key − first_key) until the next
+  // segment's first_key takes over.
+  struct Segment {
+    uint64_t first_key = 0;
+    uint32_t first_rank = 0;
+    double slope = 0.0;
+  };
+
+  struct SearchTally {
+#ifndef LBSAGG_OBS_DISABLED
+    uint32_t blocks = 0;
+    uint32_t points = 0;
+    void Block(int count) {
+      ++blocks;
+      points += static_cast<uint32_t>(count);
+    }
+#else
+    void Block(int) {}
+#endif
+  };
+
+  void FlushTally(const SearchTally& tally) const {
+#ifndef LBSAGG_OBS_DISABLED
+    if (!stats_enabled_) return;
+    searches_.Add(1);
+    blocks_scanned_.Add(tally.blocks);
+    points_tested_.Add(tally.points);
+#else
+    (void)tally;
+#endif
+  }
+
+  void BuildModel();
+
+  // Model-predicted rank of `key` (clamped to [0, n_-1]). Only ever used as
+  // a search seed — correctness never depends on its accuracy.
+  size_t PredictRank(uint64_t key) const;
+
+  // First block whose first key exceeds `key` (0..num blocks), i.e. the
+  // upper_bound over block_first_key_. Gallops to a bracket from `seed` (a
+  // nearby block hint — any value is correct), so it touches only the small
+  // per-block key array — never the full keys_[] — on the query hot path.
+  size_t UpperBoundBlock(uint64_t key, size_t seed) const;
+
+  template <typename Accept>
+  void SearchKnn(const Vec2& q, int k, const Accept& accept,
+                 std::vector<Neighbor>& out) const;
+
+  size_t n_ = 0;
+  // Quantization: cell = floor((coord − lo) · scale), 32 bits per axis.
+  double x0_ = 0.0, y0_ = 0.0;
+  double sx_ = 0.0, sy_ = 0.0;
+
+  // Morton-sorted SoA point storage + per-block bounding boxes.
+  // block_first_key_[b] = keys_[b * kBlockSize]: the block-granular key
+  // directory the searches bound their covers with (keys_ itself is only
+  // read at build time).
+  std::vector<uint64_t> keys_;
+  std::vector<uint64_t> block_first_key_;
+  std::vector<double> xs_;
+  std::vector<double> ys_;
+  std::vector<int32_t> ids_;
+  std::vector<double> block_xlo_, block_xhi_, block_ylo_, block_yhi_;
+  // Bounding boxes of kSuperSize-block groups (the two-level prune).
+  std::vector<double> super_xlo_, super_xhi_, super_ylo_, super_yhi_;
+
+  std::vector<Segment> segments_;
+  // Root directory over the segments: root_[p] = index of the first segment
+  // whose first_key >= (p << root_shift_), plus a trailing sentinel of
+  // segments_.size(). A lookup lands in its key's bucket with one warm
+  // probe and binary-searches the handful of segments there, instead of a
+  // cold log2(|segments|) descent over the whole (megabyte-scale) array.
+  std::vector<uint32_t> root_;
+  int root_shift_ = 64;
+  int max_model_error_ = 0;
+
+  bool stats_enabled_ = false;
+  obs::CounterRef searches_;
+  obs::CounterRef blocks_scanned_;
+  obs::CounterRef points_tested_;
+};
+
+}  // namespace lbsagg
+
+#endif  // LBSAGG_SPATIAL_LEARNED_INDEX_H_

@@ -15,10 +15,13 @@ namespace lbsagg {
 // total order (squared distance, index) — squared distances are exact
 // products of coordinate differences, so the order is identical across
 // implementations regardless of traversal — and `distance` is the sqrt of
-// that squared distance. The kNN result of any two implementations over the
+// that squared distance. In particular, equidistant neighbors are returned
+// in ascending point-id order: ties are broken by index, deterministically,
+// on every backend. The kNN result of any two implementations over the
 // same point set is therefore bit-identical (spatial_equivalence_test.cc
-// enforces this; the LBS server relies on it to make the index backend
-// invisible through the interface).
+// enforces this — including the tie order directly, via ExpectTotalOrder —
+// and the LBS server relies on it to make the index backend invisible
+// through the interface).
 struct Neighbor {
   int index = -1;
   double distance = 0.0;

@@ -1,0 +1,166 @@
+// LearnedIndex-specific invariants, beyond the 4-way interface equivalence
+// in spatial_equivalence_test.cc: Morton key monotonicity (the covering
+// property every search relies on), the epsilon bound of the PLA model,
+// segment scaling, larger-scale randomized agreement with the oracle on
+// clustered (skewed) data, and the opt-in work counters.
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "geometry/box.h"
+#include "obs/obs.h"
+#include "spatial/brute_force.h"
+#include "spatial/learned_index.h"
+#include "util/rng.h"
+
+namespace lbsagg {
+namespace {
+
+const Box kBox({0, 0}, {1000, 1000});
+
+std::vector<Vec2> UniformPoints(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Vec2> pts;
+  pts.reserve(n);
+  for (int i = 0; i < n; ++i) pts.push_back(kBox.SamplePoint(rng));
+  return pts;
+}
+
+// Zipf-ish city clusters: heavy spatial skew, the regime where curve order
+// and block bounding boxes earn their keep (and where a uniform grid
+// degrades).
+std::vector<Vec2> ClusteredPoints(int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Vec2> centers;
+  for (int c = 0; c < 12; ++c) centers.push_back(kBox.SamplePoint(rng));
+  std::vector<Vec2> pts;
+  pts.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    const Vec2& c = centers[i % 3 == 0 ? rng.UniformInt(12) : 0];
+    const double spread = 5.0 + 20.0 * rng.Uniform01();
+    pts.push_back(kBox.Clamp(c + Vec2{rng.Uniform(-spread, spread),
+                                      rng.Uniform(-spread, spread)}));
+  }
+  return pts;
+}
+
+TEST(LearnedIndex, MortonKeyMonotonePerCoordinate) {
+  const auto pts = UniformPoints(500, 5);
+  const LearnedIndex index(pts);
+  Rng rng(6);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const Vec2 a = kBox.SamplePoint(rng);
+    // Move up-right: the key must not decrease (monotone per coordinate is
+    // what bounds a box's keys by its corners' keys).
+    const Vec2 b{a.x + rng.Uniform(0.0, 100.0), a.y};
+    const Vec2 c{a.x, a.y + rng.Uniform(0.0, 100.0)};
+    EXPECT_LE(index.MortonKey(a), index.MortonKey(b));
+    EXPECT_LE(index.MortonKey(a), index.MortonKey(c));
+  }
+}
+
+TEST(LearnedIndex, ModelStaysWithinEpsilon) {
+  for (const uint64_t seed : {1u, 2u}) {
+    for (const int n : {100, 5000, 50000}) {
+      const LearnedIndex uniform(UniformPoints(n, seed));
+      // The shrinking cone guarantees ±epsilon at fit time; the audit pass
+      // allows a small FP slack at the cone edges but nothing material.
+      EXPECT_LE(uniform.max_model_error(), LearnedIndex::kEpsilon + 1)
+          << "uniform n=" << n;
+      const LearnedIndex skewed(ClusteredPoints(n, seed));
+      EXPECT_LE(skewed.max_model_error(), LearnedIndex::kEpsilon + 1)
+          << "clustered n=" << n;
+      // The model must actually compress: a segment covers at least epsilon
+      // ranks on average (far more in practice), so segments ≪ points.
+      EXPECT_LE(skewed.segments(),
+                static_cast<size_t>(n) / LearnedIndex::kEpsilon + 2)
+          << "clustered n=" << n;
+    }
+  }
+}
+
+TEST(LearnedIndex, AgreesWithOracleOnSkewedData) {
+  const int n = 20000;
+  const auto pts = ClusteredPoints(n, 11);
+  const LearnedIndex learned(pts);
+  const BruteForceIndex brute(pts);
+  Rng rng(12);
+  for (int trial = 0; trial < 60; ++trial) {
+    Vec2 q = kBox.SamplePoint(rng);
+    if (trial % 2 == 1) q = pts[rng.UniformInt(static_cast<uint64_t>(n))];
+    for (const int k : {1, 10, 50}) {
+      const auto got = learned.Nearest(q, k);
+      const auto want = brute.Nearest(q, k);
+      ASSERT_EQ(got.size(), want.size());
+      for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].index, want[i].index) << "k=" << k << " rank " << i;
+        EXPECT_EQ(got[i].distance, want[i].distance);
+      }
+    }
+    const auto got_r = learned.WithinRadius(q, 25.0);
+    const auto want_r = brute.WithinRadius(q, 25.0);
+    ASSERT_EQ(got_r.size(), want_r.size());
+  }
+}
+
+TEST(LearnedIndex, EmptyAndTinyInputs) {
+  const LearnedIndex empty(std::vector<Vec2>{});
+  EXPECT_EQ(empty.size(), 0u);
+  EXPECT_TRUE(empty.Nearest({1, 2}, 5).empty());
+  EXPECT_TRUE(empty.WithinRadius({1, 2}, 10.0).empty());
+
+  const LearnedIndex one(std::vector<Vec2>{{3, 4}});
+  EXPECT_EQ(one.size(), 1u);
+  const auto got = one.Nearest({0, 0}, 3);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].index, 0);
+  EXPECT_EQ(got[0].distance, 5.0);
+  EXPECT_EQ(one.Nearest({0, 0}, 0).size(), 0u);
+
+  // Collinear points on one axis: Morton keys degenerate to one coordinate.
+  std::vector<Vec2> line;
+  for (int i = 0; i < 200; ++i) line.push_back({static_cast<double>(i), 7.0});
+  const LearnedIndex li(line);
+  const BruteForceIndex bf(line);
+  for (const double x : {0.0, 17.3, 199.0, 500.0}) {
+    const auto a = li.Nearest({x, 7.0}, 5);
+    const auto b = bf.Nearest({x, 7.0}, 5);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].index, b[i].index);
+      EXPECT_EQ(a[i].distance, b[i].distance);
+    }
+  }
+}
+
+#ifndef LBSAGG_OBS_DISABLED
+uint64_t CounterValue(const obs::MetricsSnapshot& snapshot,
+                      const std::string& name) {
+  for (const auto& sample : snapshot.counters) {
+    if (sample.name == name) return sample.value;
+  }
+  return 0;
+}
+
+TEST(LearnedIndex, PublishesWorkCountersWhenEnabled) {
+  obs::MetricsRegistry registry;
+  LearnedIndex index(UniformPoints(5000, 21));
+  // Without EnableStats nothing is published.
+  (void)index.Nearest({500, 500}, 10);
+  EXPECT_TRUE(registry.Snapshot().counters.empty());
+
+  index.EnableStats(&registry);
+  (void)index.Nearest({500, 500}, 10);
+  (void)index.WithinRadius({500, 500}, 50.0);
+  const auto snapshot = registry.Snapshot();
+  EXPECT_EQ(CounterValue(snapshot, "spatial.learned.searches"), 2u);
+  EXPECT_GT(CounterValue(snapshot, "spatial.learned.blocks_scanned"), 0u);
+  EXPECT_GT(CounterValue(snapshot, "spatial.learned.points_tested"), 0u);
+}
+#endif
+
+}  // namespace
+}  // namespace lbsagg

@@ -1,12 +1,15 @@
-// Randomized 3-way equivalence: KdTree, GridIndex, and BruteForceIndex must
-// return *bit-identical* results — same indices, same exact distance
-// doubles — for Nearest, NearestFiltered, and WithinRadius. The candidate
-// ordering contract in spatial_index.h (rank by exact (squared distance,
-// index)) makes this well-defined even under distance ties, which the
-// duplicate-point cases below force. The LBS server relies on this to make
-// the index backend invisible through the interface; every kd-tree search
-// specialization (k == 1, sorted-insertion small k, buffered large k) is
-// covered by the k values used here.
+// Randomized 4-way equivalence: KdTree, GridIndex, LearnedIndex, and
+// BruteForceIndex must return *bit-identical* results — same indices, same
+// exact distance doubles — for Nearest, NearestFiltered, and WithinRadius.
+// The candidate ordering contract in spatial_index.h (rank by the exact
+// (squared distance, index) total order) makes this well-defined even under
+// distance ties, which the duplicate-point cases below force; the total
+// order is additionally asserted directly on every Nearest result, so a
+// backend cannot pass by agreeing with an unordered oracle. The LBS server
+// relies on this to make the index backend invisible through the interface;
+// every kd-tree search specialization (k == 1, sorted-insertion small k,
+// buffered large k) and every learned-index phase (seed scan, ball cover,
+// block pruning) is covered by the k values used here.
 
 #include <algorithm>
 #include <memory>
@@ -15,9 +18,11 @@
 #include <gtest/gtest.h>
 
 #include "geometry/box.h"
+#include "spatial/backend.h"
 #include "spatial/brute_force.h"
 #include "spatial/grid_index.h"
 #include "spatial/kdtree.h"
+#include "spatial/learned_index.h"
 #include "util/rng.h"
 
 namespace lbsagg {
@@ -41,6 +46,21 @@ std::vector<Vec2> RandomPointsWithDuplicates(int n, uint64_t seed) {
   return pts;
 }
 
+// Asserts the documented result contract of SpatialIndex::Nearest /
+// NearestFiltered: ascending (distance, index) — i.e. equidistant neighbors
+// ordered by ascending point id, identically on every backend.
+void ExpectTotalOrder(const std::vector<Neighbor>& r, const char* label) {
+  for (size_t i = 1; i < r.size(); ++i) {
+    const bool ordered =
+        r[i - 1].distance < r[i].distance ||
+        (r[i - 1].distance == r[i].distance && r[i - 1].index < r[i].index);
+    EXPECT_TRUE(ordered) << label << ": rank " << i - 1 << " (d="
+                         << r[i - 1].distance << ", id=" << r[i - 1].index
+                         << ") vs rank " << i << " (d=" << r[i].distance
+                         << ", id=" << r[i].index << ")";
+  }
+}
+
 void ExpectIdentical(const std::vector<Neighbor>& a,
                      const std::vector<Neighbor>& b, const char* label) {
   ASSERT_EQ(a.size(), b.size()) << label;
@@ -49,6 +69,7 @@ void ExpectIdentical(const std::vector<Neighbor>& a,
     // Bit-identical, not approximately equal.
     EXPECT_EQ(a[i].distance, b[i].distance) << label << " rank " << i;
   }
+  ExpectTotalOrder(a, label);
 }
 
 // WithinRadius is unsorted by contract; compare as sorted sets.
@@ -59,22 +80,29 @@ void ExpectSameSet(std::vector<Neighbor> a, std::vector<Neighbor> b,
   };
   std::sort(a.begin(), a.end(), by_index);
   std::sort(b.begin(), b.end(), by_index);
-  ExpectIdentical(a, b, label);
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].index, b[i].index) << label << " rank " << i;
+    EXPECT_EQ(a[i].distance, b[i].distance) << label << " rank " << i;
+  }
 }
 
-// The k values cover all three KdTree search paths: the k == 1 register
-// path, the sorted-insertion path (2 <= k <= leaf size 16), and the
-// buffered-compaction path (k > 16), plus k > n truncation.
+// The k values cover all three KdTree search paths (the k == 1 register
+// path, sorted insertion for 2 <= k <= leaf size 16, buffered compaction
+// beyond) and stress the learned index's seed-scan/ball-cover split, plus
+// k > n truncation.
 const int kTestKs[] = {1, 2, 7, 16, 17, 50, 400};
 
-TEST(SpatialEquivalence, ThreeWayRandomized) {
+TEST(SpatialEquivalence, FourWayRandomized) {
   for (const uint64_t seed : {1u, 2u, 3u, 4u}) {
     const int n = 50 + static_cast<int>(seed) * 71;
     const auto pts = RandomPointsWithDuplicates(n, seed);
     const KdTree kd(pts);
     const GridIndex grid(pts, kBox);
+    const LearnedIndex learned(pts);
     const BruteForceIndex brute(pts);
     ASSERT_EQ(kd.size(), pts.size());
+    ASSERT_EQ(learned.size(), pts.size());
 
     Rng rng(100 + seed);
     for (int trial = 0; trial < 40; ++trial) {
@@ -86,8 +114,10 @@ TEST(SpatialEquivalence, ThreeWayRandomized) {
 
       for (const int k : kTestKs) {
         const auto want = brute.Nearest(q, k);
+        ExpectTotalOrder(want, "brute Nearest");
         ExpectIdentical(kd.Nearest(q, k), want, "kd Nearest");
         ExpectIdentical(grid.Nearest(q, k), want, "grid Nearest");
+        ExpectIdentical(learned.Nearest(q, k), want, "learned Nearest");
       }
 
       const IndexFilter filter = [](int id) { return (id & 3) != 0; };
@@ -97,17 +127,41 @@ TEST(SpatialEquivalence, ThreeWayRandomized) {
                         "kd NearestFiltered");
         ExpectIdentical(grid.NearestFiltered(q, k, filter), want,
                         "grid NearestFiltered");
+        ExpectIdentical(learned.NearestFiltered(q, k, filter), want,
+                        "learned NearestFiltered");
+      }
+
+      // Sparse-accepting filters: few tuples pass, so filtered searches
+      // must keep expanding well past the seed leaves/blocks (and, at 1/64,
+      // often exhaust the index without filling k).
+      for (const int modulus : {16, 64}) {
+        const IndexFilter sparse = [modulus](int id) {
+          return id % modulus == 1;
+        };
+        for (const int k : {1, 5}) {
+          const auto want = brute.NearestFiltered(q, k, sparse);
+          ExpectIdentical(kd.NearestFiltered(q, k, sparse), want,
+                          "kd sparse filter");
+          ExpectIdentical(grid.NearestFiltered(q, k, sparse), want,
+                          "grid sparse filter");
+          ExpectIdentical(learned.NearestFiltered(q, k, sparse), want,
+                          "learned sparse filter");
+        }
       }
 
       // Null filter must behave exactly like Nearest.
       ExpectIdentical(kd.NearestFiltered(q, 9, nullptr), brute.Nearest(q, 9),
                       "kd null filter");
+      ExpectIdentical(learned.NearestFiltered(q, 9, nullptr),
+                      brute.Nearest(q, 9), "learned null filter");
 
       for (const double radius : {0.0, 15.0, 120.0, 2000.0}) {
         const auto want = brute.WithinRadius(q, radius);
         ExpectSameSet(kd.WithinRadius(q, radius), want, "kd WithinRadius");
         ExpectSameSet(grid.WithinRadius(q, radius), want,
                       "grid WithinRadius");
+        ExpectSameSet(learned.WithinRadius(q, radius), want,
+                      "learned WithinRadius");
       }
     }
   }
@@ -116,16 +170,92 @@ TEST(SpatialEquivalence, ThreeWayRandomized) {
 TEST(SpatialEquivalence, AllPointsCoincident) {
   const std::vector<Vec2> pts(37, Vec2{500, 500});
   const KdTree kd(pts);
+  const LearnedIndex learned(pts);
   const BruteForceIndex brute(pts);
   for (const int k : kTestKs) {
     // Every distance ties; order must fall back to index order identically.
-    const auto got = kd.Nearest({400, 400}, k);
     const auto want = brute.Nearest({400, 400}, k);
-    ExpectIdentical(got, want, "coincident Nearest");
-    for (size_t i = 0; i < got.size(); ++i) {
-      EXPECT_EQ(got[i].index, static_cast<int>(i));
+    for (const auto* index :
+         std::initializer_list<const SpatialIndex*>{&kd, &learned}) {
+      const auto got = index->Nearest({400, 400}, k);
+      ExpectIdentical(got, want, "coincident Nearest");
+      for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].index, static_cast<int>(i));
+      }
     }
   }
+}
+
+// WithinRadius is boundary-inclusive: points at *exactly* `radius` must be
+// returned by every backend. Axis-aligned offsets keep the squared distance
+// arithmetic exact, so "exactly" means bit-exactly, not approximately.
+TEST(SpatialEquivalence, WithinRadiusBoundaryInclusive) {
+  const Vec2 q{512, 512};
+  const double radius = 32.0;  // power of two: q ± radius is exact
+  std::vector<Vec2> pts = {
+      {q.x + radius, q.y},  // exactly at radius, +x
+      {q.x - radius, q.y},  // exactly at radius, -x
+      {q.x, q.y + radius},  // exactly at radius, +y
+      {q.x, q.y - radius},  // exactly at radius, -y
+      q,                    // distance 0
+      {q.x + radius + 1e-9, q.y},  // just outside
+      {q.x + radius - 1e-9, q.y},  // just inside
+      {q.x + 900, q.y + 900},      // far away
+  };
+  Rng rng(9);
+  for (int i = 0; i < 40; ++i) pts.push_back(kBox.SamplePoint(rng));
+
+  const KdTree kd(pts);
+  const GridIndex grid(pts, kBox);
+  const LearnedIndex learned(pts);
+  const BruteForceIndex brute(pts);
+
+  const auto want = brute.WithinRadius(q, radius);
+  // The oracle itself must include the four boundary points and the center.
+  std::vector<int> got_ids;
+  for (const Neighbor& nb : want) got_ids.push_back(nb.index);
+  std::sort(got_ids.begin(), got_ids.end());
+  for (int id : {0, 1, 2, 3, 4}) {
+    EXPECT_TRUE(std::binary_search(got_ids.begin(), got_ids.end(), id))
+        << "boundary point " << id << " missing from the oracle";
+  }
+  EXPECT_FALSE(std::binary_search(got_ids.begin(), got_ids.end(), 5));
+
+  ExpectSameSet(kd.WithinRadius(q, radius), want, "kd boundary");
+  ExpectSameSet(grid.WithinRadius(q, radius), want, "grid boundary");
+  ExpectSameSet(learned.WithinRadius(q, radius), want, "learned boundary");
+
+  // Nearest at k = count-of-ties must break the 4-way distance tie by id on
+  // every backend.
+  for (const int k : {4, 5, 6}) {
+    const auto tie_want = brute.Nearest(q, k);
+    ExpectIdentical(kd.Nearest(q, k), tie_want, "kd boundary tie");
+    ExpectIdentical(grid.Nearest(q, k), tie_want, "grid boundary tie");
+    ExpectIdentical(learned.Nearest(q, k), tie_want, "learned boundary tie");
+  }
+}
+
+// The factory covers the same four backends behind the enum used by
+// ServerOptions; spot-check each against the oracle through the interface.
+TEST(SpatialEquivalence, FactoryBackendsAgree) {
+  const auto pts = RandomPointsWithDuplicates(300, 77);
+  const BruteForceIndex brute(pts);
+  Rng rng(78);
+  for (const SpatialBackend backend :
+       {SpatialBackend::kKdTree, SpatialBackend::kGrid,
+        SpatialBackend::kBruteForce, SpatialBackend::kLearned}) {
+    const auto index = MakeSpatialIndex(backend, pts, kBox);
+    ASSERT_NE(index, nullptr);
+    ASSERT_EQ(index->size(), pts.size());
+    for (int trial = 0; trial < 10; ++trial) {
+      const Vec2 q = kBox.SamplePoint(rng);
+      ExpectIdentical(index->Nearest(q, 8), brute.Nearest(q, 8),
+                      SpatialBackendName(backend));
+    }
+    // Round-trip of the name <-> enum mapping the CLI and examples use.
+    EXPECT_EQ(ParseSpatialBackend(SpatialBackendName(backend)), backend);
+  }
+  EXPECT_EQ(ParseSpatialBackend("noSuchBackend"), std::nullopt);
 }
 
 }  // namespace

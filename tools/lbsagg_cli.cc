@@ -116,11 +116,25 @@ std::optional<WhereClause> ParseWhere(const Schema& schema,
   return clause;
 }
 
+// --index: which SpatialIndex implementation answers the simulated
+// service's kNN queries. Invisible in the results (all backends are
+// bit-identical); visible in server-side build/query time at scale.
+std::optional<SpatialBackend> ParseIndexFlag(const FlagParser& flags) {
+  const std::string name = flags.GetString("index");
+  const std::optional<SpatialBackend> backend = ParseSpatialBackend(name);
+  if (!backend.has_value()) {
+    std::fprintf(stderr, "error: unknown --index=%s (choices: %s)\n",
+                 name.c_str(), SpatialBackendChoices());
+  }
+  return backend;
+}
+
 // --localize=N: pick N random tuples of an LNR view of the dataset and
 // recover their positions from ranked ids alone (§4.3).
-int RunLocalize(const FlagParser& flags, Dataset& dataset) {
+int RunLocalize(const FlagParser& flags, Dataset& dataset,
+                SpatialBackend backend) {
   const int targets = static_cast<int>(flags.GetInt("localize"));
-  LbsServer server(&dataset, {.max_k = 1});
+  LbsServer server(&dataset, {.max_k = 1, .index_backend = backend});
   LnrClient client(&server, {.k = 1});
   Localizer localizer(&client);
   Rng rng(static_cast<uint64_t>(flags.GetInt("seed")));
@@ -163,7 +177,12 @@ int Run(const FlagParser& flags) {
   if (!world.has_value()) return 1;
   Dataset& dataset = *world->dataset;
 
-  if (flags.GetInt("localize") > 0) return RunLocalize(flags, dataset);
+  const std::optional<SpatialBackend> backend = ParseIndexFlag(flags);
+  if (!backend.has_value()) return 1;
+
+  if (flags.GetInt("localize") > 0) {
+    return RunLocalize(flags, dataset, *backend);
+  }
 
   const std::string export_path = flags.GetString("export");
   if (!export_path.empty()) {
@@ -222,7 +241,8 @@ int Run(const FlagParser& flags) {
   }
 
   const int k = static_cast<int>(flags.GetInt("k"));
-  LbsServer server(&dataset, {.max_k = std::max(k, 1)});
+  LbsServer server(&dataset,
+                   {.max_k = std::max(k, 1), .index_backend = *backend});
   std::unique_ptr<QuerySampler> sampler;
   if (flags.GetString("sampler") == "uniform") {
     sampler = std::make_unique<UniformSampler>(dataset.box());
@@ -320,6 +340,9 @@ int main(int argc, char** argv) {
   flags.AddString("where", "",
                   "selection condition: 'col=value' (string) or 'col' (bool)");
   flags.AddInt("k", 5, "results requested per query");
+  flags.AddString("index", "kdtree",
+                  "server-side spatial index backend: kdtree | grid | brute "
+                  "| learned (results are identical; speed differs)");
   flags.AddInt("budget", 10000, "query budget per run");
   flags.AddInt("runs", 3, "independent runs");
   flags.AddInt("seed", 1, "base estimator seed");
