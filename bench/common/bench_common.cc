@@ -10,10 +10,39 @@
 
 #include "geometry/loc_key.h"  // SplitMix64
 #include "obs/report.h"
+#include "util/flags.h"
 #include "util/table.h"
 
 namespace lbsagg {
 namespace bench {
+
+bool ApplyBenchFlags(int argc, const char* const* argv, BenchConfig* config) {
+  FlagParser flags;
+  flags.AddString("index", SpatialBackendName(config->index),
+                  std::string("spatial backend (") + SpatialBackendChoices() +
+                      ")");
+  flags.AddInt("runs", config->runs, "independent repetitions per series");
+  flags.AddInt("budget", static_cast<int64_t>(config->budget),
+               "query budget per run");
+  flags.AddInt("pois", config->num_pois, "scenario size in POIs");
+  if (!flags.Parse(argc, argv) || !flags.positional().empty()) {
+    std::fprintf(stderr, "error: %s\n%s", flags.error().c_str(),
+                 flags.HelpText(argv[0]).c_str());
+    return false;
+  }
+  const std::optional<SpatialBackend> backend =
+      ParseSpatialBackend(flags.GetString("index"));
+  if (!backend.has_value()) {
+    std::fprintf(stderr, "error: unknown --index=%s (choices: %s)\n",
+                 flags.GetString("index").c_str(), SpatialBackendChoices());
+    return false;
+  }
+  config->index = *backend;
+  config->runs = static_cast<int>(flags.GetInt("runs"));
+  config->budget = static_cast<uint64_t>(flags.GetInt("budget"));
+  config->num_pois = static_cast<int>(flags.GetInt("pois"));
+  return true;
+}
 
 std::map<std::string, std::vector<RunResult>> SweepEstimators(
     const std::vector<EstimatorSpec>& specs, int runs, uint64_t budget,

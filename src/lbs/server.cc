@@ -9,8 +9,6 @@
 
 namespace lbsagg {
 
-namespace {
-
 std::vector<Vec2> ComputeEffectivePositions(const Dataset& dataset,
                                             const ServerOptions& options) {
   std::vector<Vec2> positions = dataset.Positions();
@@ -26,8 +24,6 @@ std::vector<Vec2> ComputeEffectivePositions(const Dataset& dataset,
   }
   return positions;
 }
-
-}  // namespace
 
 LbsServer::LbsServer(const Dataset* dataset, ServerOptions options)
     : dataset_(dataset),

@@ -40,7 +40,7 @@ struct ServerOptions {
   RankingMode ranking = RankingMode::kDistance;
 
   // Name of the double column holding the static score for kProminence.
-  std::string prominence_column;
+  std::string prominence_column = {};
   double prominence_weight = 0.0;
 
   // Location obfuscation (WeChat-style, §6.3 "Localization Accuracy"): each
@@ -68,6 +68,12 @@ struct ServerHit {
   int tuple_id = -1;
   double distance = 0.0;
 };
+
+// Effective (possibly obfuscated) tuple positions in id order — the exact
+// per-tuple deterministic noise LbsServer applies, exposed so sharded
+// front-ends (lbs/sharded_server.h) rank against identical positions.
+std::vector<Vec2> ComputeEffectivePositions(const Dataset& dataset,
+                                            const ServerOptions& options);
 
 // The LBS backend: full access to the dataset plus a spatial index. Client
 // classes (lbs/client.h) wrap it with the restricted public interfaces that

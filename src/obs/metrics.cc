@@ -177,6 +177,15 @@ std::string MetricsSnapshot::ToJson(int indent) const {
   return os.str();
 }
 
+std::string ShardMetricName(const std::string& prefix, int shard,
+                            const std::string& metric) {
+  LBSAGG_CHECK_GE(shard, 0);
+  std::ostringstream os;
+  os << prefix << ".shard" << (shard < 10 ? "0" : "") << shard << '.'
+     << metric;
+  return os.str();
+}
+
 Table MetricsSnapshot::ToTable() const {
   Table table({"metric", "value"});
   for (const CounterSample& c : counters) {

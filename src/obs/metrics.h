@@ -150,6 +150,12 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 
+// Canonical name for a per-shard metric: "<prefix>.shard<NN>.<metric>"
+// with a zero-padded shard number, so the name-sorted order inside a
+// MetricsSnapshot is also shard order (e.g. "transport.shard03.attempts").
+std::string ShardMetricName(const std::string& prefix, int shard,
+                            const std::string& metric);
+
 }  // namespace obs
 }  // namespace lbsagg
 

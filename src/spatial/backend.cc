@@ -1,5 +1,9 @@
 #include "spatial/backend.h"
 
+#include <atomic>
+#include <chrono>
+#include <thread>
+
 #include "spatial/brute_force.h"
 #include "spatial/grid_index.h"
 #include "spatial/kdtree.h"
@@ -51,6 +55,49 @@ std::unique_ptr<SpatialIndex> MakeSpatialIndex(
     }
   }
   return nullptr;
+}
+
+std::vector<std::unique_ptr<SpatialIndex>> MakeSpatialIndexes(
+    SpatialBackend backend, const std::vector<std::vector<Vec2>>& shard_points,
+    const Box& box, unsigned threads, obs::MetricsRegistry* stats_registry,
+    std::vector<double>* build_ms) {
+  const size_t shards = shard_points.size();
+  std::vector<std::unique_ptr<SpatialIndex>> indexes(shards);
+  if (build_ms != nullptr) build_ms->assign(shards, 0.0);
+  if (shards == 0) return indexes;
+
+  if (threads == 0) threads = std::thread::hardware_concurrency();
+  threads = std::max<unsigned>(
+      1, static_cast<unsigned>(std::min<size_t>(threads, shards)));
+
+  // Work-stealing over an atomic shard counter: a thread that lands a big
+  // shard stops claiming, so the schedule adapts to skewed partitions.
+  std::atomic<size_t> next{0};
+  auto build_range = [&] {
+    for (size_t shard = next.fetch_add(1); shard < shards;
+         shard = next.fetch_add(1)) {
+      if (shard_points[shard].empty()) continue;  // null index for the slot
+      const auto start = std::chrono::steady_clock::now();
+      indexes[shard] =
+          MakeSpatialIndex(backend, shard_points[shard], box, stats_registry);
+      if (build_ms != nullptr) {
+        (*build_ms)[shard] =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+      }
+    }
+  };
+
+  if (threads == 1) {
+    build_range();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i) pool.emplace_back(build_range);
+    for (std::thread& t : pool) t.join();
+  }
+  return indexes;
 }
 
 }  // namespace lbsagg

@@ -114,6 +114,8 @@ class FaultInjector {
   // Pure function of (seed, ticket, attempt).
   AttemptFault Draw(uint64_t ticket, int attempt) const;
 
+  const FaultOptions& options() const { return options_; }
+
  private:
   FaultOptions options_;
   uint64_t seed_;

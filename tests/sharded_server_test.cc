@@ -1,0 +1,264 @@
+// ShardedLbsServer bit-identity: the shard count, partitioner, and build
+// thread count are invisible through the query interface — every answer is
+// bit-identical to the monolithic LbsServer over the same dataset and
+// options, the same guarantee the index backends give (spatial_equivalence_
+// test.cc). This is acceptance criterion (b) of the sharded backend.
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lbs/dataset.h"
+#include "lbs/server.h"
+#include "lbs/sharded_server.h"
+#include "util/rng.h"
+
+namespace lbsagg {
+namespace {
+
+const Box kBox({0, 0}, {1000, 600});
+
+Schema MakeSchema() {
+  Schema s;
+  s.AddColumn("category", AttrType::kString);
+  s.AddColumn("score", AttrType::kDouble);
+  return s;
+}
+
+Dataset MakeDataset(int n, uint64_t seed) {
+  Dataset d(kBox, MakeSchema());
+  Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    d.Add(kBox.SamplePoint(rng),
+          {std::string(i % 4 == 0 ? "restaurant" : "other"),
+           rng.Uniform(0.0, 10.0)});
+  }
+  return d;
+}
+
+std::vector<Vec2> MakeQueries(int n, uint64_t seed) {
+  // Sample beyond the box too, so bbox pruning sees exterior queries.
+  Rng rng(seed);
+  std::vector<Vec2> queries;
+  const Box outside = kBox.Expanded(150.0);
+  for (int i = 0; i < n; ++i) queries.push_back(outside.SamplePoint(rng));
+  return queries;
+}
+
+void ExpectHitsEqual(const std::vector<ServerHit>& a,
+                     const std::vector<ServerHit>& b, const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].tuple_id, b[i].tuple_id) << what << " rank " << i;
+    EXPECT_EQ(a[i].distance, b[i].distance) << what << " rank " << i;
+  }
+}
+
+void ExpectBitIdentical(const Dataset& d, const ServerOptions& server_opts,
+                        const ShardedServerOptions& sharded_opts,
+                        const std::vector<Vec2>& queries, int k,
+                        const TupleFilter& filter, const char* what) {
+  const LbsServer mono(&d, server_opts);
+  const ShardedLbsServer sharded(&d, sharded_opts);
+  for (const Vec2& q : queries) {
+    ExpectHitsEqual(sharded.Query(q, k, filter), mono.Query(q, k, filter),
+                    what);
+  }
+}
+
+TEST(ShardedServer, PartitionCoversDataset) {
+  const Dataset d = MakeDataset(500, 7);
+  for (ShardPartition partition :
+       {ShardPartition::kSpatial, ShardPartition::kHash}) {
+    const ShardedLbsServer sharded(
+        &d, {.num_shards = 7, .partition = partition});
+    std::vector<int> seen(d.size(), 0);
+    for (int s = 0; s < sharded.num_shards(); ++s) {
+      const std::vector<int>& ids = sharded.shard_ids(s);
+      EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end()));
+      for (int id : ids) {
+        EXPECT_EQ(sharded.shard_of(id), s);
+        ++seen[id];
+      }
+    }
+    for (size_t id = 0; id < d.size(); ++id) {
+      EXPECT_EQ(seen[id], 1) << "tuple " << id << " not in exactly one shard";
+    }
+  }
+}
+
+TEST(ShardedServer, QueryBitIdenticalToMonolithEveryShardCount) {
+  const Dataset d = MakeDataset(1500, 11);
+  const std::vector<Vec2> queries = MakeQueries(120, 21);
+  for (ShardPartition partition :
+       {ShardPartition::kSpatial, ShardPartition::kHash}) {
+    for (int shards : {1, 3, 4, 16}) {
+      for (int k : {1, 5, 50}) {
+        ExpectBitIdentical(d, {}, {.num_shards = shards, .partition = partition},
+                           queries, k, nullptr, "plain knn");
+      }
+    }
+  }
+}
+
+TEST(ShardedServer, RadiusAndFilterBitIdentical) {
+  const Dataset d = MakeDataset(1500, 13);
+  const std::vector<Vec2> queries = MakeQueries(120, 23);
+  const TupleFilter restaurants = [](const Tuple& t) {
+    return std::get<std::string>(t.values[0]) == "restaurant";
+  };
+  ServerOptions opts;
+  opts.max_radius = 60.0;
+  for (int shards : {1, 4, 16}) {
+    ExpectBitIdentical(d, opts, {.num_shards = shards, .server = opts},
+                       queries, 7, restaurants, "radius+filter");
+  }
+}
+
+TEST(ShardedServer, ObfuscationSharedWithMonolith) {
+  const Dataset d = MakeDataset(800, 17);
+  ServerOptions opts;
+  opts.obfuscation_radius = 5.0;
+  const LbsServer mono(&d, opts);
+  const ShardedLbsServer sharded(&d, {.num_shards = 8, .server = opts});
+  for (size_t id = 0; id < d.size(); ++id) {
+    EXPECT_EQ(sharded.EffectivePosition(id).x,
+              mono.EffectivePosition(id).x);
+    EXPECT_EQ(sharded.EffectivePosition(id).y,
+              mono.EffectivePosition(id).y);
+  }
+  for (const Vec2& q : MakeQueries(80, 29)) {
+    ExpectHitsEqual(sharded.Query(q, 5), mono.Query(q, 5), "obfuscated");
+  }
+}
+
+TEST(ShardedServer, ProminenceBitIdentical) {
+  const Dataset d = MakeDataset(1200, 19);
+  const std::vector<Vec2> queries = MakeQueries(100, 31);
+  ServerOptions opts;
+  opts.ranking = RankingMode::kProminence;
+  opts.prominence_column = "score";
+  opts.prominence_weight = 0.7;
+  opts.max_radius = 80.0;
+  for (int shards : {1, 4, 16}) {
+    ExpectBitIdentical(d, opts, {.num_shards = shards, .server = opts},
+                       queries, 6, nullptr, "prominence");
+  }
+}
+
+TEST(ShardedServer, AlternateIndexBackendsBitIdentical) {
+  const Dataset d = MakeDataset(1000, 23);
+  const std::vector<Vec2> queries = MakeQueries(80, 37);
+  for (IndexBackend backend : {IndexBackend::kGrid, IndexBackend::kLearned}) {
+    ServerOptions opts;
+    opts.index_backend = backend;
+    ExpectBitIdentical(d, opts, {.num_shards = 8, .server = opts}, queries,
+                       5, nullptr, SpatialBackendName(backend));
+  }
+}
+
+TEST(ShardedServer, WithinRadiusMatchesBruteForceScan) {
+  const Dataset d = MakeDataset(900, 29);
+  const ShardedLbsServer sharded(&d, {.num_shards = 8});
+  Rng rng(41);
+  for (int i = 0; i < 40; ++i) {
+    const Vec2 q = kBox.Expanded(50.0).SamplePoint(rng);
+    const double radius = rng.Uniform(5.0, 120.0);
+    // The oracle: exactly the index-inclusion rule d2 <= radius*radius,
+    // sorted by the canonical (d2, id) order.
+    struct Expect {
+      double d2;
+      int id;
+    };
+    std::vector<Expect> expected;
+    const double r2 = radius * radius;
+    for (const Tuple& t : d.tuples()) {
+      const Vec2& p = sharded.EffectivePosition(t.id);
+      const double dx = p.x - q.x;
+      const double dy = p.y - q.y;
+      const double d2 = dx * dx + dy * dy;
+      if (d2 <= r2) expected.push_back({d2, t.id});
+    }
+    std::sort(expected.begin(), expected.end(),
+              [](const Expect& a, const Expect& b) {
+                return a.d2 < b.d2 || (a.d2 == b.d2 && a.id < b.id);
+              });
+    const std::vector<ServerHit> got = sharded.WithinRadius(q, radius);
+    ASSERT_EQ(got.size(), expected.size());
+    for (size_t j = 0; j < got.size(); ++j) {
+      EXPECT_EQ(got[j].tuple_id, expected[j].id);
+    }
+  }
+}
+
+TEST(ShardedServer, ShardPagesMergeToGlobalAnswerInAnyOrder) {
+  const Dataset d = MakeDataset(1000, 31);
+  const ShardedLbsServer sharded(&d, {.num_shards = 8});
+  Rng rng(43);
+  for (int i = 0; i < 50; ++i) {
+    const Vec2 q = kBox.SamplePoint(rng);
+    const std::vector<ServerHit> direct = sharded.Query(q, 5);
+    std::vector<std::vector<ServerHit>> pages;
+    for (int s : sharded.ReachableShards(q)) {
+      pages.push_back(sharded.QueryShard(s, q, 5));
+    }
+    ExpectHitsEqual(sharded.MergeShardPages(q, pages, 5), direct, "merge");
+    // Arrival order is irrelevant: reversing the pages folds identically.
+    std::reverse(pages.begin(), pages.end());
+    ExpectHitsEqual(sharded.MergeShardPages(q, pages, 5), direct,
+                    "merge reversed");
+  }
+}
+
+TEST(ShardedServer, FoldTopKIsInputOrderInvariant) {
+  Rng rng(47);
+  std::vector<ShardCandidate> candidates;
+  for (int i = 0; i < 200; ++i) {
+    // Coarse d2 grid forces plenty of exact ties, exercising the id
+    // tie-break.
+    const double d2 = static_cast<double>(rng.UniformInt(20));
+    candidates.push_back({d2, std::sqrt(d2), i});
+  }
+  const std::vector<ServerHit> folded = FoldTopK(candidates, 10);
+  ASSERT_EQ(folded.size(), 10u);
+  for (size_t i = 1; i < folded.size(); ++i) {
+    EXPECT_TRUE(folded[i - 1].distance < folded[i].distance ||
+                (folded[i - 1].distance == folded[i].distance &&
+                 folded[i - 1].tuple_id < folded[i].tuple_id));
+  }
+  std::mt19937 shuffler(7);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::shuffle(candidates.begin(), candidates.end(), shuffler);
+    ExpectHitsEqual(FoldTopK(candidates, 10), folded, "shuffled fold");
+  }
+}
+
+TEST(ShardedServer, BuildThreadCountDoesNotChangeAnswers) {
+  const Dataset d = MakeDataset(1200, 37);
+  const std::vector<Vec2> queries = MakeQueries(60, 53);
+  const ShardedLbsServer serial(&d, {.num_shards = 8, .build_threads = 1});
+  const ShardedLbsServer parallel(&d, {.num_shards = 8, .build_threads = 4});
+  EXPECT_EQ(serial.build_stats().shard_build_ms.size(), 8u);
+  EXPECT_GE(serial.build_stats().wall_ms, 0.0);
+  EXPECT_GE(serial.build_stats().critical_path_ms(), 0.0);
+  for (const Vec2& q : queries) {
+    ExpectHitsEqual(parallel.Query(q, 5), serial.Query(q, 5), "threads");
+  }
+}
+
+TEST(ShardedServer, MoreShardsThanTuples) {
+  const Dataset d = MakeDataset(5, 41);
+  const std::vector<Vec2> queries = MakeQueries(30, 59);
+  for (ShardPartition partition :
+       {ShardPartition::kSpatial, ShardPartition::kHash}) {
+    ExpectBitIdentical(d, {}, {.num_shards = 16, .partition = partition},
+                       queries, 10, nullptr, "tiny dataset");
+  }
+}
+
+}  // namespace
+}  // namespace lbsagg

@@ -14,10 +14,13 @@
 #include <gtest/gtest.h>
 
 #include "common/bench_common.h"
+#include "core/lr_agg.h"
 #include "engine/engine.h"
 #include "engine/nno_resolver.h"
+#include "lbs/sharded_server.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
+#include "transport/sharded_transport.h"
 
 namespace lbsagg {
 namespace bench {
@@ -227,6 +230,166 @@ TEST(SweepDeterminism, EngineEvidenceIdenticalAcrossRepeatedSeeds) {
   ExpectEngineRunsIdentical(RunEngineFlaky(4, 43), RunEngineFlaky(4, 43));
   EXPECT_NE(RunEngineFlaky(4, 43).evidence_hash,
             RunEngineFlaky(4, 44).evidence_hash);
+}
+
+// ---------------------------------------------------------------------------
+// Sharded stack: the scatter-gather wire must be invisible to estimators.
+// With clean lanes, the evidence log and the consumer traces are a pure
+// function of the seed — invariant to the shard count (1/4/16), to the
+// dispatcher worker count (1/8), and identical to the monolithic server
+// behind a clean SimulatedTransport. The full metric snapshot is compared
+// only across worker counts: per-lane counters (transport.shardNN.*,
+// transport.sharded.fanout) legitimately depend on the shard count — that
+// per-lane accounting existing is the point, it just must never leak into
+// what the estimator sees.
+
+EngineRun RunEngineSharded(int num_shards, unsigned dispatcher_workers,
+                           uint64_t seed) {
+  UsaOptions usa_opts;
+  usa_opts.num_pois = 400;
+  static const UsaScenario* usa = new UsaScenario(BuildUsaScenario(usa_opts));
+  const int rating = usa->columns.rating;
+
+  obs::MetricsRegistry registry;
+  const ShardedLbsServer sharded(
+      usa->dataset.get(),
+      {.num_shards = num_shards, .server = ServerOptions{.max_k = 10}});
+  // Metadata server for the client: never searched (every query routes
+  // through the transport), so the brute backend skips the index build.
+  const LbsServer meta(usa->dataset.get(),
+                       {.max_k = 10,
+                        .index_backend = IndexBackend::kBruteForce});
+
+  ShardedTransportOptions topts;
+  topts.rate_limit = {.capacity = 8.0, .refill_per_sec = 50.0};
+  topts.seed = seed;
+  topts.registry = &registry;
+  ShardedTransport transport(&sharded, topts);
+
+  std::unique_ptr<AsyncDispatcher> dispatcher;
+  if (dispatcher_workers > 0) {
+    dispatcher = std::make_unique<AsyncDispatcher>(
+        &transport, DispatcherOptions{dispatcher_workers, 64});
+  }
+  LrClient client(&meta, {.k = 3, .budget = 300, .registry = &registry},
+                  &transport, dispatcher.get());
+
+  engine::NnoProbeResolver resolver(&client,
+                                    {.seed = seed, .registry = &registry});
+  engine::EstimationEngine eng(&resolver,
+                               engine::EngineOptions{.registry = &registry});
+  auto* count = eng.AddAggregate(AggregateSpec::Count());
+  auto* sum = eng.AddAggregate(AggregateSpec::Sum(rating, "SUM(rating)"));
+  (void)RunEngineWithBudget(&eng, /*budget=*/300);
+  PublishTransportMetrics(transport.Metrics(), &registry);
+
+  EngineRun run;
+  run.evidence_hash = HashEvidence(eng.evidence());
+  run.count_trace = count->trace();
+  run.sum_trace = sum->trace();
+  run.snapshot = registry.Snapshot();
+  return run;
+}
+
+// Evidence + consumer traces only (the estimator-visible surface).
+void ExpectEstimatorSurfaceIdentical(const EngineRun& a, const EngineRun& b) {
+  EXPECT_EQ(a.evidence_hash, b.evidence_hash);
+  ASSERT_EQ(a.count_trace.size(), b.count_trace.size());
+  for (size_t i = 0; i < a.count_trace.size(); ++i) {
+    EXPECT_EQ(a.count_trace[i].queries, b.count_trace[i].queries);
+    EXPECT_EQ(a.count_trace[i].estimate, b.count_trace[i].estimate);
+  }
+  ASSERT_EQ(a.sum_trace.size(), b.sum_trace.size());
+  for (size_t i = 0; i < a.sum_trace.size(); ++i) {
+    EXPECT_EQ(a.sum_trace[i].queries, b.sum_trace[i].queries);
+    EXPECT_EQ(a.sum_trace[i].estimate, b.sum_trace[i].estimate);
+  }
+}
+
+TEST(SweepDeterminism, ShardedEvidenceInvariantToShardAndWorkerCount) {
+  const EngineRun base = RunEngineSharded(1, 1, 42);
+  ASSERT_GT(base.count_trace.size(), 0u);
+  for (int shards : {1, 4, 16}) {
+    const EngineRun one = RunEngineSharded(shards, 1, 42);
+    const EngineRun eight = RunEngineSharded(shards, 8, 42);
+    // Same shard count, different worker counts: everything matches, the
+    // per-lane metric plane included.
+    ExpectEngineRunsIdentical(one, eight);
+    // Across shard counts the estimator-visible surface is unchanged.
+    ExpectEstimatorSurfaceIdentical(base, one);
+  }
+}
+
+TEST(SweepDeterminism, ShardedEvidenceMatchesMonolithicStack) {
+  // The monolith anchor: same seed, same clean-wire cost model (one attempt
+  // per logical query), no shards at all.
+  UsaOptions usa_opts;
+  usa_opts.num_pois = 400;
+  static const UsaScenario* usa = new UsaScenario(BuildUsaScenario(usa_opts));
+  const int rating = usa->columns.rating;
+
+  obs::MetricsRegistry registry;
+  LbsServer server(usa->dataset.get(), {.max_k = 10});
+  SimulatedTransportOptions topts;
+  topts.seed = 42;
+  topts.registry = &registry;
+  SimulatedTransport transport(&server, topts);
+  LrClient client(&server, {.k = 3, .budget = 300, .registry = &registry},
+                  &transport);
+  engine::NnoProbeResolver resolver(&client, {.seed = 42});
+  engine::EstimationEngine eng(&resolver, engine::EngineOptions{});
+  auto* count = eng.AddAggregate(AggregateSpec::Count());
+  auto* sum = eng.AddAggregate(AggregateSpec::Sum(rating, "SUM(rating)"));
+  (void)RunEngineWithBudget(&eng, /*budget=*/300);
+
+  EngineRun mono;
+  mono.evidence_hash = HashEvidence(eng.evidence());
+  mono.count_trace = count->trace();
+  mono.sum_trace = sum->trace();
+  ExpectEstimatorSurfaceIdentical(mono, RunEngineSharded(4, 8, 42));
+}
+
+// The legacy fingerprint (engine_regression_test.cc) reproduced through the
+// full sharded stack: 6000-POI USA scenario, census sampler, three seeds of
+// the LR estimator at budget 4000, every trace point folded into one hash.
+// Bit-equality here means the scatter, the per-lane policy pipeline, and
+// the (d2, id) merge fold changed *nothing* observable end to end.
+TEST(SweepDeterminism, LegacyTraceFingerprintThroughShardedStack) {
+  auto mix = [](uint64_t h, uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    return h;
+  };
+  UsaOptions uopts;
+  uopts.num_pois = 6000;
+  static const UsaScenario* usa = new UsaScenario(BuildUsaScenario(uopts));
+  CensusSampler sampler(&usa->census);
+  const AggregateSpec spec = AggregateSpec::CountWhere(
+      ColumnEquals(usa->columns.category, "restaurant"),
+      "COUNT(restaurants)");
+  const LbsServer meta(usa->dataset.get(),
+                       {.max_k = 5,
+                        .index_backend = IndexBackend::kBruteForce});
+  for (int shards : {1, 4}) {
+    const ShardedLbsServer sharded(
+        usa->dataset.get(),
+        {.num_shards = shards, .server = ServerOptions{.max_k = 5}});
+    ShardedTransport transport(&sharded, {});
+    uint64_t hash = 0;
+    for (uint64_t seed = 42; seed < 45; ++seed) {
+      LrClient client(&meta, {.k = 5, .budget = 4000}, &transport);
+      LrAggOptions opts;
+      opts.seed = seed;
+      LrAggEstimator est(&client, &sampler, spec, opts);
+      const RunResult r = RunWithBudget(MakeHandle(&est), 4000);
+      for (const TracePoint& tp : r.trace) {
+        uint64_t bits;
+        std::memcpy(&bits, &tp.estimate, sizeof bits);
+        hash = mix(hash, tp.queries);
+        hash = mix(hash, bits);
+      }
+    }
+    EXPECT_EQ(hash, 0x8e13737b33817270ull) << shards << " shards";
+  }
 }
 
 }  // namespace

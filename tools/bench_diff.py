@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json files and flag regressions.
+
+Handles both baseline shapes used in this repo:
+
+  * curated files (BENCH_hotpath.json, BENCH_shard.json): nested objects of
+    named numeric leaves — flattened to dotted paths like
+    "n=10000000.build.shards=16.speedup_vs_single";
+  * raw google-benchmark dumps (BENCH_transport.json, BENCH_engine.json):
+    the "benchmarks" array — each entry becomes "<name>.real_time" /
+    "<name>.items_per_second" etc., keyed by the benchmark's name.
+
+Direction is inferred from the metric name: *_ms / *_ns / *time* / latency /
+error are lower-is-better; qps / speedup / items_per_second / throughput are
+higher-is-better. Anything unrecognized is compared both ways and only
+reported informationally. Metrics present in one file but not the other are
+listed, never fatal — curves legitimately grow new points.
+
+Exit status: 0 when no tracked metric regressed beyond --threshold
+(default 10%), 1 otherwise. --warn-only always exits 0 (CI drift monitor
+mode). Stdlib only.
+"""
+
+import argparse
+import json
+import sys
+
+LOWER_BETTER = ("_ms", "_ns", "_s", "time", "latency", "error", "cost",
+                "cpu", "queries", "wait")
+HIGHER_BETTER = ("qps", "speedup", "items_per_second", "bytes_per_second",
+                 "throughput", "hits", "rate")
+
+# Context/metadata keys that are machine facts, not measurements.
+SKIP_KEYS = {"date", "num_cpus", "mhz_per_cpu", "load_avg", "caches",
+             "context", "about", "budget", "runs", "config"}
+
+
+def direction(path):
+    """-1: lower is better, +1: higher is better, 0: untracked."""
+    leaf = path.rsplit(".", 1)[-1].lower()
+    for token in HIGHER_BETTER:
+        if token in leaf:
+            return +1
+    for token in LOWER_BETTER:
+        if leaf.endswith(token) or token in leaf:
+            return -1
+    return 0
+
+
+def flatten(node, prefix, out):
+    if isinstance(node, dict):
+        if "benchmarks" in node and isinstance(node["benchmarks"], list):
+            for bench in node["benchmarks"]:
+                name = bench.get("name", "?")
+                for key, value in bench.items():
+                    if isinstance(value, (int, float)) and key != "name":
+                        out[f"{name}.{key}"] = float(value)
+            node = {k: v for k, v in node.items() if k != "benchmarks"}
+        for key, value in node.items():
+            if key in SKIP_KEYS:
+                continue
+            path = f"{prefix}.{key}" if prefix else key
+            flatten(value, path, out)
+    elif isinstance(node, (int, float)) and not isinstance(node, bool):
+        out[prefix] = float(node)
+
+
+def load(path):
+    with open(path) as fh:
+        data = json.load(fh)
+    out = {}
+    flatten(data, "", out)
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="relative regression to flag (default 0.10)")
+    parser.add_argument("--warn-only", action="store_true",
+                        help="report but always exit 0")
+    args = parser.parse_args()
+
+    base = load(args.baseline)
+    cand = load(args.candidate)
+    if not base:
+        print(f"bench_diff: no numeric metrics in {args.baseline}",
+              file=sys.stderr)
+        return 2
+
+    regressions, improvements, drifts = [], [], []
+    for path in sorted(set(base) & set(cand)):
+        b, c = base[path], cand[path]
+        if b == c:
+            continue
+        rel = (c - b) / abs(b) if b != 0 else float("inf")
+        sense = direction(path)
+        line = f"{path}: {b:g} -> {c:g} ({rel:+.1%})"
+        if sense == 0:
+            drifts.append(line)
+        elif abs(rel) < args.threshold:
+            continue
+        elif rel * sense < 0:
+            regressions.append(line)
+        else:
+            improvements.append(line)
+
+    only_base = sorted(set(base) - set(cand))
+    only_cand = sorted(set(cand) - set(base))
+
+    for title, lines in (("REGRESSIONS", regressions),
+                         ("improvements", improvements),
+                         ("untracked drift", drifts),
+                         ("only in baseline", only_base),
+                         ("only in candidate", only_cand)):
+        if lines:
+            print(f"== {title} ({len(lines)}) ==")
+            for line in lines:
+                print(f"  {line}")
+
+    if not (regressions or improvements or drifts or only_base or only_cand):
+        print(f"bench_diff: {len(base.keys() & cand.keys())} metrics, "
+              "no change beyond threshold")
+    if regressions and not args.warn_only:
+        print(f"bench_diff: {len(regressions)} regression(s) beyond "
+              f"{args.threshold:.0%}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

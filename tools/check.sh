@@ -39,11 +39,12 @@ cmake -B build-tsan -S . \
   > /dev/null
 cmake --build build-tsan -j "$(nproc)" \
   --target transport_test transport_determinism_test sweep_determinism_test \
-           obs_test engine_test \
+           sharded_server_test sharded_transport_test obs_test engine_test \
   -- --quiet 2>/dev/null \
   || cmake --build build-tsan -j "$(nproc)" \
        --target transport_test transport_determinism_test \
-                sweep_determinism_test obs_test engine_test
+                sweep_determinism_test sharded_server_test \
+                sharded_transport_test obs_test engine_test
 
 echo "==> threaded tests under TSAN"
 ./build-tsan/tests/transport_test
@@ -52,6 +53,11 @@ echo "==> threaded tests under TSAN"
 # suite (NnoProbeResolver over the async dispatcher at 1/4/8 workers);
 # engine_test pins the single-threaded engine contracts under TSAN too.
 ./build-tsan/tests/sweep_determinism_test
+# sharded_server_test covers the parallel per-shard index build;
+# sharded_transport_test drives the scatter-gather transport (dispatcher
+# workers over per-lane state).
+./build-tsan/tests/sharded_server_test
+./build-tsan/tests/sharded_transport_test
 ./build-tsan/tests/obs_test
 ./build-tsan/tests/engine_test
 

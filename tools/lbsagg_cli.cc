@@ -24,6 +24,8 @@
 #include "lbs/client.h"
 #include "lbs/dataset_io.h"
 #include "lbs/server.h"
+#include "lbs/sharded_server.h"
+#include "transport/sharded_transport.h"
 #include "util/flags.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -241,8 +243,31 @@ int Run(const FlagParser& flags) {
   }
 
   const int k = static_cast<int>(flags.GetInt("k"));
+  const int shards = static_cast<int>(flags.GetInt("shards"));
+  const std::string algorithm = flags.GetString("algorithm");
+  if (shards > 1 && algorithm == "lnr") {
+    std::fprintf(stderr,
+                 "error: --shards needs a transport-capable client "
+                 "(--algorithm=lr or nno)\n");
+    return 1;
+  }
+  // With --shards the per-shard indexes answer every query; the monolithic
+  // server is metadata-only, so the brute backend skips a duplicate index
+  // build (DESIGN.md §4.11).
   LbsServer server(&dataset,
-                   {.max_k = std::max(k, 1), .index_backend = *backend});
+                   {.max_k = std::max(k, 1),
+                    .index_backend =
+                        shards > 1 ? SpatialBackend::kBruteForce : *backend});
+  std::unique_ptr<ShardedLbsServer> sharded;
+  std::unique_ptr<ShardedTransport> transport;
+  if (shards > 1) {
+    sharded = std::make_unique<ShardedLbsServer>(
+        &dataset, ShardedServerOptions{
+                      .num_shards = shards,
+                      .server = {.max_k = std::max(k, 1),
+                                 .index_backend = *backend}});
+    transport = std::make_unique<ShardedTransport>(sharded.get());
+  }
   std::unique_ptr<QuerySampler> sampler;
   if (flags.GetString("sampler") == "uniform") {
     sampler = std::make_unique<UniformSampler>(dataset.box());
@@ -253,7 +278,6 @@ int Run(const FlagParser& flags) {
   const uint64_t budget = static_cast<uint64_t>(flags.GetInt("budget"));
   const int runs = static_cast<int>(flags.GetInt("runs"));
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed"));
-  const std::string algorithm = flags.GetString("algorithm");
 
   Table table({"run", "estimate", "queries", "samples"});
   RunningStats estimates;
@@ -262,7 +286,7 @@ int Run(const FlagParser& flags) {
     RunResult run;
     size_t samples = 0;
     if (algorithm == "lr") {
-      LrClient client(&server, {.k = k, .budget = budget});
+      LrClient client(&server, {.k = k, .budget = budget}, transport.get());
       LrAggOptions opts;
       opts.seed = seed + r;
       LrAggEstimator est(&client, sampler.get(), spec, opts);
@@ -295,7 +319,7 @@ int Run(const FlagParser& flags) {
                     r + 1, d.rounds, d.cells_inferred, d.cache_hits);
       }
     } else if (algorithm == "nno") {
-      LrClient client(&server, {.k = k, .budget = budget});
+      LrClient client(&server, {.k = k, .budget = budget}, transport.get());
       NnoOptions opts;
       opts.seed = seed + r;
       NnoEstimator est(&client, spec, opts);
@@ -343,6 +367,10 @@ int main(int argc, char** argv) {
   flags.AddString("index", "kdtree",
                   "server-side spatial index backend: kdtree | grid | brute "
                   "| learned (results are identical; speed differs)");
+  flags.AddInt("shards", 1,
+               "partition the hidden database across this many shards and "
+               "answer kNN by scatter-gather (results are identical; lr/nno "
+               "only)");
   flags.AddInt("budget", 10000, "query budget per run");
   flags.AddInt("runs", 3, "independent runs");
   flags.AddInt("seed", 1, "base estimator seed");
