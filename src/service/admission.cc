@@ -1,0 +1,70 @@
+#include "service/admission.h"
+
+#include <algorithm>
+
+namespace lbsagg {
+namespace service {
+
+const char* AdmissionPolicyName(AdmissionPolicy policy) {
+  switch (policy) {
+    case AdmissionPolicy::kFifo:
+      return "fifo";
+    case AdmissionPolicy::kFairShare:
+      return "fair_share";
+  }
+  return "unknown";
+}
+
+AdmissionQueue::AdmissionQueue(AdmissionOptions options) : options_(options) {}
+
+bool AdmissionQueue::TryEnqueue(SessionId id, const std::string& principal) {
+  if (size_ >= options_.queue_capacity) return false;
+  if (options_.policy == AdmissionPolicy::kFifo) {
+    fifo_.push_back(id);
+  } else {
+    auto [it, inserted] = principal_index_.emplace(principal, lanes_.size());
+    if (inserted) lanes_.emplace_back();
+    lanes_[it->second].push_back(id);
+  }
+  ++size_;
+  return true;
+}
+
+SessionId AdmissionQueue::PopNext() {
+  if (size_ == 0) return kInvalidSessionId;
+  if (options_.policy == AdmissionPolicy::kFifo) {
+    const SessionId id = fifo_.front();
+    fifo_.pop_front();
+    --size_;
+    return id;
+  }
+  // Round-robin over the principal ring, skipping drained lanes.
+  for (size_t step = 0; step < lanes_.size(); ++step) {
+    const size_t lane = (cursor_ + step) % lanes_.size();
+    if (lanes_[lane].empty()) continue;
+    const SessionId id = lanes_[lane].front();
+    lanes_[lane].pop_front();
+    --size_;
+    cursor_ = (lane + 1) % lanes_.size();
+    return id;
+  }
+  return kInvalidSessionId;  // unreachable while size_ is consistent
+}
+
+bool AdmissionQueue::Remove(SessionId id) {
+  auto erase_from = [this, id](std::deque<SessionId>& lane) {
+    auto it = std::find(lane.begin(), lane.end(), id);
+    if (it == lane.end()) return false;
+    lane.erase(it);
+    --size_;
+    return true;
+  };
+  if (options_.policy == AdmissionPolicy::kFifo) return erase_from(fifo_);
+  for (std::deque<SessionId>& lane : lanes_) {
+    if (erase_from(lane)) return true;
+  }
+  return false;
+}
+
+}  // namespace service
+}  // namespace lbsagg

@@ -1,0 +1,89 @@
+#ifndef LBSAGG_SERVICE_EVENT_H_
+#define LBSAGG_SERVICE_EVENT_H_
+
+// Event/trigger registry for session lifecycle callbacks (DESIGN.md §4.12).
+// Callers register triggers against an event kind (or all kinds) and the
+// service fires them synchronously from its cooperative scheduler, in
+// registration order — the deterministic analogue of an event loop's
+// on-complete hooks. Triggers may Poll() or Submit() reentrantly; they may
+// also remove triggers (including themselves) while a Fire is in progress.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "service/session.h"
+
+namespace lbsagg {
+namespace service {
+
+enum class SessionEventKind : uint8_t {
+  kSubmitted = 0,  // Submit() accepted the spec into the queue
+  kRejected,       // admission shed the session (state kRejected)
+  kStarted,        // session admitted to the active set and built its engine
+  kProgress,       // one scheduler slice ran for the session
+  kFinished,       // session reached any terminal state except kRejected
+};
+inline constexpr int kNumSessionEventKinds = 5;
+
+const char* SessionEventKindName(SessionEventKind kind);
+
+// Snapshot passed to triggers. Values are copies — the trigger may outlive
+// the scheduler step that produced them.
+struct SessionEvent {
+  SessionEventKind kind = SessionEventKind::kSubmitted;
+  SessionId id = kInvalidSessionId;
+  SessionState state = SessionState::kQueued;
+  std::string principal;
+  uint64_t queries_used = 0;
+  size_t rounds = 0;
+  // Service clock at fire time (ms).
+  double now_ms = 0;
+};
+
+using SessionTrigger = std::function<void(const SessionEvent&)>;
+
+// Ordered trigger list, single-threaded like the scheduler that drives it.
+// Removal during Fire() is safe: entries are tombstoned while any fire is on
+// the stack and compacted afterwards, so iteration never skips or repeats a
+// live trigger.
+class TriggerRegistry {
+ public:
+  using Handle = uint64_t;
+  inline static constexpr Handle kInvalidHandle = 0;
+
+  // Registers `fn` for one event kind. Returns a handle for Remove().
+  Handle Add(SessionEventKind kind, SessionTrigger fn);
+
+  // Registers `fn` for every event kind.
+  Handle AddAll(SessionTrigger fn);
+
+  // Unregisters; returns false when the handle is unknown (or already
+  // removed). Safe to call from inside a trigger.
+  bool Remove(Handle handle);
+
+  // Runs every matching trigger in registration order.
+  void Fire(const SessionEvent& event);
+
+  // Live (non-tombstoned) triggers.
+  size_t size() const;
+
+ private:
+  struct Entry {
+    Handle handle = kInvalidHandle;
+    int kind = -1;  // -1 = all kinds
+    SessionTrigger fn;
+  };
+
+  void Compact();
+
+  std::vector<Entry> entries_;
+  Handle next_handle_ = 1;
+  int firing_depth_ = 0;
+  bool dirty_ = false;  // tombstones awaiting compaction
+};
+
+}  // namespace service
+}  // namespace lbsagg
+
+#endif  // LBSAGG_SERVICE_EVENT_H_

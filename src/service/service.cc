@@ -1,0 +1,483 @@
+#include "service/service.h"
+
+#include <sstream>
+#include <utility>
+
+#include "util/check.h"
+
+namespace lbsagg {
+namespace service {
+
+const char* SessionStateName(SessionState state) {
+  switch (state) {
+    case SessionState::kQueued:
+      return "queued";
+    case SessionState::kRunning:
+      return "running";
+    case SessionState::kCompleted:
+      return "completed";
+    case SessionState::kCancelled:
+      return "cancelled";
+    case SessionState::kRejected:
+      return "rejected";
+    case SessionState::kDeadlineExceeded:
+      return "deadline_exceeded";
+  }
+  return "unknown";
+}
+
+const char* EstimatorFamilyName(EstimatorFamily family) {
+  switch (family) {
+    case EstimatorFamily::kLr:
+      return "lr";
+    case EstimatorFamily::kLnr:
+      return "lnr";
+    case EstimatorFamily::kNno:
+      return "nno";
+  }
+  return "unknown";
+}
+
+// The per-session engine stack, built at activation and torn down at
+// finalization, so only the active set pays for live engines.
+struct EstimationService::ActiveRun {
+  std::unique_ptr<LbsClient> client;
+  std::unique_ptr<engine::CellResolver> resolver;
+  std::unique_ptr<engine::EstimationEngine> engine;
+  std::vector<engine::AggregateQuery*> aggregates;
+};
+
+struct EstimationService::Session {
+  SessionId id = kInvalidSessionId;
+  SessionSpec spec;
+  SessionState state = SessionState::kQueued;
+  std::string detail;
+
+  double submit_ms = 0;
+  double start_ms = -1;
+  double end_ms = -1;
+
+  uint64_t dedup_hits = 0;
+  size_t rounds = 0;
+
+  // Frozen at finalization (live values come from `run` until then).
+  uint64_t queries = 0;
+  std::vector<RunResult> results;
+
+  std::unique_ptr<ActiveRun> run;
+};
+
+// Everything the service owns per backend: the effective wire (direct or
+// caller-provided, dedup-wrapped when enabled), its worker pool, and the
+// default query sampler.
+struct EstimationService::BackendRuntime {
+  std::unique_ptr<DirectTransport> direct;
+  std::unique_ptr<QueryDedupRegistry> dedup;
+  std::unique_ptr<DedupTransport> dedup_wire;
+  LbsTransport* wire = nullptr;
+  std::unique_ptr<AsyncDispatcher> dispatcher;
+  std::unique_ptr<UniformSampler> sampler;
+};
+
+EstimationService::EstimationService(std::vector<ServiceBackend> backends,
+                                     ServiceOptions options)
+    : backends_(std::move(backends)),
+      options_(std::move(options)),
+      queue_(options_.admission) {
+  LBSAGG_CHECK(!backends_.empty());
+  LBSAGG_CHECK_GT(options_.slice_rounds, 0u);
+
+  obs::MetricsRegistry* reg = options_.registry;
+  submitted_counter_ = obs::GetCounter(reg, "service.sessions.submitted");
+  completed_counter_ = obs::GetCounter(reg, "service.sessions.completed");
+  rejected_counter_ = obs::GetCounter(reg, "service.sessions.rejected");
+  cancelled_counter_ = obs::GetCounter(reg, "service.sessions.cancelled");
+  deadline_counter_ = obs::GetCounter(reg, "service.sessions.deadline_exceeded");
+  slices_counter_ = obs::GetCounter(reg, "service.scheduler.slices");
+  active_gauge_ = obs::GetGauge(reg, "service.scheduler.active");
+  queued_gauge_ = obs::GetGauge(reg, "service.scheduler.queued");
+
+  runtimes_.reserve(backends_.size());
+  for (ServiceBackend& backend : backends_) {
+    LBSAGG_CHECK(backend.meta != nullptr);
+    auto rt = std::make_unique<BackendRuntime>();
+    LbsTransport* wire = backend.wire;
+    if (wire == nullptr) {
+      rt->direct = std::make_unique<DirectTransport>(backend.meta);
+      wire = rt->direct.get();
+    }
+    if (options_.dedup) {
+      rt->dedup = std::make_unique<QueryDedupRegistry>(reg);
+      rt->dedup_wire = std::make_unique<DedupTransport>(wire, rt->dedup.get());
+      wire = rt->dedup_wire.get();
+    }
+    rt->wire = wire;
+    DispatcherOptions dopts;
+    dopts.num_workers = options_.dispatcher_workers;
+    rt->dispatcher = std::make_unique<AsyncDispatcher>(wire, dopts);
+    rt->sampler = std::make_unique<UniformSampler>(backend.meta->dataset().box());
+    runtimes_.push_back(std::move(rt));
+  }
+}
+
+EstimationService::~EstimationService() = default;
+
+double EstimationService::NowMs() const {
+  if (options_.clock_ms) return options_.clock_ms();
+  return static_cast<double>(ticks_);
+}
+
+const QueryDedupRegistry* EstimationService::dedup(size_t backend) const {
+  LBSAGG_CHECK_LT(backend, runtimes_.size());
+  return runtimes_[backend]->dedup.get();
+}
+
+EstimationService::Session* EstimationService::Find(SessionId id) {
+  auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : it->second.get();
+}
+
+const EstimationService::Session* EstimationService::Find(SessionId id) const {
+  auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : it->second.get();
+}
+
+SessionId EstimationService::Submit(SessionSpec spec) {
+  const SessionId id = next_id_++;
+  auto owned = std::make_unique<Session>();
+  Session* session = owned.get();
+  session->id = id;
+  session->spec = std::move(spec);
+  session->submit_ms = NowMs();
+  sessions_.emplace(id, std::move(owned));
+  ++submitted_;
+  submitted_counter_.Add(1);
+
+  std::string error;
+  if (session->spec.budget == 0) {
+    error = "budget must be > 0";
+  } else if (session->spec.k <= 0) {
+    error = "k must be > 0";
+  } else if (session->spec.backend >= backends_.size()) {
+    error = "unknown backend";
+  }
+  if (!error.empty()) {
+    Finalize(session, SessionState::kRejected, std::move(error));
+    return id;
+  }
+  if (!queue_.TryEnqueue(id, session->spec.principal)) {
+    Finalize(session, SessionState::kRejected, "admission queue full");
+    return id;
+  }
+  queued_gauge_.Set(static_cast<double>(queue_.size()));
+  FireEvent(SessionEventKind::kSubmitted, *session);
+  return id;
+}
+
+SessionStatus EstimationService::Poll(SessionId id) const {
+  SessionStatus status;
+  const Session* session = Find(id);
+  if (session == nullptr) {
+    status.detail = "unknown session";
+    return status;
+  }
+  status.id = id;
+  status.state = session->state;
+  status.principal = session->spec.principal;
+  status.submit_ms = session->submit_ms;
+  status.start_ms = session->start_ms;
+  status.end_ms = session->end_ms;
+  status.dedup_hits = session->dedup_hits;
+  status.rounds = session->rounds;
+  status.detail = session->detail;
+  if (session->run != nullptr) {
+    status.queries_used = session->run->engine->queries_used();
+    status.estimates.reserve(session->run->aggregates.size());
+    for (const engine::AggregateQuery* agg : session->run->aggregates) {
+      status.estimates.push_back(agg->Estimate());
+    }
+  } else {
+    status.queries_used = session->queries;
+    status.estimates.reserve(session->results.size());
+    for (const RunResult& result : session->results) {
+      status.estimates.push_back(result.final_estimate);
+    }
+    status.results = session->results;
+  }
+  if (IsTerminal(session->state)) {
+    status.latency_ms = session->end_ms - session->submit_ms;
+  }
+  return status;
+}
+
+bool EstimationService::Cancel(SessionId id) {
+  Session* session = Find(id);
+  if (session == nullptr || IsTerminal(session->state)) return false;
+  if (session->state == SessionState::kQueued) {
+    queue_.Remove(id);
+    queued_gauge_.Set(static_cast<double>(queue_.size()));
+  } else {
+    RemoveActive(session);
+  }
+  Finalize(session, SessionState::kCancelled, "cancelled by caller");
+  return true;
+}
+
+bool EstimationService::Forget(SessionId id) {
+  auto it = sessions_.find(id);
+  if (it == sessions_.end() || !IsTerminal(it->second->state)) return false;
+  sessions_.erase(it);
+  return true;
+}
+
+void EstimationService::Activate(Session* session) {
+  BackendRuntime& rt = *runtimes_[session->spec.backend];
+  const LbsServer* meta = backends_[session->spec.backend].meta;
+  auto run = std::make_unique<ActiveRun>();
+
+  ClientOptions copts;
+  copts.k = session->spec.k;
+  copts.budget = session->spec.budget;
+  copts.memoize_queries = session->spec.memoize_queries;
+  copts.registry = options_.registry;
+  copts.tracer = options_.tracer;
+
+  const QuerySampler* sampler = session->spec.sampler != nullptr
+                                    ? session->spec.sampler
+                                    : rt.sampler.get();
+
+  switch (session->spec.family) {
+    case EstimatorFamily::kLr: {
+      auto client = std::make_unique<LrClient>(meta, copts, rt.wire,
+                                               rt.dispatcher.get());
+      LrAggOptions opts = session->spec.lr;
+      opts.seed = session->spec.seed;
+      opts.registry = options_.registry;
+      opts.tracer = options_.tracer;
+      run->resolver = std::make_unique<engine::LrCellResolver>(client.get(),
+                                                               sampler, opts);
+      run->client = std::move(client);
+      break;
+    }
+    case EstimatorFamily::kLnr: {
+      auto client = std::make_unique<LnrClient>(meta, copts, rt.wire,
+                                                rt.dispatcher.get());
+      LnrAggOptions opts = session->spec.lnr;
+      opts.seed = session->spec.seed;
+      opts.registry = options_.registry;
+      opts.tracer = options_.tracer;
+      run->resolver = std::make_unique<engine::LnrCellResolver>(client.get(),
+                                                                sampler, opts);
+      run->client = std::move(client);
+      break;
+    }
+    case EstimatorFamily::kNno: {
+      auto client = std::make_unique<LrClient>(meta, copts, rt.wire,
+                                               rt.dispatcher.get());
+      NnoOptions opts = session->spec.nno;
+      opts.seed = session->spec.seed;
+      opts.registry = options_.registry;
+      opts.tracer = options_.tracer;
+      run->resolver =
+          std::make_unique<engine::NnoProbeResolver>(client.get(), opts);
+      run->client = std::move(client);
+      break;
+    }
+  }
+
+  run->engine = std::make_unique<engine::EstimationEngine>(
+      run->resolver.get(),
+      engine::EngineOptions{options_.registry, options_.tracer});
+  if (session->spec.aggregates.empty()) {
+    run->aggregates.push_back(run->engine->AddAggregate(AggregateSpec::Count()));
+  } else {
+    run->aggregates.reserve(session->spec.aggregates.size());
+    for (const AggregateSpec& spec : session->spec.aggregates) {
+      run->aggregates.push_back(run->engine->AddAggregate(spec));
+    }
+  }
+
+  session->run = std::move(run);
+  session->state = SessionState::kRunning;
+  session->start_ms = NowMs();
+  active_.push_back(session);
+  active_gauge_.Set(static_cast<double>(active_.size()));
+  FireEvent(SessionEventKind::kStarted, *session);
+}
+
+void EstimationService::Finalize(Session* session, SessionState state,
+                                 std::string detail) {
+  LBSAGG_CHECK(IsTerminal(state));
+  if (session->run != nullptr) {
+    const engine::EstimationEngine& eng = *session->run->engine;
+    session->queries = eng.queries_used();
+    session->results.reserve(session->run->aggregates.size());
+    for (const engine::AggregateQuery* agg : session->run->aggregates) {
+      RunResult result;
+      result.trace = agg->trace();
+      result.final_estimate = agg->Estimate();
+      result.queries = eng.queries_used();
+      session->results.push_back(std::move(result));
+    }
+    session->run.reset();
+    active_gauge_.Set(static_cast<double>(active_.size()));
+  }
+  session->state = state;
+  session->detail = std::move(detail);
+  session->end_ms = NowMs();
+  switch (state) {
+    case SessionState::kCompleted:
+      ++completed_;
+      completed_counter_.Add(1);
+      break;
+    case SessionState::kCancelled:
+      ++cancelled_;
+      cancelled_counter_.Add(1);
+      break;
+    case SessionState::kRejected:
+      ++rejected_;
+      rejected_counter_.Add(1);
+      break;
+    case SessionState::kDeadlineExceeded:
+      ++deadline_exceeded_;
+      deadline_counter_.Add(1);
+      break;
+    default:
+      break;
+  }
+  if (options_.tracer != nullptr && state != SessionState::kRejected) {
+    options_.tracer->AddComplete(
+        "service.session", "service", session->submit_ms * 1000.0,
+        (session->end_ms - session->submit_ms) * 1000.0);
+  }
+  FireEvent(state == SessionState::kRejected ? SessionEventKind::kRejected
+                                             : SessionEventKind::kFinished,
+            *session);
+}
+
+void EstimationService::RemoveActive(Session* session) {
+  for (size_t i = 0; i < active_.size(); ++i) {
+    if (active_[i] != session) continue;
+    active_.erase(active_.begin() + static_cast<ptrdiff_t>(i));
+    // Keep the round-robin rotation fair: entries before the cursor shifted
+    // left by one.
+    if (i < rr_cursor_) --rr_cursor_;
+    return;
+  }
+}
+
+bool EstimationService::PastDeadline(const Session& session) const {
+  return session.spec.deadline_ms > 0 &&
+         NowMs() - session.submit_ms > session.spec.deadline_ms;
+}
+
+void EstimationService::FillActiveSet() {
+  while (active_.size() < queue_.options().max_active) {
+    const SessionId id = queue_.PopNext();
+    if (id == kInvalidSessionId) break;
+    Session* session = Find(id);
+    LBSAGG_CHECK(session != nullptr);
+    if (PastDeadline(*session)) {
+      Finalize(session, SessionState::kDeadlineExceeded,
+               "deadline exceeded while queued");
+      continue;
+    }
+    Activate(session);
+  }
+  queued_gauge_.Set(static_cast<double>(queue_.size()));
+}
+
+bool EstimationService::RunSlice() {
+  FillActiveSet();
+  if (active_.empty()) return false;
+  ++ticks_;
+  slices_counter_.Add(1);
+
+  const size_t idx = rr_cursor_ % active_.size();
+  Session* session = active_[idx];
+  if (PastDeadline(*session)) {
+    RemoveActive(session);
+    Finalize(session, SessionState::kDeadlineExceeded, "deadline exceeded");
+    return true;
+  }
+
+  BackendRuntime& rt = *runtimes_[session->spec.backend];
+  const uint64_t budget = session->spec.budget;
+  const size_t max_rounds = session->spec.max_rounds != 0
+                                ? session->spec.max_rounds
+                                : options_.default_max_rounds;
+  engine::EstimationEngine* eng = session->run->engine.get();
+
+  if (rt.dedup != nullptr) rt.dedup->SetHitSink(&session->dedup_hits);
+  size_t ran = 0;
+  // Exactly RunWithBudget's loop condition, time-sliced: the session ends
+  // with the same rounds and counted-query trace as running it alone.
+  while (ran < options_.slice_rounds && eng->queries_used() < budget &&
+         session->rounds < max_rounds) {
+    eng->Step();
+    ++session->rounds;
+    ++ran;
+  }
+  if (rt.dedup != nullptr) rt.dedup->SetHitSink(nullptr);
+
+  FireEvent(SessionEventKind::kProgress, *session);
+  // A progress trigger may have cancelled this very session.
+  if (IsTerminal(session->state)) return true;
+
+  if (eng->queries_used() >= budget || session->rounds >= max_rounds) {
+    RemoveActive(session);
+    Finalize(session, SessionState::kCompleted, {});
+  } else {
+    rr_cursor_ = idx + 1;
+  }
+  return true;
+}
+
+void EstimationService::RunUntilIdle() {
+  while (RunSlice()) {
+  }
+}
+
+void EstimationService::FireEvent(SessionEventKind kind,
+                                  const Session& session) {
+  if (triggers_.size() == 0) return;
+  SessionEvent event;
+  event.kind = kind;
+  event.id = session.id;
+  event.state = session.state;
+  event.principal = session.spec.principal;
+  event.queries_used = session.run != nullptr
+                           ? session.run->engine->queries_used()
+                           : session.queries;
+  event.rounds = session.rounds;
+  event.now_ms = NowMs();
+  triggers_.Fire(event);
+}
+
+std::string EstimationService::diagnostics_json() const {
+  std::ostringstream out;
+  out << "{\"sessions\":{\"submitted\":" << submitted_
+      << ",\"completed\":" << completed_ << ",\"rejected\":" << rejected_
+      << ",\"cancelled\":" << cancelled_
+      << ",\"deadline_exceeded\":" << deadline_exceeded_ << "}"
+      << ",\"queued\":" << queue_.size() << ",\"active\":" << active_.size()
+      << ",\"slices\":" << ticks_ << ",\"admission\":{\"policy\":\""
+      << AdmissionPolicyName(queue_.options().policy)
+      << "\",\"queue_capacity\":" << queue_.options().queue_capacity
+      << ",\"max_active\":" << queue_.options().max_active << "}"
+      << ",\"dispatcher_workers\":" << options_.dispatcher_workers
+      << ",\"dedup\":[";
+  for (size_t i = 0; i < runtimes_.size(); ++i) {
+    if (i > 0) out << ",";
+    if (runtimes_[i]->dedup != nullptr) {
+      out << runtimes_[i]->dedup->ToJson();
+    } else {
+      out << "null";
+    }
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace service
+}  // namespace lbsagg

@@ -1,8 +1,26 @@
 #include "transport/async_dispatcher.h"
 
+#include <chrono>
+
 #include "util/check.h"
 
 namespace lbsagg {
+
+namespace {
+// Every blocking wait in this file is a timed re-check loop, not a bare
+// condition_variable::wait: glibc < 2.41 condvars can drop a signal under
+// contention (glibc bug 25847 — a waiter "steals" a signal and the undo
+// path misses a sleeper), which turned one in ~10^7 batch handshakes into
+// a permanent hang on a single-core host. The predicate, not the wakeup,
+// is authoritative; a lost signal degrades to one tick of extra latency.
+constexpr std::chrono::milliseconds kWaitTick{100};
+
+template <typename Predicate>
+void WaitRobust(std::condition_variable& cv, std::unique_lock<std::mutex>& lock,
+                Predicate pred) {
+  while (!pred()) cv.wait_for(lock, kWaitTick);
+}
+}  // namespace
 
 // Completion bookkeeping shared by one QueryBatch call and the workers
 // fulfilling its jobs; lives on the caller's stack for the call duration.
@@ -52,8 +70,8 @@ void AsyncDispatcher::WorkerLoop() {
     Job job;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      queue_not_empty_.wait(lock,
-                            [this] { return stopping_ || !queue_.empty(); });
+      WaitRobust(queue_not_empty_, lock,
+                 [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping and drained
       job = std::move(queue_.front());
       queue_.pop_front();
@@ -88,15 +106,15 @@ std::vector<TransportReply> AsyncDispatcher::QueryBatch(
             transport_->Prepare(queries[i], k), &replies[i], &batch};
     {
       std::unique_lock<std::mutex> lock(mu_);
-      queue_not_full_.wait(
-          lock, [this] { return queue_.size() < queue_capacity_; });
+      WaitRobust(queue_not_full_, lock,
+                 [this] { return queue_.size() < queue_capacity_; });
       queue_.push_back(std::move(job));
     }
     queue_not_empty_.notify_one();
   }
 
   std::unique_lock<std::mutex> lock(batch.mu);
-  batch.done.wait(lock, [&batch] { return batch.remaining == 0; });
+  WaitRobust(batch.done, lock, [&batch] { return batch.remaining == 0; });
   return replies;
 }
 

@@ -20,6 +20,7 @@
 #include "lbs/sharded_server.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
+#include "service/service.h"
 #include "transport/sharded_transport.h"
 
 namespace lbsagg {
@@ -389,6 +390,158 @@ TEST(SweepDeterminism, LegacyTraceFingerprintThroughShardedStack) {
       }
     }
     EXPECT_EQ(hash, 0x8e13737b33817270ull) << shards << " shards";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Service layer: a multi-session host changes *how* queries reach the
+// backend (cooperative scheduling, per-backend dispatcher workers,
+// cross-session dedup) but must change nothing a session observes. Every
+// session's outcome — queries, rounds, full trace, final estimate — and the
+// dedup registry's counters are a pure function of the submitted specs, not
+// of the dispatcher worker count; repeated runs are bit-identical.
+
+struct ServiceRun {
+  std::vector<service::SessionStatus> sessions;  // in submit order
+  service::DedupStats dedup;
+};
+
+ServiceRun RunServiceMix(unsigned dispatcher_workers, uint64_t seed_base) {
+  UsaOptions usa_opts;
+  usa_opts.num_pois = 400;
+  static const UsaScenario* usa = new UsaScenario(BuildUsaScenario(usa_opts));
+  static const LbsServer* server =
+      new LbsServer(usa->dataset.get(), {.max_k = 10});
+
+  service::ServiceOptions options;
+  options.dispatcher_workers = dispatcher_workers;
+  options.admission.max_active = 4;
+  options.slice_rounds = 2;
+  service::EstimationService svc({{.meta = server}}, options);
+
+  // A mixed workload: one LR, one NNO, a twin of the NNO session (same seed
+  // → same query stream, the dedup best case), one NNO at another seed.
+  std::vector<service::SessionSpec> specs(4);
+  specs[0].family = service::EstimatorFamily::kLr;
+  specs[0].seed = seed_base;
+  specs[1].family = service::EstimatorFamily::kNno;
+  specs[1].seed = seed_base;
+  specs[2] = specs[1];
+  specs[3].family = service::EstimatorFamily::kNno;
+  specs[3].seed = seed_base + 1;
+  for (service::SessionSpec& spec : specs) {
+    spec.k = 3;
+    spec.budget = 250;
+  }
+
+  std::vector<service::SessionId> ids;
+  for (const service::SessionSpec& spec : specs) ids.push_back(svc.Submit(spec));
+  svc.RunUntilIdle();
+
+  ServiceRun run;
+  for (service::SessionId id : ids) run.sessions.push_back(svc.Poll(id));
+  run.dedup = svc.dedup()->Stats();
+  return run;
+}
+
+void ExpectServiceRunsIdentical(const ServiceRun& a, const ServiceRun& b) {
+  ASSERT_EQ(a.sessions.size(), b.sessions.size());
+  for (size_t s = 0; s < a.sessions.size(); ++s) {
+    const service::SessionStatus& x = a.sessions[s];
+    const service::SessionStatus& y = b.sessions[s];
+    EXPECT_EQ(x.state, y.state) << "session " << s;
+    EXPECT_EQ(x.queries_used, y.queries_used) << "session " << s;
+    EXPECT_EQ(x.rounds, y.rounds) << "session " << s;
+    EXPECT_EQ(x.dedup_hits, y.dedup_hits) << "session " << s;
+    ASSERT_EQ(x.results.size(), y.results.size()) << "session " << s;
+    for (size_t r = 0; r < x.results.size(); ++r) {
+      EXPECT_EQ(x.results[r].queries, y.results[r].queries);
+      EXPECT_EQ(x.results[r].final_estimate, y.results[r].final_estimate);
+      ASSERT_EQ(x.results[r].trace.size(), y.results[r].trace.size());
+      for (size_t i = 0; i < x.results[r].trace.size(); ++i) {
+        EXPECT_EQ(x.results[r].trace[i].queries, y.results[r].trace[i].queries);
+        EXPECT_EQ(x.results[r].trace[i].estimate,
+                  y.results[r].trace[i].estimate);
+      }
+    }
+  }
+  EXPECT_EQ(a.dedup.lookups, b.dedup.lookups);
+  EXPECT_EQ(a.dedup.hits, b.dedup.hits);
+  EXPECT_EQ(a.dedup.saved_attempts, b.dedup.saved_attempts);
+  EXPECT_EQ(a.dedup.entries, b.dedup.entries);
+}
+
+TEST(ServiceDeterminism, SessionOutcomesInvariantToDispatcherWorkers) {
+  const ServiceRun inline_batches = RunServiceMix(0, 42);
+  ASSERT_GT(inline_batches.sessions.size(), 0u);
+  // The twin session guarantees the dedup path is actually exercised.
+  EXPECT_GT(inline_batches.dedup.hits, 0u);
+  for (unsigned workers : {1u, 4u, 8u}) {
+    ExpectServiceRunsIdentical(inline_batches, RunServiceMix(workers, 42));
+  }
+}
+
+TEST(ServiceDeterminism, ServiceRunsIdenticalAcrossRepeatedSeeds) {
+  ExpectServiceRunsIdentical(RunServiceMix(4, 43), RunServiceMix(4, 43));
+  // Different seeds must actually move the numbers, or the comparisons
+  // above prove nothing.
+  EXPECT_NE(RunServiceMix(4, 43).sessions[0].results[0].final_estimate,
+            RunServiceMix(4, 44).sessions[0].results[0].final_estimate);
+}
+
+// The legacy fingerprint through the service path: the same three LR
+// sessions the monolith harness ran back to back, here submitted
+// *concurrently* — time-sliced against each other, behind the dedup wire,
+// with dispatcher workers fulfilling the plans — and still folding to the
+// monolith-era hash. Mirror charging is what makes this possible: a dedup
+// hit bills the session exactly what a clean solo wire would have.
+TEST(ServiceDeterminism, LegacyTraceFingerprintThroughService) {
+  auto mix = [](uint64_t h, uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    return h;
+  };
+  UsaOptions uopts;
+  uopts.num_pois = 6000;
+  static const UsaScenario* usa = new UsaScenario(BuildUsaScenario(uopts));
+  static const LbsServer* server =
+      new LbsServer(usa->dataset.get(), {.max_k = 5});
+  CensusSampler sampler(&usa->census);
+  const AggregateSpec spec = AggregateSpec::CountWhere(
+      ColumnEquals(usa->columns.category, "restaurant"),
+      "COUNT(restaurants)");
+
+  for (unsigned workers : {0u, 4u}) {
+    service::ServiceOptions options;
+    options.dispatcher_workers = workers;
+    options.admission.max_active = 3;
+    service::EstimationService svc({{.meta = server}}, options);
+
+    std::vector<service::SessionId> ids;
+    for (uint64_t seed = 42; seed < 45; ++seed) {
+      service::SessionSpec session;
+      session.family = service::EstimatorFamily::kLr;
+      session.aggregates = {spec};
+      session.k = 5;
+      session.budget = 4000;
+      session.seed = seed;
+      session.sampler = &sampler;
+      ids.push_back(svc.Submit(session));
+    }
+    svc.RunUntilIdle();
+
+    uint64_t hash = 0;
+    for (service::SessionId id : ids) {
+      const service::SessionStatus done = svc.Poll(id);
+      ASSERT_EQ(done.state, service::SessionState::kCompleted);
+      ASSERT_EQ(done.results.size(), 1u);
+      for (const TracePoint& tp : done.results[0].trace) {
+        uint64_t bits;
+        std::memcpy(&bits, &tp.estimate, sizeof bits);
+        hash = mix(hash, tp.queries);
+        hash = mix(hash, bits);
+      }
+    }
+    EXPECT_EQ(hash, 0x8e13737b33817270ull) << workers << " workers";
   }
 }
 

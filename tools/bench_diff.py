@@ -3,9 +3,11 @@
 
 Handles both baseline shapes used in this repo:
 
-  * curated files (BENCH_hotpath.json, BENCH_shard.json): nested objects of
-    named numeric leaves — flattened to dotted paths like
-    "n=10000000.build.shards=16.speedup_vs_single";
+  * curated files (BENCH_hotpath.json, BENCH_shard.json,
+    BENCH_service.json): nested objects of named numeric leaves —
+    flattened to dotted paths like
+    "n=10000000.build.shards=16.speedup_vs_single" or
+    "load.dedup=on.latency_p99_ms";
   * raw google-benchmark dumps (BENCH_transport.json, BENCH_engine.json):
     the "benchmarks" array — each entry becomes "<name>.real_time" /
     "<name>.items_per_second" etc., keyed by the benchmark's name.

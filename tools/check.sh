@@ -40,11 +40,12 @@ cmake -B build-tsan -S . \
 cmake --build build-tsan -j "$(nproc)" \
   --target transport_test transport_determinism_test sweep_determinism_test \
            sharded_server_test sharded_transport_test obs_test engine_test \
+           service_test \
   -- --quiet 2>/dev/null \
   || cmake --build build-tsan -j "$(nproc)" \
        --target transport_test transport_determinism_test \
                 sweep_determinism_test sharded_server_test \
-                sharded_transport_test obs_test engine_test
+                sharded_transport_test obs_test engine_test service_test
 
 echo "==> threaded tests under TSAN"
 ./build-tsan/tests/transport_test
@@ -60,6 +61,10 @@ echo "==> threaded tests under TSAN"
 ./build-tsan/tests/sharded_transport_test
 ./build-tsan/tests/obs_test
 ./build-tsan/tests/engine_test
+# service_test drives EstimationService sessions over the shared dedup wire
+# with dispatcher workers live (single-flight owner/follower handoff);
+# sweep_determinism_test's ServiceDeterminism suites sweep worker counts.
+./build-tsan/tests/service_test
 
 if [[ "$FAST" == "0" ]]; then
   echo "==> perf smoke (optimized build, token min-time)"

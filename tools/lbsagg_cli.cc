@@ -25,6 +25,7 @@
 #include "lbs/dataset_io.h"
 #include "lbs/server.h"
 #include "lbs/sharded_server.h"
+#include "service/service.h"
 #include "transport/sharded_transport.h"
 #include "util/flags.h"
 #include "util/rng.h"
@@ -279,6 +280,88 @@ int Run(const FlagParser& flags) {
   const int runs = static_cast<int>(flags.GetInt("runs"));
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed"));
 
+  // --sessions: the same estimator fleet, but hosted — every run becomes a
+  // session of one EstimationService (DESIGN.md §4.12), time-sliced against
+  // its siblings behind a shared cross-session dedup wire. Estimates are
+  // bit-identical to the sequential path; the service additionally reports
+  // the interface queries dedup kept off the backend.
+  const int sessions = static_cast<int>(flags.GetInt("sessions"));
+  if (sessions > 0) {
+    service::EstimatorFamily family;
+    if (algorithm == "lr") {
+      family = service::EstimatorFamily::kLr;
+    } else if (algorithm == "lnr") {
+      family = service::EstimatorFamily::kLnr;
+    } else if (algorithm == "nno") {
+      family = service::EstimatorFamily::kNno;
+    } else {
+      std::fprintf(stderr, "error: unknown --algorithm=%s\n",
+                   algorithm.c_str());
+      return 1;
+    }
+
+    service::ServiceOptions sopts;
+    sopts.admission.queue_capacity = static_cast<size_t>(sessions) + 1;
+    sopts.admission.max_active =
+        std::min<size_t>(static_cast<size_t>(sessions), 16);
+    sopts.dispatcher_workers = 4;
+    service::EstimationService svc({{.meta = &server,
+                                     .wire = transport.get()}},
+                                   sopts);
+
+    std::vector<service::SessionId> ids;
+    for (int r = 0; r < sessions; ++r) {
+      service::SessionSpec session;
+      session.family = family;
+      session.aggregates = {spec};
+      session.k = k;
+      session.budget = budget;
+      session.seed = seed + static_cast<uint64_t>(r);
+      session.sampler = sampler.get();
+      session.lnr.cell.search.delta_fraction = 1e-6;
+      session.lnr.cell.search.delta_prime_fraction = 1e-4;
+      ids.push_back(svc.Submit(session));
+    }
+    svc.RunUntilIdle();
+
+    Table stable({"session", "state", "estimate", "queries", "dedup hits"});
+    RunningStats estimates;
+    for (size_t i = 0; i < ids.size(); ++i) {
+      const service::SessionStatus done = svc.Poll(ids[i]);
+      if (done.state == service::SessionState::kCompleted) {
+        estimates.Add(done.results[0].final_estimate);
+      }
+      stable.AddRow(
+          {Table::Int(static_cast<int>(i) + 1),
+           service::SessionStateName(done.state),
+           done.results.empty()
+               ? "-"
+               : Table::Num(done.results[0].final_estimate, 2),
+           Table::Int(static_cast<long long>(done.queries_used)),
+           Table::Int(static_cast<long long>(done.dedup_hits))});
+    }
+
+    std::printf("%s over %s (%zu tuples), %d hosted %s sessions, k=%d, "
+                "budget %llu\n\n",
+                spec.name.c_str(), flags.GetString("dataset").c_str(),
+                dataset.size(), sessions, algorithm.c_str(), k,
+                static_cast<unsigned long long>(budget));
+    stable.Print();
+    std::printf("\nmean estimate : %.2f (95%% CI ±%.2f across sessions)\n",
+                estimates.mean(), estimates.ConfidenceHalfWidth());
+    std::printf("ground truth  : %.2f (simulator-only knowledge)\n", truth);
+    std::printf("relative error: %.1f%%\n",
+                100.0 * RelativeError(estimates.mean(), truth));
+    if (svc.dedup() != nullptr) {
+      const service::DedupStats d = svc.dedup()->Stats();
+      std::printf("dedup         : %llu of %llu interface queries answered "
+                  "from the shared cache\n",
+                  static_cast<unsigned long long>(d.saved_attempts),
+                  static_cast<unsigned long long>(d.lookups));
+    }
+    return 0;
+  }
+
   Table table({"run", "estimate", "queries", "samples"});
   RunningStats estimates;
   for (int r = 0; r < runs; ++r) {
@@ -373,6 +456,10 @@ int main(int argc, char** argv) {
                "only)");
   flags.AddInt("budget", 10000, "query budget per run");
   flags.AddInt("runs", 3, "independent runs");
+  flags.AddInt("sessions", 0,
+               "host this many concurrent sessions (seeds seed..seed+N-1) in "
+               "one EstimationService with cross-session dedup instead of "
+               "running sequentially (0 = off)");
   flags.AddInt("seed", 1, "base estimator seed");
   flags.AddString("sampler", "census", "census | uniform");
   flags.AddString("export", "",

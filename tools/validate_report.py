@@ -10,9 +10,9 @@ authoritative statement of the same contract — keep the two in sync.
 
 With --require-layers, additionally checks that the metric plane covers the
 named layers: each layer must contribute at least one `<layer>.` counter,
-except `transport` and `engine`, which may instead appear as a
-sections.transport / sections.engine block (the subsystems' JSON
-side-channels). This is what the CI observability job runs against
+except `transport`, `engine`, and `service`, which may instead appear as a
+sections.transport / sections.engine / sections.service block (the
+subsystems' JSON side-channels). This is what the CI observability job runs against
 examples/flaky_service --report and examples/multi_aggregate --report.
 """
 
@@ -143,8 +143,11 @@ def validate(report):
     sections = report["sections"]
     if not isinstance(sections, dict):
         fail(errors, "sections", "expected an object")
-    elif "engine" in sections:
-        validate_engine_section(errors, sections["engine"])
+    else:
+        if "engine" in sections:
+            validate_engine_section(errors, sections["engine"])
+        if "service" in sections:
+            validate_service_section(errors, sections["service"])
 
     return errors
 
@@ -175,20 +178,77 @@ def validate_engine_section(errors, engine):
                     check_count(errors, f"{path}.evidence.{key}", evidence[key])
 
 
+def validate_service_section(errors, service):
+    """EstimationService::diagnostics_json (DESIGN.md §4.12): session
+    lifecycle tallies + admission configuration + per-backend dedup."""
+    path = "sections.service"
+    if not isinstance(service, dict):
+        fail(errors, path, "expected an object")
+        return
+    for key in ["sessions", "queued", "active", "slices", "admission",
+                "dispatcher_workers", "dedup"]:
+        if key not in service:
+            fail(errors, path, f"missing required key '{key}'")
+    sessions = service.get("sessions")
+    if sessions is not None:
+        if not isinstance(sessions, dict):
+            fail(errors, f"{path}.sessions", "expected an object")
+        else:
+            for key in ["submitted", "completed", "rejected", "cancelled",
+                        "deadline_exceeded"]:
+                if key not in sessions:
+                    fail(errors, f"{path}.sessions", f"missing field '{key}'")
+                else:
+                    check_count(errors, f"{path}.sessions.{key}", sessions[key])
+    for key in ["queued", "active", "slices", "dispatcher_workers"]:
+        if key in service:
+            check_count(errors, f"{path}.{key}", service[key])
+    admission = service.get("admission")
+    if admission is not None:
+        if not isinstance(admission, dict):
+            fail(errors, f"{path}.admission", "expected an object")
+        else:
+            policy = admission.get("policy")
+            if policy not in ("fifo", "fair_share"):
+                fail(errors, f"{path}.admission.policy",
+                     f"expected 'fifo' or 'fair_share', got {policy!r}")
+            for key in ["queue_capacity", "max_active"]:
+                if key not in admission:
+                    fail(errors, f"{path}.admission", f"missing field '{key}'")
+                else:
+                    check_count(errors, f"{path}.admission.{key}",
+                                admission[key])
+    dedup = service.get("dedup")
+    if dedup is not None:
+        if not isinstance(dedup, list):
+            fail(errors, f"{path}.dedup", "expected an array")
+        else:
+            for i, entry in enumerate(dedup):
+                entry_path = f"{path}.dedup[{i}]"
+                if not isinstance(entry, dict):
+                    fail(errors, entry_path, "expected an object")
+                    continue
+                for key in ["entries", "lookups", "hits", "saved_queries"]:
+                    if key not in entry:
+                        fail(errors, entry_path, f"missing field '{key}'")
+                    else:
+                        check_count(errors, f"{entry_path}.{key}", entry[key])
+
+
 def check_layers(report, layers):
     errors = []
     counters = report.get("metrics", {}).get("counters", {})
     sections = report.get("sections", {})
     for layer in layers:
         covered = any(name.startswith(layer + ".") for name in counters)
-        if layer in ("transport", "engine"):
+        if layer in ("transport", "engine", "service"):
             covered = covered or layer in sections
         if not covered:
             errors.append(
                 f"layer coverage: no '{layer}.' counters"
                 + (
                     f" and no sections.{layer}"
-                    if layer in ("transport", "engine")
+                    if layer in ("transport", "engine", "service")
                     else ""
                 )
             )
