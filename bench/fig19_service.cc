@@ -28,8 +28,11 @@
 #include <vector>
 
 #include "common/bench_common.h"
+#include "obs/introspect/flight_recorder.h"
+#include "obs/introspect/sampler.h"
 #include "obs/report.h"
 #include "service/service.h"
+#include "service/watchdog.h"
 #include "transport/simulated_transport.h"
 #include "util/flags.h"
 #include "util/stats.h"
@@ -76,6 +79,12 @@ struct LoadResult {
   RunningStats query_stats;
   service::DedupStats dedup;
   std::string diagnostics;
+  // Introspection plane (live for the whole run; see DESIGN.md §4.13).
+  std::string timeseries;     // sampler's "timeseries" section
+  std::string introspection;  // recorder tallies + watchdog verdicts
+  uint64_t windows_cut = 0;
+  uint64_t recorder_published = 0;
+  uint64_t recorder_dropped = 0;
 };
 
 LoadResult RunLoad(const LbsServer& server, const LoadConfig& cfg) {
@@ -93,7 +102,17 @@ LoadResult RunLoad(const LbsServer& server, const LoadConfig& cfg) {
   options.dispatcher_workers = cfg.workers;
   options.dedup = cfg.dedup;
   options.clock_ms = [&wire] { return wire.VirtualNowMs(); };
+  // The introspection plane rides the whole load: every session lifecycle
+  // event streams through the flight recorder (drained live, mid-run), the
+  // sampler cuts metric windows on the virtual clock, and the SLO watchdog
+  // scans the active set — all without perturbing the estimates.
+  obs::introspect::FlightRecorder recorder(8192);
+  options.recorder = &recorder;
   service::EstimationService svc({{.meta = &server, .wire = &wire}}, options);
+  obs::introspect::TimeSeriesSampler sampler(
+      {.clock_ms = [&wire] { return wire.VirtualNowMs(); },
+       .period_ms = 250.0});
+  service::SloWatchdog watchdog(&svc);
 
   // Harvest-and-forget: latencies recorded the moment a session ends, the
   // record dropped on the next driver iteration so memory stays O(active).
@@ -123,12 +142,23 @@ LoadResult RunLoad(const LbsServer& server, const LoadConfig& cfg) {
   result.submit_ms = WallMs() - submit0;
 
   const double run0 = WallMs();
+  std::vector<obs::introspect::FlightRecord> drained;
+  uint64_t slices = 0;
   while (svc.RunSlice()) {
     for (const service::SessionId id : done_ids) (void)svc.Forget(id);
     done_ids.clear();
+    sampler.MaybeTick();
+    // The watchdog scan copies trajectories; amortize it, and drain the
+    // recorder live so the drained window keeps moving while workers run.
+    if ((++slices & 255) == 0) {
+      watchdog.Check();
+      drained.clear();
+      recorder.Drain(&drained);
+    }
   }
   result.wall_ms = WallMs() - run0;
   for (const service::SessionId id : done_ids) (void)svc.Forget(id);
+  sampler.Tick();  // cut the final partial window
 
   std::sort(latencies.begin(), latencies.end());
   result.completed = svc.completed();
@@ -140,6 +170,16 @@ LoadResult RunLoad(const LbsServer& server, const LoadConfig& cfg) {
   result.p99 = Percentile(latencies, 0.99);
   if (svc.dedup() != nullptr) result.dedup = svc.dedup()->Stats();
   result.diagnostics = svc.diagnostics_json();
+  result.timeseries = sampler.ToJson();
+  result.windows_cut = sampler.windows_cut();
+  result.recorder_published = recorder.published();
+  result.recorder_dropped = recorder.dropped();
+  result.introspection =
+      "{\"flight_recorder\": " + recorder.StatsJson() +
+      ", \"watchdog\": {\"stalled_fired\": " +
+      std::to_string(watchdog.stalled_fired()) +
+      ", \"deadline_fired\": " + std::to_string(watchdog.deadline_fired()) +
+      "}}";
   return result;
 }
 
@@ -175,6 +215,12 @@ void PrintLoad(const char* title, const LoadResult& r) {
   table.AddRow({"latency p90 (virtual ms)", Table::Num(r.p90, 1)});
   table.AddRow({"latency p99 (virtual ms)", Table::Num(r.p99, 1)});
   table.AddRow({"mean queries/session", Table::Num(r.query_stats.mean(), 2)});
+  table.AddRow({"recorder events",
+                Table::Int(static_cast<long long>(r.recorder_published))});
+  table.AddRow({"recorder drops",
+                Table::Int(static_cast<long long>(r.recorder_dropped))});
+  table.AddRow({"sampler windows",
+                Table::Int(static_cast<long long>(r.windows_cut))});
   table.Print();
 }
 
@@ -304,6 +350,8 @@ int main(int argc, char** argv) {
     report.AddStats("session.queries", with_dedup.query_stats);
     report.SetSnapshot(obs::MetricsRegistry::Default().Snapshot());
     report.AddJsonSection("service", with_dedup.diagnostics);
+    report.AddJsonSection("timeseries", with_dedup.timeseries);
+    report.AddJsonSection("introspection", with_dedup.introspection);
     std::ofstream out(path);
     if (out) {
       out << report.ToJson() << "\n";

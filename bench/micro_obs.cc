@@ -12,6 +12,9 @@
 
 #include "common/bench_main.h"
 
+#include "obs/introspect/flight_recorder.h"
+#include "obs/introspect/prometheus.h"
+#include "obs/introspect/sampler.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
 #include "obs/trace.h"
@@ -114,6 +117,105 @@ void BM_ScopedSpanActive(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ScopedSpanActive);
+
+// One flight-recorder publish into a ring with headroom: a memcpy plus two
+// atomics — the per-span cost the recorder adds to a traced hot path.
+void BM_FlightRecorderPublish(benchmark::State& state) {
+  obs::introspect::FlightRecorder recorder(1 << 16);
+  obs::introspect::FlightRecord record;
+  record.SetName("estimator.round");
+  std::vector<obs::introspect::FlightRecord> drained;
+  size_t n = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(recorder.TryPublish(record));
+    if ((++n & 0x7fff) == 0) {
+      state.PauseTiming();
+      drained.clear();
+      recorder.Drain(&drained);
+      state.ResumeTiming();
+    }
+  }
+}
+BENCHMARK(BM_FlightRecorderPublish);
+
+// Several producers CAS-claiming slots of one shared ring — dispatcher
+// workers publishing spans mid-Fulfill. Drops (ring full) count, never
+// block, so the loop runs flat out.
+void BM_FlightRecorderPublishContended(benchmark::State& state) {
+  static obs::introspect::FlightRecorder recorder(1 << 10);
+  obs::introspect::FlightRecord record;
+  record.SetName("transport.attempt");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(recorder.TryPublish(record));
+  }
+}
+BENCHMARK(BM_FlightRecorderPublishContended)->Threads(4);
+
+// Draining a full ring, per record: one CAS plus a memcpy out.
+void BM_FlightRecorderDrain(benchmark::State& state) {
+  obs::introspect::FlightRecorder recorder(1 << 10);
+  obs::introspect::FlightRecord record;
+  record.SetName("service.session");
+  std::vector<obs::introspect::FlightRecord> drained;
+  drained.reserve(recorder.capacity());
+  for (auto _ : state) {
+    state.PauseTiming();
+    while (recorder.TryPublish(record)) {
+    }
+    drained.clear();
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(recorder.Drain(&drained));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(recorder.capacity()));
+}
+BENCHMARK(BM_FlightRecorderDrain);
+
+// One sampler window over a realistically sized registry: snapshot, diff
+// against the previous snapshot, quantiles from the histogram deltas.
+void BM_SamplerTick(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  for (int i = 0; i < 25; ++i) {
+    registry.GetCounter("bench.counter." + std::to_string(i))->Add(i);
+  }
+  for (int i = 0; i < 3; ++i) {
+    registry.GetHistogram("bench.hist." + std::to_string(i),
+                          obs::DecadeBounds(1.0, 1e9))
+        ->Observe(i + 1.0);
+  }
+  double now = 0.0;
+  obs::introspect::TimeSeriesSampler sampler(
+      {.registry = &registry,
+       .clock_ms = [&now] { return now; },
+       .period_ms = 1.0,
+       .max_windows = 8});
+  sampler.Tick();  // prime the baseline outside the loop
+  for (auto _ : state) {
+    registry.GetCounter("bench.counter.0")->Add(1);
+    now += 1.0;
+    sampler.Tick();
+  }
+}
+BENCHMARK(BM_SamplerTick);
+
+// Rendering the scrape page for the same registry: the full cost of one
+// Prometheus pull.
+void BM_PrometheusExport(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  for (int i = 0; i < 25; ++i) {
+    registry.GetCounter("bench.counter." + std::to_string(i))->Add(i);
+  }
+  for (int i = 0; i < 3; ++i) {
+    registry.GetHistogram("bench.hist." + std::to_string(i),
+                          obs::DecadeBounds(1.0, 1e9))
+        ->Observe(i + 1.0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        obs::introspect::ToPrometheusText(registry.Snapshot()));
+  }
+}
+BENCHMARK(BM_PrometheusExport);
 
 }  // namespace
 }  // namespace lbsagg

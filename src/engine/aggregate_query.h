@@ -22,6 +22,19 @@
 namespace lbsagg {
 namespace engine {
 
+// One point of an aggregate's convergence trajectory: after `queries`
+// interface queries were charged, the estimate stood here with this CI
+// half-width. The introspection plane (DESIGN.md §4.13) plots half_width
+// against queries to judge whether an evidence stream is still worth
+// paying for; recording it is pure observation — the trajectory is derived
+// from the same state the trace already captures and perturbs nothing.
+struct ConvergencePoint {
+  uint64_t queries = 0;
+  double estimate = 0.0;
+  double half_width = 0.0;
+  bool operator==(const ConvergencePoint&) const = default;
+};
+
 class AggregateQuery {
  public:
   // `client` is the resolver's restricted client; attribute reads through it
@@ -44,6 +57,12 @@ class AggregateQuery {
   const AggregateSpec& spec() const { return spec_; }
   const std::vector<TracePoint>& trace() const { return trace_; }
 
+  // CI half-width trajectory vs interface queries, one point per committed
+  // round (same boundaries as trace()).
+  const std::vector<ConvergencePoint>& convergence() const {
+    return convergence_;
+  }
+
   // Per-round means of the Horvitz–Thompson numerator and denominator.
   // Pooling these across independent runs gives a combined ratio estimator
   // whose small-sample bias shrinks with the total sample count (averaging
@@ -62,6 +81,7 @@ class AggregateQuery {
   RunningStats numerator_;
   RunningStats denominator_;
   std::vector<TracePoint> trace_;
+  std::vector<ConvergencePoint> convergence_;
 };
 
 }  // namespace engine

@@ -1,0 +1,40 @@
+#ifndef LBSAGG_OBS_INTROSPECT_PROMETHEUS_H_
+#define LBSAGG_OBS_INTROSPECT_PROMETHEUS_H_
+
+// Prometheus text exposition (DESIGN.md §4.13) over a MetricsSnapshot.
+// Counters and gauges map 1:1; fixed-bucket histograms are re-emitted as
+// the cumulative `le`-labeled series Prometheus expects (per-bucket counts
+// summed upward, a `+Inf` bucket, `_sum` and `_count`). Metric names are
+// prefixed and sanitized (dots become underscores) so
+// `spatial.kdtree.nodes_visited` scrapes as
+// `lbsagg_spatial_kdtree_nodes_visited`.
+//
+// Pure function over a snapshot: scrape cost is one registry Snapshot()
+// plus string assembly, never a hot-path cell touch. Under
+// -DLBSAGG_OBS_DISABLED the registry produces empty snapshots, so the
+// exporter needs no stub of its own — it just emits nothing.
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace lbsagg {
+namespace obs {
+namespace introspect {
+
+// A valid Prometheus metric name from an internal dotted name:
+// "<prefix>_<name>" with every character outside [a-zA-Z0-9_:] replaced by
+// '_' (empty prefix = no prefix). Exposed for tests.
+std::string PrometheusName(const std::string& name,
+                           const std::string& prefix = "lbsagg");
+
+// The full text-format page: `# TYPE` comment then samples, snapshot
+// (name-sorted) order, trailing newline.
+std::string ToPrometheusText(const MetricsSnapshot& snapshot,
+                             const std::string& prefix = "lbsagg");
+
+}  // namespace introspect
+}  // namespace obs
+}  // namespace lbsagg
+
+#endif  // LBSAGG_OBS_INTROSPECT_PROMETHEUS_H_

@@ -1,0 +1,77 @@
+#ifndef LBSAGG_OBS_INTROSPECT_STATUSZ_H_
+#define LBSAGG_OBS_INTROSPECT_STATUSZ_H_
+
+// Statusz (DESIGN.md §4.13): the one-call "what is this process doing right
+// now" snapshot. A Statusz is assembled fresh per request — meta key/values,
+// a live MetricsSnapshot, and raw JSON sections contributed by subsystems
+// that own their serialization (the service's session table, shard lane
+// health, the sampler's timeseries ring, recorder stats) — then rendered as
+// machine JSON (ToJson) or operator text (ToText). Mirrors RunReport's
+// AddJsonSection layering so obs never depends on service/transport: the
+// service-side ServiceIntrospector (src/service/introspect.h) fills one of
+// these in.
+//
+// Under -DLBSAGG_OBS_DISABLED the builder compiles down to a stub whose
+// ToJson returns an empty-object skeleton, so --statusz still prints valid
+// JSON from a disabled build.
+
+#include <map>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace lbsagg {
+namespace obs {
+namespace introspect {
+
+#ifndef LBSAGG_OBS_DISABLED
+
+class Statusz {
+ public:
+  // String / numeric metadata ("uptime_ms", "sessions_hosted", ...).
+  void SetMeta(const std::string& key, const std::string& value);
+  void SetMetaNum(const std::string& key, double value);
+
+  // The metric plane right now. Replaces any previous snapshot.
+  void SetSnapshot(MetricsSnapshot snapshot);
+
+  // Pre-serialized JSON value mounted at sections.<name>.
+  void AddJsonSection(const std::string& name, const std::string& raw_json);
+
+  // {"statusz_version":1,"meta":{...},"metrics":{...},"sections":{...}}
+  std::string ToJson(int indent = 0) const;
+
+  // Operator-facing rendering: meta lines, the metrics table, then each
+  // section's name with its raw JSON (sections stay JSON — they are
+  // machine-shaped; the text view is for orientation, not parsing).
+  std::string ToText() const;
+
+ private:
+  std::map<std::string, std::string> meta_;
+  std::map<std::string, double> meta_num_;
+  MetricsSnapshot snapshot_;
+  std::map<std::string, std::string> sections_;
+};
+
+#else  // LBSAGG_OBS_DISABLED
+
+class Statusz {
+ public:
+  void SetMeta(const std::string&, const std::string&) {}
+  void SetMetaNum(const std::string&, double) {}
+  void SetSnapshot(MetricsSnapshot) {}
+  void AddJsonSection(const std::string&, const std::string&) {}
+  std::string ToJson(int = 0) const {
+    return "{\"statusz_version\":1,\"meta\":{},\"metrics\":{},\"sections\":{}"
+           "}";
+  }
+  std::string ToText() const { return "statusz: observability disabled\n"; }
+};
+
+#endif  // LBSAGG_OBS_DISABLED
+
+}  // namespace introspect
+}  // namespace obs
+}  // namespace lbsagg
+
+#endif  // LBSAGG_OBS_INTROSPECT_STATUSZ_H_

@@ -13,15 +13,31 @@
 // transport additionally emits its per-request spans with explicit virtual
 // timestamps (AddComplete), because it knows both endpoints exactly.
 //
+// Long-lived spans (a hosted session's lifetime) use the open/close API:
+// OpenSpan hands back a ticket, CloseSpan emits the complete event,
+// CloseSpanTruncated emits it with a ".truncated" category suffix (the
+// span's owner died — Cancel, deadline, teardown — but the evidence that it
+// ran must survive), DropSpan discards it (the span never really started,
+// e.g. a rejected admission). FlushOpenSpans truncate-closes everything
+// still open so a trace file never silently loses in-flight work
+// (DESIGN.md §4.13).
+//
+// A Tracer can additionally mirror every completed span into a flight
+// recorder (SetFlightRecorder) for live drains; the recorder copy is a
+// fixed-size POD publish and never blocks.
+//
 // Tracing is opt-in per component: a null Tracer* means no spans, and
 // ScopedSpan on a null tracer is two predictable branches. Under
 // LBSAGG_OBS_DISABLED ScopedSpan compiles out entirely.
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <mutex>
 #include <string>
 #include <vector>
+
+#include "obs/introspect/flight_recorder.h"
 
 namespace lbsagg {
 namespace obs {
@@ -73,6 +89,29 @@ class Tracer {
   void AddComplete(const std::string& name, const std::string& category,
                    double ts_us, double dur_us);
 
+  // Registers a long-lived span starting at `ts_us` and returns its ticket
+  // (never 0). The span is emitted only when one of the Close*/Flush calls
+  // below resolves the ticket.
+  uint64_t OpenSpan(const std::string& name, const std::string& category,
+                    double ts_us);
+  // Resolves an open ticket into a normal complete event ending at
+  // `end_ts_us`. Returns false for an unknown/already-resolved ticket.
+  bool CloseSpan(uint64_t ticket, double end_ts_us);
+  // Resolves an open ticket into a complete event whose category carries a
+  // ".truncated" suffix: the span's owner stopped before a natural close
+  // (Cancel, deadline exceeded, process teardown).
+  bool CloseSpanTruncated(uint64_t ticket, double end_ts_us);
+  // Discards an open ticket without emitting anything (the span turned out
+  // not to represent real work, e.g. a rejected admission).
+  bool DropSpan(uint64_t ticket);
+  // Truncate-closes every open span at `end_ts_us`; returns how many.
+  size_t FlushOpenSpans(double end_ts_us);
+  size_t open_span_count() const;
+
+  // Mirrors every subsequently completed span into `recorder` (null
+  // detaches). The recorder must outlive the tracer or be detached first.
+  void SetFlightRecorder(introspect::FlightRecorder* recorder);
+
   size_t event_count() const;
 
   // `{"traceEvents":[...],"displayTimeUnit":"ms"}` — the Chrome trace_event
@@ -80,10 +119,21 @@ class Tracer {
   std::string ToChromeTraceJson() const;
 
  private:
+  struct OpenSpanRecord {
+    std::string name;
+    std::string category;
+    double ts_us = 0.0;
+  };
+
+  bool ResolveSpan(uint64_t ticket, double end_ts_us, bool truncated);
+
   SteadyTraceClock default_clock_;
   const TraceClock* clock_;
   mutable std::mutex mu_;
   std::vector<TraceEvent> events_;
+  std::map<uint64_t, OpenSpanRecord> open_spans_;
+  uint64_t next_ticket_ = 1;
+  introspect::FlightRecorder* recorder_ = nullptr;
 };
 
 // RAII span: records the clock at construction, appends one complete event

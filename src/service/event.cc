@@ -17,6 +17,10 @@ const char* SessionEventKindName(SessionEventKind kind) {
       return "progress";
     case SessionEventKind::kFinished:
       return "finished";
+    case SessionEventKind::kSloStalled:
+      return "slo_stalled";
+    case SessionEventKind::kDeadlineAtRisk:
+      return "deadline_at_risk";
   }
   return "unknown";
 }
@@ -47,6 +51,15 @@ bool TriggerRegistry::Remove(Handle handle) {
 }
 
 void TriggerRegistry::Fire(const SessionEvent& event) {
+  if (recorder_ != nullptr) {
+    obs::introspect::FlightRecord record;
+    record.kind = obs::introspect::FlightRecord::Kind::kEvent;
+    record.SetName(SessionEventKindName(event.kind));
+    record.ts_us = event.now_ms * 1000.0;
+    record.a = event.id;
+    record.b = event.queries_used;
+    recorder_->TryPublish(record);
+  }
   ++firing_depth_;
   // Index loop: a trigger may Add() (appends, seen by this very fire — the
   // registration-order contract) or Remove() (tombstones, skipped below).

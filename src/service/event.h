@@ -12,6 +12,7 @@
 #include <functional>
 #include <vector>
 
+#include "obs/introspect/flight_recorder.h"
 #include "service/session.h"
 
 namespace lbsagg {
@@ -23,8 +24,13 @@ enum class SessionEventKind : uint8_t {
   kStarted,        // session admitted to the active set and built its engine
   kProgress,       // one scheduler slice ran for the session
   kFinished,       // session reached any terminal state except kRejected
+  // SLO watchdog verdicts (service/watchdog.h): the session's CI half-width
+  // stopped shrinking per budget spent / its deadline slack went negative
+  // while it still runs. Fired by SloWatchdog::Check, not the scheduler.
+  kSloStalled,
+  kDeadlineAtRisk,
 };
-inline constexpr int kNumSessionEventKinds = 5;
+inline constexpr int kNumSessionEventKinds = 7;
 
 const char* SessionEventKindName(SessionEventKind kind);
 
@@ -68,6 +74,17 @@ class TriggerRegistry {
   // Live (non-tombstoned) triggers.
   size_t size() const;
 
+  // Mirrors every subsequently fired event into `recorder` as a kEvent
+  // flight record (name = kind name, a = session id, b = queries_used; null
+  // detaches). Publishing happens whether or not any trigger matches, so
+  // the recorder sees the full lifecycle stream.
+  void SetFlightRecorder(obs::introspect::FlightRecorder* recorder) {
+    recorder_ = recorder;
+  }
+  obs::introspect::FlightRecorder* flight_recorder() const {
+    return recorder_;
+  }
+
  private:
   struct Entry {
     Handle handle = kInvalidHandle;
@@ -81,6 +98,7 @@ class TriggerRegistry {
   Handle next_handle_ = 1;
   int firing_depth_ = 0;
   bool dirty_ = false;  // tombstones awaiting compaction
+  obs::introspect::FlightRecorder* recorder_ = nullptr;
 };
 
 }  // namespace service

@@ -1,5 +1,6 @@
 #include "service/service.h"
 
+#include <algorithm>
 #include <sstream>
 #include <utility>
 
@@ -64,6 +65,10 @@ struct EstimationService::Session {
   uint64_t queries = 0;
   std::vector<RunResult> results;
 
+  // Open "service.session" span ticket; 0 when no tracer or already
+  // resolved (Finalize closes/drops it, the destructor flushes leftovers).
+  uint64_t span_ticket = 0;
+
   std::unique_ptr<ActiveRun> run;
 };
 
@@ -97,6 +102,8 @@ EstimationService::EstimationService(std::vector<ServiceBackend> backends,
   active_gauge_ = obs::GetGauge(reg, "service.scheduler.active");
   queued_gauge_ = obs::GetGauge(reg, "service.scheduler.queued");
 
+  triggers_.SetFlightRecorder(options_.recorder);
+
   runtimes_.reserve(backends_.size());
   for (ServiceBackend& backend : backends_) {
     LBSAGG_CHECK(backend.meta != nullptr);
@@ -120,7 +127,20 @@ EstimationService::EstimationService(std::vector<ServiceBackend> backends,
   }
 }
 
-EstimationService::~EstimationService() = default;
+EstimationService::~EstimationService() {
+  // Sessions still live at teardown have open "service.session" spans;
+  // truncate-close them so the trace file records the in-flight work
+  // instead of silently dropping it.
+  if (options_.tracer != nullptr) {
+    const double end_us = NowMs() * 1000.0;
+    for (auto& [id, session] : sessions_) {
+      if (session->span_ticket != 0) {
+        options_.tracer->CloseSpanTruncated(session->span_ticket, end_us);
+        session->span_ticket = 0;
+      }
+    }
+  }
+}
 
 double EstimationService::NowMs() const {
   if (options_.clock_ms) return options_.clock_ms();
@@ -149,6 +169,12 @@ SessionId EstimationService::Submit(SessionSpec spec) {
   session->id = id;
   session->spec = std::move(spec);
   session->submit_ms = NowMs();
+  if (options_.tracer != nullptr) {
+    // The session span opens now and resolves at finalization — Finalize
+    // closes it (truncated for Cancel/deadline), drops it for kRejected.
+    session->span_ticket = options_.tracer->OpenSpan(
+        "service.session", "service", session->submit_ms * 1000.0);
+  }
   sessions_.emplace(id, std::move(owned));
   ++submitted_;
   submitted_counter_.Add(1);
@@ -345,10 +371,19 @@ void EstimationService::Finalize(Session* session, SessionState state,
     default:
       break;
   }
-  if (options_.tracer != nullptr && state != SessionState::kRejected) {
-    options_.tracer->AddComplete(
-        "service.session", "service", session->submit_ms * 1000.0,
-        (session->end_ms - session->submit_ms) * 1000.0);
+  if (options_.tracer != nullptr && session->span_ticket != 0) {
+    const double end_us = session->end_ms * 1000.0;
+    if (state == SessionState::kRejected) {
+      // Rejected sessions never ran; no span to show.
+      options_.tracer->DropSpan(session->span_ticket);
+    } else if (state == SessionState::kCompleted) {
+      options_.tracer->CloseSpan(session->span_ticket, end_us);
+    } else {
+      // Cancel / deadline: the span is real work cut short — emit it
+      // truncated instead of losing it.
+      options_.tracer->CloseSpanTruncated(session->span_ticket, end_us);
+    }
+    session->span_ticket = 0;
   }
   FireEvent(state == SessionState::kRejected ? SessionEventKind::kRejected
                                              : SessionEventKind::kFinished,
@@ -440,7 +475,9 @@ void EstimationService::RunUntilIdle() {
 
 void EstimationService::FireEvent(SessionEventKind kind,
                                   const Session& session) {
-  if (triggers_.size() == 0) return;
+  // A flight recorder alone still wants the event stream; skip the build
+  // only when nobody is listening at all.
+  if (triggers_.size() == 0 && triggers_.flight_recorder() == nullptr) return;
   SessionEvent event;
   event.kind = kind;
   event.id = session.id;
@@ -452,6 +489,63 @@ void EstimationService::FireEvent(SessionEventKind kind,
   event.rounds = session.rounds;
   event.now_ms = NowMs();
   triggers_.Fire(event);
+}
+
+std::vector<SessionIntrospection> EstimationService::IntrospectSessions()
+    const {
+  std::vector<SessionIntrospection> rows;
+  rows.reserve(sessions_.size());
+  const double now_ms = NowMs();
+  for (const auto& [id, session] : sessions_) {
+    SessionIntrospection row;
+    row.id = id;
+    row.state = session->state;
+    row.principal = session->spec.principal;
+    row.family = session->spec.family;
+    row.budget = session->spec.budget;
+    row.rounds = session->rounds;
+    row.dedup_hits = session->dedup_hits;
+    row.submit_ms = session->submit_ms;
+    row.start_ms = session->start_ms;
+    row.end_ms = session->end_ms;
+    row.has_deadline = session->spec.deadline_ms > 0;
+    row.deadline_ms = session->spec.deadline_ms;
+    if (row.has_deadline) {
+      row.deadline_slack_ms =
+          session->submit_ms + session->spec.deadline_ms - now_ms;
+    }
+    if (session->run != nullptr) {
+      row.queries_used = session->run->engine->queries_used();
+      row.aggregates.reserve(session->run->aggregates.size());
+      for (const engine::AggregateQuery* agg : session->run->aggregates) {
+        AggregateIntrospection view;
+        view.name = agg->spec().name;
+        view.estimate = agg->Estimate();
+        view.half_width = agg->ConfidenceHalfWidth();
+        view.trajectory = agg->convergence();
+        row.aggregates.push_back(std::move(view));
+      }
+    } else {
+      row.queries_used = session->queries;
+      // Terminal (or still-queued) sessions have no live engine; frozen
+      // results carry the final estimates but no trajectory.
+      row.aggregates.reserve(session->results.size());
+      for (size_t i = 0; i < session->results.size(); ++i) {
+        AggregateIntrospection view;
+        view.name = i < session->spec.aggregates.size()
+                        ? session->spec.aggregates[i].name
+                        : "COUNT(*)";
+        view.estimate = session->results[i].final_estimate;
+        row.aggregates.push_back(std::move(view));
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const SessionIntrospection& a, const SessionIntrospection& b) {
+              return a.id < b.id;
+            });
+  return rows;
 }
 
 std::string EstimationService::diagnostics_json() const {

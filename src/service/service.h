@@ -89,9 +89,21 @@ struct ServiceOptions {
   // builds: clients, resolvers, engines); null = Default().
   obs::MetricsRegistry* registry = nullptr;
 
-  // When set, every terminal session emits a "service.session" complete
-  // span stamped with its service-clock endpoints.
+  // When set, every session opens a "service.session" span at Submit and
+  // resolves it at finalization: completed sessions close normally,
+  // cancelled / deadline-exceeded sessions close with a ".truncated"
+  // category suffix, rejected sessions drop theirs, and sessions still live
+  // when the service is destroyed are flushed as truncated — a trace file
+  // never silently loses in-flight work (DESIGN.md §4.13).
   obs::Tracer* tracer = nullptr;
+
+  // Live flight recorder (obs/introspect/flight_recorder.h). When set, the
+  // trigger registry mirrors every session lifecycle event into it —
+  // whether or not any trigger is registered — so a drain always shows the
+  // recent event stream. Attach the same recorder to `tracer` via
+  // Tracer::SetFlightRecorder to interleave spans with the events. Must
+  // outlive the service.
+  obs::introspect::FlightRecorder* recorder = nullptr;
 };
 
 class EstimationService {
@@ -153,6 +165,13 @@ class EstimationService {
   // The "service" run-report section: session tallies, scheduler state,
   // admission config, and per-backend dedup stats.
   std::string diagnostics_json() const;
+
+  // Statusz rows for every session the service still remembers, id-sorted:
+  // state, budget burn-down, deadline slack at NowMs(), and per-aggregate
+  // convergence trajectories (live engines read through; terminal sessions
+  // report their frozen results without trajectories). Pure observation —
+  // calling it perturbs no schedule, estimate, or counter.
+  std::vector<SessionIntrospection> IntrospectSessions() const;
 
  private:
   struct ActiveRun;

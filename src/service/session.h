@@ -13,6 +13,7 @@
 #include "core/aggregate.h"
 #include "core/runner.h"
 #include "core/sampler.h"
+#include "engine/aggregate_query.h"
 #include "engine/lnr_resolver.h"
 #include "engine/lr_resolver.h"
 #include "engine/nno_resolver.h"
@@ -136,6 +137,49 @@ struct SessionStatus {
 
   // Human-readable detail for kRejected (shed reason) and Poll misses.
   std::string detail;
+};
+
+// Live convergence view of one aggregate inside a session (DESIGN.md §4.13):
+// where its estimate stands and how its CI half-width has moved per
+// interface query charged. `trajectory` mirrors the aggregate's
+// per-round ConvergencePoints (engine/aggregate_query.h) — the curve the
+// SLO watchdog differentiates to decide whether the evidence stream is
+// still buying error reduction.
+struct AggregateIntrospection {
+  std::string name;
+  double estimate = 0.0;
+  double half_width = 0.0;
+  std::vector<engine::ConvergencePoint> trajectory;
+};
+
+// One row of EstimationService::IntrospectSessions(): the statusz view of a
+// session — lifecycle, budget burn-down, deadline slack, dedup savings, and
+// per-aggregate convergence. All values are copies taken at the call.
+struct SessionIntrospection {
+  SessionId id = kInvalidSessionId;
+  SessionState state = SessionState::kQueued;
+  std::string principal;
+  EstimatorFamily family = EstimatorFamily::kNno;
+
+  uint64_t budget = 0;
+  uint64_t queries_used = 0;
+  size_t rounds = 0;
+  uint64_t dedup_hits = 0;
+
+  // Service-clock timeline (ms): submit always set; start/end < 0 until
+  // the session runs / terminates.
+  double submit_ms = 0;
+  double start_ms = -1;
+  double end_ms = -1;
+
+  // Deadline accounting: slack = submit_ms + deadline_ms - now (only
+  // meaningful when has_deadline; negative = already past it).
+  bool has_deadline = false;
+  double deadline_ms = 0;
+  double deadline_slack_ms = 0;
+
+  // Empty until the session has an engine (queued / rejected sessions).
+  std::vector<AggregateIntrospection> aggregates;
 };
 
 }  // namespace service

@@ -1,0 +1,91 @@
+#include "service/watchdog.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace lbsagg {
+namespace service {
+
+namespace {
+
+// The session-level half-width is the worst aggregate's: that is the CI the
+// budget is still being spent to shrink.
+double WorstHalfWidth(const SessionIntrospection& row) {
+  double worst = 0.0;
+  for (const AggregateIntrospection& agg : row.aggregates) {
+    if (agg.half_width > worst) worst = agg.half_width;
+  }
+  return worst;
+}
+
+}  // namespace
+
+SloWatchdog::SloWatchdog(EstimationService* service, SloWatchdogOptions options)
+    : service_(service), options_(options) {
+  LBSAGG_CHECK(service_ != nullptr);
+}
+
+size_t SloWatchdog::Check() {
+  size_t fired = 0;
+  const double now_ms = service_->NowMs();
+  for (const SessionIntrospection& row : service_->IntrospectSessions()) {
+    if (IsTerminal(row.state)) {
+      baselines_.erase(row.id);
+      continue;
+    }
+    if (row.state != SessionState::kRunning) continue;
+
+    SessionEvent event;
+    event.id = row.id;
+    event.state = row.state;
+    event.principal = row.principal;
+    event.queries_used = row.queries_used;
+    event.rounds = row.rounds;
+    event.now_ms = now_ms;
+
+    auto [it, fresh] = baselines_.try_emplace(row.id);
+    Baseline& base = it->second;
+    const double half_width = WorstHalfWidth(row);
+    if (fresh || (base.half_width == 0.0 && half_width > 0.0)) {
+      // First sight — or the CI just became meaningful (it is degenerate
+      // below two rounds): (re)prime the slope baseline here.
+      base.queries = row.queries_used;
+      base.half_width = half_width;
+    }
+
+    if (row.has_deadline && !base.deadline_fired &&
+        row.deadline_slack_ms <= options_.deadline_slack_warn_ms) {
+      base.deadline_fired = true;
+      ++deadline_fired_;
+      ++fired;
+      event.kind = SessionEventKind::kDeadlineAtRisk;
+      service_->triggers().Fire(event);
+    }
+
+    // Error-per-budget slope across the window since the last baseline. A
+    // meaningful verdict needs a positive starting half-width (the CI is
+    // degenerate below 2 rounds) and enough charged queries for a slope.
+    if (!fresh && !base.stalled_fired && base.half_width > 0.0 &&
+        row.queries_used >= base.queries + options_.min_queries_between_checks) {
+      const double dq =
+          static_cast<double>(row.queries_used - base.queries);
+      const double drop = base.half_width - half_width;
+      if (drop / dq < options_.min_halfwidth_drop_per_query) {
+        base.stalled_fired = true;
+        ++stalled_fired_;
+        ++fired;
+        event.kind = SessionEventKind::kSloStalled;
+        service_->triggers().Fire(event);
+      } else {
+        // Still converging: slide the baseline to the current point.
+        base.queries = row.queries_used;
+        base.half_width = half_width;
+      }
+    }
+  }
+  return fired;
+}
+
+}  // namespace service
+}  // namespace lbsagg

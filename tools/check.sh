@@ -40,12 +40,13 @@ cmake -B build-tsan -S . \
 cmake --build build-tsan -j "$(nproc)" \
   --target transport_test transport_determinism_test sweep_determinism_test \
            sharded_server_test sharded_transport_test obs_test engine_test \
-           service_test \
+           service_test introspect_test \
   -- --quiet 2>/dev/null \
   || cmake --build build-tsan -j "$(nproc)" \
        --target transport_test transport_determinism_test \
                 sweep_determinism_test sharded_server_test \
-                sharded_transport_test obs_test engine_test service_test
+                sharded_transport_test obs_test engine_test service_test \
+                introspect_test
 
 echo "==> threaded tests under TSAN"
 ./build-tsan/tests/transport_test
@@ -65,6 +66,11 @@ echo "==> threaded tests under TSAN"
 # with dispatcher workers live (single-flight owner/follower handoff);
 # sweep_determinism_test's ServiceDeterminism suites sweep worker counts.
 ./build-tsan/tests/service_test
+# introspect_test races a flight-recorder drainer thread against the
+# scheduler's trigger publishes and the dispatcher workers' span emission
+# (multi-producer CAS claims, concurrent drain), plus the trigger-registry
+# re-entrancy cases.
+./build-tsan/tests/introspect_test
 
 if [[ "$FAST" == "0" ]]; then
   echo "==> perf smoke (optimized build, token min-time)"

@@ -25,7 +25,12 @@
 #include "lbs/dataset_io.h"
 #include "lbs/server.h"
 #include "lbs/sharded_server.h"
+#include "obs/introspect/flight_recorder.h"
+#include "obs/introspect/sampler.h"
+#include "obs/metrics.h"
+#include "service/introspect.h"
 #include "service/service.h"
+#include "service/watchdog.h"
 #include "transport/sharded_transport.h"
 #include "util/flags.h"
 #include "util/rng.h"
@@ -117,6 +122,24 @@ std::optional<WhereClause> ParseWhere(const Schema& schema,
     return std::get<std::string>(t.values[c]) == value;
   };
   return clause;
+}
+
+// Writes `text` to `path`; "-" means stdout.
+bool DumpText(const std::string& path, const std::string& text,
+              const char* what) {
+  if (path == "-") {
+    std::fputs(text.c_str(), stdout);
+    return true;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s to %s\n", what, path.c_str());
+    return false;
+  }
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s to %s\n", what, path.c_str());
+  return true;
 }
 
 // --index: which SpatialIndex implementation answers the simulated
@@ -300,14 +323,35 @@ int Run(const FlagParser& flags) {
       return 1;
     }
 
+    // --statusz / --prom turn on the live introspection plane (DESIGN.md
+    // §4.13): a private metric registry, a flight recorder on the session
+    // event stream, a time-series sampler ticking on the service clock, and
+    // an SLO watchdog — all observation-only, so the fleet's estimates stay
+    // bit-identical with the plane attached.
+    const std::string statusz_path = flags.GetString("statusz");
+    const std::string prom_path = flags.GetString("prom");
+    const bool introspect = !statusz_path.empty() || !prom_path.empty();
+    obs::MetricsRegistry registry;
+    obs::introspect::FlightRecorder recorder(4096);
+
     service::ServiceOptions sopts;
     sopts.admission.queue_capacity = static_cast<size_t>(sessions) + 1;
     sopts.admission.max_active =
         std::min<size_t>(static_cast<size_t>(sessions), 16);
     sopts.dispatcher_workers = 4;
+    if (introspect) {
+      sopts.registry = &registry;
+      sopts.recorder = &recorder;
+    }
     service::EstimationService svc({{.meta = &server,
                                      .wire = transport.get()}},
                                    sopts);
+
+    obs::introspect::TimeSeriesSampler ts(
+        {.registry = &registry,
+         .clock_ms = [&svc] { return svc.NowMs(); },
+         .period_ms = 100.0});
+    service::SloWatchdog watchdog(&svc);
 
     std::vector<service::SessionId> ids;
     for (int r = 0; r < sessions; ++r) {
@@ -322,7 +366,15 @@ int Run(const FlagParser& flags) {
       session.lnr.cell.search.delta_prime_fraction = 1e-4;
       ids.push_back(svc.Submit(session));
     }
-    svc.RunUntilIdle();
+    if (introspect) {
+      while (svc.RunSlice()) {
+        ts.MaybeTick();
+        watchdog.Check();
+      }
+      ts.Tick();  // cut the final partial window
+    } else {
+      svc.RunUntilIdle();
+    }
 
     Table stable({"session", "state", "estimate", "queries", "dedup hits"});
     RunningStats estimates;
@@ -358,6 +410,23 @@ int Run(const FlagParser& flags) {
                   "from the shared cache\n",
                   static_cast<unsigned long long>(d.saved_attempts),
                   static_cast<unsigned long long>(d.lookups));
+    }
+
+    if (introspect) {
+      service::ServiceIntrospector intro({.service = &svc,
+                                          .sharded = transport.get(),
+                                          .sampler = &ts,
+                                          .recorder = &recorder,
+                                          .registry = &registry});
+      if (!statusz_path.empty() &&
+          !DumpText(statusz_path, intro.BuildStatusz().ToJson() + "\n",
+                    "statusz")) {
+        return 1;
+      }
+      if (!prom_path.empty() &&
+          !DumpText(prom_path, intro.PrometheusText(), "prometheus export")) {
+        return 1;
+      }
     }
     return 0;
   }
@@ -461,6 +530,14 @@ int main(int argc, char** argv) {
                "one EstimationService with cross-session dedup instead of "
                "running sequentially (0 = off)");
   flags.AddInt("seed", 1, "base estimator seed");
+  flags.AddString("statusz", "",
+                  "with --sessions: attach the live introspection plane and "
+                  "dump the statusz JSON snapshot to this path after the "
+                  "fleet drains ('-' = stdout)");
+  flags.AddString("prom", "",
+                  "with --sessions: dump the Prometheus text-format export "
+                  "of the fleet's metric registry to this path ('-' = "
+                  "stdout)");
   flags.AddString("sampler", "census", "census | uniform");
   flags.AddString("export", "",
                   "write the generated dataset to this CSV and exit");

@@ -10,10 +10,11 @@ authoritative statement of the same contract — keep the two in sync.
 
 With --require-layers, additionally checks that the metric plane covers the
 named layers: each layer must contribute at least one `<layer>.` counter,
-except `transport`, `engine`, and `service`, which may instead appear as a
-sections.transport / sections.engine / sections.service block (the
-subsystems' JSON side-channels). This is what the CI observability job runs against
-examples/flaky_service --report and examples/multi_aggregate --report.
+except `transport`, `engine`, `service`, `timeseries`, and `introspection`,
+which may instead appear as the matching sections.<layer> block (the
+subsystems' JSON side-channels). This is what the CI observability job runs
+against examples/flaky_service --report, examples/multi_aggregate --report,
+and the fig19_service run report.
 """
 
 import argparse
@@ -148,6 +149,10 @@ def validate(report):
             validate_engine_section(errors, sections["engine"])
         if "service" in sections:
             validate_service_section(errors, sections["service"])
+        if "timeseries" in sections:
+            validate_timeseries_section(errors, sections["timeseries"])
+        if "introspection" in sections:
+            validate_introspection_section(errors, sections["introspection"])
 
     return errors
 
@@ -235,20 +240,107 @@ def validate_service_section(errors, service):
                         check_count(errors, f"{entry_path}.{key}", entry[key])
 
 
+def validate_timeseries_section(errors, ts):
+    """TimeSeriesSampler::ToJson (DESIGN.md §4.13): the sliding ring of
+    per-period metric windows. The LBSAGG_OBS_DISABLED stub emits
+    period_ms 0 and an empty ring, which is valid."""
+    path = "sections.timeseries"
+    if not isinstance(ts, dict):
+        fail(errors, path, "expected an object")
+        return
+    for key in ["period_ms", "windows_cut", "windows"]:
+        if key not in ts:
+            fail(errors, path, f"missing required key '{key}'")
+    if "period_ms" in ts:
+        check_number(errors, f"{path}.period_ms", ts["period_ms"], minimum=0)
+    if "windows_cut" in ts:
+        check_count(errors, f"{path}.windows_cut", ts["windows_cut"])
+    windows = ts.get("windows")
+    if windows is None:
+        return
+    if not isinstance(windows, list):
+        fail(errors, f"{path}.windows", "expected an array")
+        return
+    for i, w in enumerate(windows):
+        wpath = f"{path}.windows[{i}]"
+        if not isinstance(w, dict):
+            fail(errors, wpath, "expected an object")
+            continue
+        for key in ["t0_ms", "t1_ms", "counters", "gauges", "histograms"]:
+            if key not in w:
+                fail(errors, wpath, f"missing field '{key}'")
+        for key in ["t0_ms", "t1_ms"]:
+            if key in w:
+                check_number(errors, f"{wpath}.{key}", w[key])
+        for name, value in w.get("counters", {}).items():
+            check_count(errors, f"{wpath}.counters.{name}", value)
+        for name, value in w.get("gauges", {}).items():
+            check_number(errors, f"{wpath}.gauges.{name}", value)
+        for name, digest in w.get("histograms", {}).items():
+            hpath = f"{wpath}.histograms.{name}"
+            if not isinstance(digest, dict):
+                fail(errors, hpath, "expected an object")
+                continue
+            for key in ["count", "sum", "p50", "p99"]:
+                if key not in digest:
+                    fail(errors, hpath, f"missing field '{key}'")
+            if "count" in digest:
+                check_count(errors, f"{hpath}.count", digest["count"])
+            for key in ["sum", "p50", "p99"]:
+                if key in digest:
+                    check_number(errors, f"{hpath}.{key}", digest[key])
+
+
+def validate_introspection_section(errors, intro):
+    """Flight-recorder tallies (FlightRecorder::StatsJson) and SLO-watchdog
+    verdict counts (DESIGN.md §4.13)."""
+    path = "sections.introspection"
+    if not isinstance(intro, dict):
+        fail(errors, path, "expected an object")
+        return
+    if "flight_recorder" not in intro:
+        fail(errors, path, "missing required key 'flight_recorder'")
+    recorder = intro.get("flight_recorder")
+    if recorder is not None:
+        if not isinstance(recorder, dict):
+            fail(errors, f"{path}.flight_recorder", "expected an object")
+        else:
+            for key in ["capacity", "published", "dropped", "drained"]:
+                if key not in recorder:
+                    fail(errors, f"{path}.flight_recorder",
+                         f"missing field '{key}'")
+                else:
+                    check_count(errors, f"{path}.flight_recorder.{key}",
+                                recorder[key])
+    watchdog = intro.get("watchdog")
+    if watchdog is not None:
+        if not isinstance(watchdog, dict):
+            fail(errors, f"{path}.watchdog", "expected an object")
+        else:
+            for key in ["stalled_fired", "deadline_fired"]:
+                if key not in watchdog:
+                    fail(errors, f"{path}.watchdog", f"missing field '{key}'")
+                else:
+                    check_count(errors, f"{path}.watchdog.{key}",
+                                watchdog[key])
+
+
 def check_layers(report, layers):
     errors = []
     counters = report.get("metrics", {}).get("counters", {})
     sections = report.get("sections", {})
+    section_layers = ("transport", "engine", "service", "timeseries",
+                      "introspection")
     for layer in layers:
         covered = any(name.startswith(layer + ".") for name in counters)
-        if layer in ("transport", "engine", "service"):
+        if layer in section_layers:
             covered = covered or layer in sections
         if not covered:
             errors.append(
                 f"layer coverage: no '{layer}.' counters"
                 + (
                     f" and no sections.{layer}"
-                    if layer in ("transport", "engine", "service")
+                    if layer in section_layers
                     else ""
                 )
             )
