@@ -1,0 +1,170 @@
+// Durable-log micro-benchmarks (engine/log/, DESIGN.md §4.14): the append
+// path under each fsync policy (the cost a durable run adds per committed
+// round), checkpoint writes, WAL replay, and full directory recovery.
+// Tracked in BENCH_wal.json (regenerate with
+//   ./build/bench/micro_wal --benchmark_format=json > BENCH_wal.json
+// on a quiet machine). Note the fsync benchmarks measure the temp
+// filesystem as much as the code — compare them across runs on the same
+// machine only.
+
+#include <filesystem>
+#include <string>
+
+#include <benchmark/benchmark.h>
+
+#include "common/bench_main.h"
+
+#include "engine/log/checkpoint.h"
+#include "engine/log/durable_log.h"
+#include "engine/log/wal.h"
+
+namespace lbsagg {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string BenchDir(const std::string& name) {
+  const fs::path dir = fs::temp_directory_path() / ("micro_wal_" + name);
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+engine::Observation MakeObs(int i) {
+  engine::Observation obs;
+  obs.tuple_id = i;
+  obs.rank = 1 + i % 5;
+  obs.h = 1;
+  obs.has_location = true;
+  obs.location = {0.5 * i, 0.25 * i};
+  obs.weight = 100.0 + i;
+  obs.cost = 3;
+  return obs;
+}
+
+// Writes `rounds` rounds of `obs_per_round` observations each — the shape
+// LR rounds produce.
+void WriteRounds(engine::WalWriter* writer, int rounds, int obs_per_round,
+                 uint64_t first = 0) {
+  for (int r = 0; r < rounds; ++r) {
+    const uint64_t round = first + static_cast<uint64_t>(r);
+    writer->AppendBeginRound(round, {1.0 * r, 2.0 * r});
+    engine::EvidenceRound end;
+    end.round = round;
+    end.queries_after = 16 * (round + 1);
+    end.num_observations = static_cast<size_t>(obs_per_round);
+    for (int i = 0; i < obs_per_round; ++i) {
+      writer->AppendObservation(MakeObs(r * obs_per_round + i));
+    }
+    writer->AppendEndRound(end);
+  }
+}
+
+// Append+commit cost per round under each fsync policy. Arg is the
+// FsyncMode; 64 rounds of 5 observations per iteration.
+void BM_WalAppendRound(benchmark::State& state) {
+  const auto mode = static_cast<engine::FsyncMode>(state.range(0));
+  const std::string dir = BenchDir(std::string("append_") +
+                                   engine::FsyncModeName(mode));
+  uint64_t next_round = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    fs::remove_all(dir);
+    next_round = 0;
+    state.ResumeTiming();
+    engine::WalWriterOptions options;
+    options.fsync = mode;
+    engine::WalWriter writer(dir, options, next_round);
+    WriteRounds(&writer, 64, 5);
+    writer.Close();
+    benchmark::DoNotOptimize(writer.stats().bytes);
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+  state.SetLabel(engine::FsyncModeName(mode));
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_WalAppendRound)
+    ->Arg(static_cast<int>(engine::FsyncMode::kNone))
+    ->Arg(static_cast<int>(engine::FsyncMode::kRound))
+    ->Arg(static_cast<int>(engine::FsyncMode::kEvery));
+
+// One atomic checkpoint write (encode + temp file + fsync + rename).
+void BM_CheckpointWrite(benchmark::State& state) {
+  const std::string dir = BenchDir("ckpt");
+  fs::create_directories(dir);
+  engine::CheckpointData data;
+  data.round = 128;
+  data.observations = 640;
+  data.queries_used = 2048;
+  data.resolver_name = "lr";
+  data.resolver_state.assign(256, 'x');
+  data.aggregates.push_back({"COUNT(*)", 0x1234, 41.5});
+  data.aggregates.push_back({"SUM(rating)", 0x5678, 17.25});
+  std::string error;
+  for (auto _ : state) {
+    data.round += 1;  // new file name each write, like a live run
+    benchmark::DoNotOptimize(engine::WriteCheckpointFile(dir, data, &error));
+  }
+  state.SetItemsProcessed(state.iterations());
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_CheckpointWrite);
+
+// Replay throughput: decode + protocol-check a committed log of N rounds.
+void BM_WalReplay(benchmark::State& state) {
+  const int rounds = static_cast<int>(state.range(0));
+  const std::string dir = BenchDir("replay_" + std::to_string(rounds));
+  {
+    engine::WalWriterOptions options;
+    options.fsync = engine::FsyncMode::kNone;
+    engine::WalWriter writer(dir, options, 0);
+    WriteRounds(&writer, rounds, 5);
+    writer.Close();
+  }
+  for (auto _ : state) {
+    const engine::WalReadResult read = engine::ReadWal(dir);
+    benchmark::DoNotOptimize(read.evidence.NumRounds());
+  }
+  state.SetItemsProcessed(state.iterations() * rounds);
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_WalReplay)->Arg(256)->Arg(4096);
+
+// Full directory recovery over a torn log with stale checkpoints: read,
+// choose the newest usable checkpoint, truncate the tail. The directory is
+// rebuilt per iteration — recovery mutates it.
+void BM_Recovery(benchmark::State& state) {
+  const int rounds = static_cast<int>(state.range(0));
+  const std::string dir = BenchDir("recover_" + std::to_string(rounds));
+  for (auto _ : state) {
+    state.PauseTiming();
+    fs::remove_all(dir);
+    {
+      engine::WalWriterOptions options;
+      options.fsync = engine::FsyncMode::kNone;
+      engine::WalWriter writer(dir, options, 0);
+      WriteRounds(&writer, rounds, 5);
+      writer.Close();
+      engine::CheckpointData ckpt;
+      ckpt.round = static_cast<uint64_t>(rounds) / 2;
+      ckpt.observations = ckpt.round * 5;
+      ckpt.queries_used = 16 * ckpt.round;
+      ckpt.resolver_name = "bench";
+      std::string error;
+      engine::WriteCheckpointFile(dir, ckpt, &error);
+    }
+    // Torn tail: chop 13 bytes off the segment.
+    const fs::path segment = fs::path(dir) / engine::WalSegmentName(0);
+    fs::resize_file(segment, fs::file_size(segment) - 13);
+    state.ResumeTiming();
+    const engine::RecoveredRun rec = engine::RecoverDurableRun(dir);
+    benchmark::DoNotOptimize(rec.evidence.NumRounds());
+  }
+  state.SetItemsProcessed(state.iterations() * rounds);
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_Recovery)->Arg(256)->Arg(4096);
+
+}  // namespace
+}  // namespace lbsagg
+
+LBSAGG_BENCHMARK_MAIN();

@@ -29,6 +29,13 @@ const Vec2& History::Position(int id) const {
   return it->second;
 }
 
+std::vector<std::pair<int, Vec2>> History::Entries() const {
+  std::vector<std::pair<int, Vec2>> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) out.emplace_back(e.id, e.pos);
+  return out;
+}
+
 std::vector<Vec2> History::OtherPositions(int excluded_id) const {
   std::vector<Vec2> out;
   out.reserve(entries_.size());

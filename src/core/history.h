@@ -31,6 +31,13 @@ class History {
   // Positions of all known tuples except `excluded_id` (-1 = none).
   std::vector<Vec2> OtherPositions(int excluded_id) const;
 
+  // Every recorded (id, position) in insertion order — the checkpoint
+  // serialization of the history. Replaying these through Record() on a
+  // fresh History reproduces the full state bit-identically, kd-index
+  // included: the rebuild points are a pure function of the insertion
+  // sequence (size thresholds), and the tree build is deterministic.
+  std::vector<std::pair<int, Vec2>> Entries() const;
+
   // Positions of the `limit` known tuples nearest to `p`, excluding
   // `excluded_id`, ascending by (squared distance, insertion order). This is
   // query-free offline work (free in the paper's §2.1 cost model) but it

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "engine/engine.h"
+#include "engine/log/durable_log.h"
 #include "util/check.h"
 
 namespace lbsagg {
@@ -51,13 +52,25 @@ RunResult RunUntilConfidence(const EstimatorHandle& handle,
 std::vector<RunResult> RunEngineWithBudget(engine::EstimationEngine* engine,
                                            uint64_t budget,
                                            size_t max_rounds) {
+  return RunEngineWithBudget(engine, nullptr, budget, max_rounds);
+}
+
+std::vector<RunResult> RunEngineWithBudget(engine::EstimationEngine* engine,
+                                           engine::DurableEvidenceLog* wal,
+                                           uint64_t budget,
+                                           size_t max_rounds) {
   LBSAGG_CHECK(engine != nullptr);
   LBSAGG_CHECK_GT(budget, 0u);
   size_t rounds = 0;
   while (engine->queries_used() < budget && rounds < max_rounds) {
     engine->Step();
     ++rounds;
+    // Checkpoints run between steps, never inside the sink callbacks: the
+    // aggregates fold after EndRound commits, and a checkpoint must capture
+    // post-fold state.
+    if (wal != nullptr) wal->MaybeCheckpoint();
   }
+  if (wal != nullptr) wal->Close();
   std::vector<RunResult> results;
   results.reserve(engine->num_aggregates());
   for (size_t i = 0; i < engine->num_aggregates(); ++i) {

@@ -12,6 +12,7 @@
 namespace lbsagg {
 
 namespace engine {
+class DurableEvidenceLog;
 class EstimationEngine;
 }  // namespace engine
 
@@ -92,6 +93,18 @@ RunResult RunUntilConfidence(const EstimatorHandle& handle,
 // all carved from the same evidence stream, so the N results together cost
 // one budget. results[i] corresponds to engine->aggregate(i).
 std::vector<RunResult> RunEngineWithBudget(engine::EstimationEngine* engine,
+                                           uint64_t budget,
+                                           size_t max_rounds = 1u << 20);
+
+// Durable variant (DESIGN.md §4.14): identical loop and results, but the
+// round-aligned checkpoint policy runs between steps — MaybeCheckpoint
+// after every committed round, Close (final checkpoint + sync) when the
+// budget trips. The engine must already carry the `wal` sink; on a resumed
+// engine the loop continues from the restored query count, and `max_rounds`
+// bounds the rounds executed by *this call* (the kill-after-rounds harness
+// leans on that). A null `wal` degrades to the plain overload.
+std::vector<RunResult> RunEngineWithBudget(engine::EstimationEngine* engine,
+                                           engine::DurableEvidenceLog* wal,
                                            uint64_t budget,
                                            size_t max_rounds = 1u << 20);
 

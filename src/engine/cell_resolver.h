@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/aggregate.h"
@@ -79,6 +80,17 @@ class CellResolver {
 
   // Resolver-specific diagnostics as a raw JSON object, for run reports.
   virtual std::string diagnostics_json() const = 0;
+
+  // Checkpoint hooks (engine/log/, DESIGN.md §4.14). SaveState appends an
+  // opaque binary blob capturing every mutable bit of acquisition state —
+  // the rng stream position, learned caches (history / cell-probability
+  // maps), and diagnostics — such that a freshly constructed resolver with
+  // the same options, after RestoreState, resolves future rounds
+  // bit-identically to the saved one. RestoreState must be called on a
+  // fresh resolver (no rounds resolved); it returns false when the blob is
+  // malformed or belongs to a different resolver family/version.
+  virtual void SaveState(std::string* out) const = 0;
+  virtual bool RestoreState(std::string_view blob) = 0;
 };
 
 }  // namespace engine

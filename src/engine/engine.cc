@@ -1,8 +1,7 @@
 #include "engine/engine.h"
 
-#include <sstream>
-
 #include "util/check.h"
+#include "util/json_writer.h"
 
 namespace lbsagg {
 namespace engine {
@@ -43,6 +42,18 @@ AggregateQuery* EstimationEngine::AddAggregate(const AggregateSpec& spec) {
   return query;
 }
 
+void EstimationEngine::RestoreEvidence(const EvidenceSource& source) {
+  store_.RestoreFrom(source);
+  for (size_t i = 0; i < store_.num_rounds(); ++i) {
+    const EvidenceRound& round = store_.round(i);
+    for (const std::unique_ptr<AggregateQuery>& query : queries_) {
+      query->ConsumeRound(round, store_.observations(round),
+                          round.num_observations);
+      replayed_rounds_counter_.Add(1);
+    }
+  }
+}
+
 void EstimationEngine::Step() {
   LBSAGG_CHECK(!queries_.empty()) << "Step with no registered aggregates";
   const size_t index = store_.num_rounds();
@@ -61,11 +72,15 @@ void EstimationEngine::Step() {
 }
 
 std::string EstimationEngine::diagnostics_json() const {
-  std::ostringstream out;
-  out << "{\"resolver\":" << resolver_->diagnostics_json()
-      << ",\"evidence\":" << store_.ToJson()
-      << ",\"aggregates\":" << queries_.size() << "}";
-  return out.str();
+  JsonWriter json;
+  json.BeginObject()
+      .Key("resolver")
+      .RawValue(resolver_->diagnostics_json())
+      .Key("evidence")
+      .RawValue(store_.ToJson())
+      .KV("aggregates", static_cast<uint64_t>(queries_.size()))
+      .EndObject();
+  return json.TakeString();
 }
 
 }  // namespace engine

@@ -59,6 +59,17 @@ class EstimationEngine {
   // registered aggregate folds it. Requires at least one aggregate.
   void Step();
 
+  // Attaches the durability sink to the evidence store (engine/log/): every
+  // round committed from now on is observed by `sink`. Null detaches.
+  void AttachSink(EvidenceSink* sink) { store_.set_sink(sink); }
+
+  // Recovery hook: refills the evidence store from a recovered source
+  // (sink not notified — the rounds came from the durable log) and folds
+  // the restored rounds into any already-registered aggregates, exactly as
+  // AddAggregate's replay does for consumers registered later. Requires an
+  // empty store; call before or after AddAggregate, not after Step.
+  void RestoreEvidence(const EvidenceSource& source);
+
   uint64_t queries_used() const { return resolver_->queries_used(); }
   const EvidenceStore& evidence() const { return store_; }
   CellResolver* resolver() { return resolver_; }

@@ -1,8 +1,7 @@
 #include "engine/evidence_store.h"
 
-#include <sstream>
-
 #include "util/check.h"
+#include "util/json_writer.h"
 
 namespace lbsagg {
 namespace engine {
@@ -22,6 +21,7 @@ void EvidenceStore::BeginRound(const Vec2& sample_point) {
   open_.sample_point = sample_point;
   open_.first_observation = log_.size();
   if (tracer_ != nullptr) round_start_us_ = tracer_->NowUs();
+  if (sink_ != nullptr) sink_->OnBeginRound(open_.round, sample_point);
 }
 
 void EvidenceStore::Append(const Observation& observation) {
@@ -29,6 +29,7 @@ void EvidenceStore::Append(const Observation& observation) {
   log_.push_back(observation);
   ++open_.num_observations;
   observations_counter_.Add(1);
+  if (sink_ != nullptr) sink_->OnAppend(open_.round, observation);
 }
 
 const EvidenceRound& EvidenceStore::EndRound(uint64_t queries_after) {
@@ -41,7 +42,34 @@ const EvidenceRound& EvidenceStore::EndRound(uint64_t queries_after) {
     tracer_->AddComplete("engine.evidence.round", "engine", round_start_us_,
                          tracer_->NowUs() - round_start_us_);
   }
+  if (sink_ != nullptr) sink_->OnEndRound(rounds_.back());
   return rounds_.back();
+}
+
+void EvidenceStore::RestoreRound(const Vec2& sample_point,
+                                 uint64_t queries_after,
+                                 const Observation* observations, size_t n) {
+  LBSAGG_CHECK(!in_round_) << "RestoreRound with a round open";
+  EvidenceRound round;
+  round.round = rounds_.size();
+  round.sample_point = sample_point;
+  round.queries_after = queries_after;
+  round.first_observation = log_.size();
+  round.num_observations = n;
+  log_.insert(log_.end(), observations, observations + n);
+  rounds_.push_back(round);
+  rounds_counter_.Add(1);
+  observations_counter_.Add(n);
+}
+
+void EvidenceStore::RestoreFrom(const EvidenceSource& source) {
+  LBSAGG_CHECK(rounds_.empty() && log_.empty() && !in_round_)
+      << "RestoreFrom requires an empty store";
+  for (size_t i = 0; i < source.NumRounds(); ++i) {
+    const EvidenceRound& round = source.Round(i);
+    RestoreRound(round.sample_point, round.queries_after,
+                 source.Observations(round), round.num_observations);
+  }
 }
 
 EvidenceSnapshot EvidenceStore::Snapshot() const {
@@ -64,10 +92,13 @@ EvidenceSnapshot EvidenceStore::SnapshotAt(size_t round_index) const {
 
 std::string EvidenceStore::ToJson() const {
   const EvidenceSnapshot s = Snapshot();
-  std::ostringstream out;
-  out << "{\"rounds\":" << s.rounds << ",\"observations\":" << s.observations
-      << ",\"queries\":" << s.queries << "}";
-  return out.str();
+  JsonWriter json;
+  json.BeginObject()
+      .KV("rounds", s.rounds)
+      .KV("observations", s.observations)
+      .KV("queries", s.queries)
+      .EndObject();
+  return json.TakeString();
 }
 
 }  // namespace engine

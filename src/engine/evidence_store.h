@@ -15,6 +15,15 @@
 //    repeated seeds and any dispatcher worker count).
 //  - Per-round snapshots: SnapshotAt(i) reports the cumulative
 //    (rounds, observations, queries) totals at the boundary after round i.
+//
+// Durability seam (DESIGN.md §4.14): the in-memory store is one
+// implementation of the evidence stream, not its only home. An EvidenceSink
+// attached via set_sink() observes every protocol event as it commits —
+// the durable WAL (engine/log/) is such a sink — and an EvidenceSource is
+// anything that can hand back committed rounds, which the store itself
+// implements (so store→WAL→store round-trips are testable) and the WAL
+// replay implements for recovery. RestoreFrom() refills an empty store from
+// a source without notifying the sink: recovered rounds are already on disk.
 
 #include <cstddef>
 #include <cstdint>
@@ -35,6 +44,31 @@ struct EvidenceSnapshot {
   uint64_t queries = 0;
 };
 
+// Observer of the evidence protocol, notified as the store commits each
+// event. Callbacks fire in strict protocol order (BeginRound, zero or more
+// Appends, EndRound) on the acquisition thread; the round passed to
+// OnEndRound is the committed record, observations already durable in the
+// store. Sinks must not call back into the store.
+class EvidenceSink {
+ public:
+  virtual ~EvidenceSink() = default;
+  virtual void OnBeginRound(uint64_t round, const Vec2& sample_point) = 0;
+  virtual void OnAppend(uint64_t round, const Observation& observation) = 0;
+  virtual void OnEndRound(const EvidenceRound& round) = 0;
+};
+
+// Anything that can hand back a committed evidence log: the in-memory store
+// below, or a WAL replay (engine/log/wal.h). The (round, slice) views must
+// stay valid while the source lives.
+class EvidenceSource {
+ public:
+  virtual ~EvidenceSource() = default;
+  virtual size_t NumRounds() const = 0;
+  virtual const EvidenceRound& Round(size_t i) const = 0;
+  // Null when the round produced no observations.
+  virtual const Observation* Observations(const EvidenceRound& r) const = 0;
+};
+
 struct EvidenceStoreOptions {
   // Metric plane for the engine.evidence.* counters; null lands on
   // obs::MetricsRegistry::Default().
@@ -44,7 +78,7 @@ struct EvidenceStoreOptions {
   obs::Tracer* tracer = nullptr;
 };
 
-class EvidenceStore {
+class EvidenceStore : public EvidenceSource {
  public:
   explicit EvidenceStore(EvidenceStoreOptions options = {});
 
@@ -59,6 +93,22 @@ class EvidenceStore {
   // interface-query counter at the boundary. Returns the committed round.
   const EvidenceRound& EndRound(uint64_t queries_after);
 
+  // Attaches (or detaches, with null) the durability sink. Typically done
+  // before the first round; when attached mid-run the sink sees only rounds
+  // from that point on. Must outlive the store or be detached first.
+  void set_sink(EvidenceSink* sink) { sink_ = sink; }
+  EvidenceSink* sink() const { return sink_; }
+
+  // Recovery path: appends one already-committed round (observations
+  // copied) without notifying the sink — the round came *from* the durable
+  // log, echoing it back would double-write it. Requires no open round.
+  void RestoreRound(const Vec2& sample_point, uint64_t queries_after,
+                    const Observation* observations, size_t n);
+
+  // Refills this store from a source (recovery, or store→store copies in
+  // tests). Requires an empty store; the sink is not notified.
+  void RestoreFrom(const EvidenceSource& source);
+
   size_t num_rounds() const { return rounds_.size(); }
   size_t num_observations() const { return log_.size(); }
   const EvidenceRound& round(size_t i) const { return rounds_[i]; }
@@ -69,11 +119,21 @@ class EvidenceStore {
     return r.num_observations == 0 ? nullptr : log_.data() + r.first_observation;
   }
 
+  // EvidenceSource view of the committed log.
+  size_t NumRounds() const override { return rounds_.size(); }
+  const EvidenceRound& Round(size_t i) const override { return rounds_[i]; }
+  const Observation* Observations(const EvidenceRound& r) const override {
+    return observations(r);
+  }
+
   EvidenceSnapshot Snapshot() const;
   EvidenceSnapshot SnapshotAt(size_t round_index) const;
 
   // {"rounds":N,"observations":M,"queries":Q} — embedded in run reports as
-  // the `engine` section.
+  // the `engine` section. Zero-round stores serialize as all-zeros (queries
+  // included), and empty rounds (EndRound without appends) count toward
+  // "rounds" while adding nothing to "observations" — the same framing the
+  // WAL preserves, so log↔JSON parity holds at the edges.
   std::string ToJson() const;
 
  private:
@@ -81,6 +141,7 @@ class EvidenceStore {
   std::vector<Observation> log_;
   bool in_round_ = false;
   EvidenceRound open_;
+  EvidenceSink* sink_ = nullptr;
   obs::CounterRef rounds_counter_;
   obs::CounterRef observations_counter_;
   obs::Tracer* tracer_ = nullptr;

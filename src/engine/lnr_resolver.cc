@@ -1,10 +1,12 @@
 #include "engine/lnr_resolver.h"
 
+#include <algorithm>
 #include <optional>
-#include <sstream>
 #include <vector>
 
+#include "engine/resolver_state.h"
 #include "util/check.h"
+#include "util/json_writer.h"
 
 namespace lbsagg {
 namespace engine {
@@ -150,11 +152,76 @@ void LnrCellResolver::ResolveRound(const EvidenceDemand& demand,
 }
 
 std::string LnrCellResolver::diagnostics_json() const {
-  std::ostringstream out;
-  out << "{\"resolver\":\"lnr\",\"rounds\":" << diagnostics_.rounds
-      << ",\"cells_inferred\":" << diagnostics_.cells_inferred
-      << ",\"cache_hits\":" << diagnostics_.cache_hits << "}";
-  return out.str();
+  JsonWriter json;
+  json.BeginObject()
+      .KV("resolver", "lnr")
+      .KV("rounds", static_cast<uint64_t>(diagnostics_.rounds))
+      .KV("cells_inferred", static_cast<uint64_t>(diagnostics_.cells_inferred))
+      .KV("cache_hits", static_cast<uint64_t>(diagnostics_.cache_hits))
+      .EndObject();
+  return json.TakeString();
+}
+
+namespace {
+
+// Probability caches are persisted sorted by tuple id: unordered_map
+// iteration order varies across processes, and checkpoint blobs must be
+// byte-stable so repeated checkpoints of the same state hash identically.
+void SaveProbabilityCache(BinaryWriter* w,
+                          const std::unordered_map<int, double>& cache) {
+  std::vector<std::pair<int, double>> sorted(cache.begin(), cache.end());
+  std::sort(sorted.begin(), sorted.end());
+  w->PutU64(sorted.size());
+  for (const auto& [id, p] : sorted) {
+    w->PutI32(id);
+    w->PutF64(p);
+  }
+}
+
+bool RestoreProbabilityCache(BinaryReader* r,
+                             std::unordered_map<int, double>* cache) {
+  uint64_t n = 0;
+  if (!r->GetU64(&n)) return false;
+  cache->reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    int32_t id;
+    double p;
+    if (!r->GetI32(&id) || !r->GetF64(&p)) return false;
+    cache->emplace(id, p);
+  }
+  return true;
+}
+
+}  // namespace
+
+void LnrCellResolver::SaveState(std::string* out) const {
+  BinaryWriter w(out);
+  SaveResolverHeader(&w, kLnrResolverTag);
+  SaveRngState(&w, rng_);
+  SaveProbabilityCache(&w, top1_probability_cache_);
+  SaveProbabilityCache(&w, topk_probability_cache_);
+  w.PutU64(diagnostics_.rounds);
+  w.PutU64(diagnostics_.cells_inferred);
+  w.PutU64(diagnostics_.cache_hits);
+}
+
+bool LnrCellResolver::RestoreState(std::string_view blob) {
+  LBSAGG_CHECK(top1_probability_cache_.empty() &&
+               topk_probability_cache_.empty())
+      << "RestoreState requires a fresh resolver";
+  BinaryReader r(blob);
+  if (!CheckResolverHeader(&r, kLnrResolverTag)) return false;
+  if (!RestoreRngState(&r, &rng_)) return false;
+  if (!RestoreProbabilityCache(&r, &top1_probability_cache_)) return false;
+  if (!RestoreProbabilityCache(&r, &topk_probability_cache_)) return false;
+  uint64_t rounds, inferred, hits;
+  if (!r.GetU64(&rounds) || !r.GetU64(&inferred) || !r.GetU64(&hits)) {
+    return false;
+  }
+  diagnostics_.rounds = rounds;
+  diagnostics_.cells_inferred = inferred;
+  diagnostics_.cache_hits = hits;
+  return r.ok() && r.remaining() == 0;
 }
 
 }  // namespace engine

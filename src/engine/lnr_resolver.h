@@ -76,6 +76,12 @@ class LnrCellResolver final : public CellResolver {
   const char* name() const override { return "lnr"; }
   std::string diagnostics_json() const override;
 
+  // Mutable state: the rng stream, both cell-probability caches (persisted
+  // sorted by tuple id so the blob is process-independent), and the
+  // diagnostics tallies.
+  void SaveState(std::string* out) const override;
+  bool RestoreState(std::string_view blob) override;
+
   const LnrAggDiagnostics& diagnostics() const { return diagnostics_; }
   const LnrAggOptions& options() const { return options_; }
 

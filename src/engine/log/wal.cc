@@ -1,0 +1,463 @@
+#include "engine/log/wal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <utility>
+
+namespace lbsagg {
+namespace engine {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// A single evidence record is a few dozen bytes; anything claiming to be
+// larger than this is tail garbage, not a record.
+constexpr uint64_t kMaxPayloadBytes = 1u << 24;
+
+std::string ErrnoMessage(const std::string& what, const std::string& path) {
+  return what + " " + path + ": " + std::strerror(errno);
+}
+
+bool SyncDirectory(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+
+bool ReadFileBytes(const fs::path& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (in.bad()) return false;
+  *out = std::move(bytes);
+  return true;
+}
+
+// Segment files of `dir` sorted by start_round. Non-segment files (e.g.
+// checkpoints) are ignored.
+std::vector<std::pair<uint64_t, fs::path>> ListSegments(const std::string& dir,
+                                                        std::string* error) {
+  std::vector<std::pair<uint64_t, fs::path>> segments;
+  std::error_code ec;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir, ec)) {
+    uint64_t start_round = 0;
+    if (ParseWalSegmentName(entry.path().filename().string(), &start_round)) {
+      segments.emplace_back(start_round, entry.path());
+    }
+  }
+  if (ec) *error = "list " + dir + ": " + ec.message();
+  std::sort(segments.begin(), segments.end());
+  return segments;
+}
+
+}  // namespace
+
+const char* FsyncModeName(FsyncMode mode) {
+  switch (mode) {
+    case FsyncMode::kNone:
+      return "none";
+    case FsyncMode::kRound:
+      return "round";
+    case FsyncMode::kEvery:
+      return "every";
+  }
+  return "unknown";
+}
+
+// ---- WalWriter ----
+
+WalWriter::WalWriter(std::string dir, WalWriterOptions options,
+                     uint64_t next_round)
+    : dir_(std::move(dir)), options_(options) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) {
+    Fail("create " + dir_ + ": " + ec.message());
+    return;
+  }
+  OpenForAppend(next_round);
+}
+
+WalWriter::~WalWriter() { Close(); }
+
+void WalWriter::OpenForAppend(uint64_t next_round) {
+  std::string list_error;
+  const auto segments = ListSegments(dir_, &list_error);
+  if (!list_error.empty()) {
+    Fail(list_error);
+    return;
+  }
+  if (segments.empty()) {
+    StartSegment(next_round);
+    return;
+  }
+  const fs::path& path = segments.back().second;
+  fd_ = ::open(path.c_str(), O_WRONLY | O_APPEND);
+  if (fd_ < 0) {
+    Fail(ErrnoMessage("open", path.string()));
+    return;
+  }
+  const off_t size = ::lseek(fd_, 0, SEEK_END);
+  if (size < 0) {
+    Fail(ErrnoMessage("lseek", path.string()));
+    return;
+  }
+  segment_path_ = path.string();
+  segment_bytes_ = static_cast<uint64_t>(size);
+  segment_persisted_ = segment_bytes_;
+  synced_bytes_ = segment_bytes_;
+  dirty_ = false;
+}
+
+void WalWriter::StartSegment(uint64_t start_round) {
+  const fs::path path = fs::path(dir_) / WalSegmentName(start_round);
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_EXCL | O_APPEND, 0644);
+  if (fd_ < 0) {
+    Fail(ErrnoMessage("create", path.string()));
+    return;
+  }
+  segment_path_ = path.string();
+  segment_bytes_ = 0;
+  segment_persisted_ = 0;
+  synced_bytes_ = 0;
+  dirty_ = false;
+  if (!SyncDirectory(dir_)) {
+    Fail(ErrnoMessage("fsync dir", dir_));
+    return;
+  }
+  const std::string header = EncodeWalHeader(start_round);
+  WriteBytes(header);
+  stats_.bytes += header.size();
+}
+
+void WalWriter::RotateIfNeeded(uint64_t next_round) {
+  if (fd_ < 0 || segment_bytes_ < options_.segment_bytes) return;
+  Sync();
+  if (!ok()) return;
+  ::close(fd_);
+  fd_ = -1;
+  StartSegment(next_round);
+  stats_.rotations += 1;
+}
+
+void WalWriter::WriteBytes(const std::string& bytes) {
+  if (!ok() || fd_ < 0) return;
+  uint64_t allow = bytes.size();
+  if (options_.failpoint.drop_after_bytes > 0) {
+    const uint64_t budget = options_.failpoint.drop_after_bytes;
+    allow = persisted_total_ >= budget
+                ? 0
+                : std::min<uint64_t>(allow, budget - persisted_total_);
+  }
+  const char* p = bytes.data();
+  uint64_t left = allow;
+  while (left > 0) {
+    const ssize_t n = ::write(fd_, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Fail(ErrnoMessage("write", segment_path_));
+      return;
+    }
+    p += n;
+    left -= static_cast<uint64_t>(n);
+  }
+  persisted_total_ += allow;
+  segment_persisted_ += allow;
+  segment_bytes_ += bytes.size();
+  if (allow > 0) dirty_ = true;
+}
+
+void WalWriter::AppendRecord(const std::string& payload) {
+  if (!ok()) return;
+  const std::string framed = FrameWalRecord(payload);
+  WriteBytes(framed);
+  if (!ok()) return;
+  stats_.records += 1;
+  stats_.bytes += framed.size();
+  if (options_.fsync == FsyncMode::kEvery) Sync();
+}
+
+void WalWriter::AppendBeginRound(uint64_t round, const Vec2& sample_point) {
+  if (!ok()) return;
+  RotateIfNeeded(round);
+  if (!ok()) return;
+  std::string payload;
+  EncodeBeginRound(WalBeginRound{round, sample_point}, &payload);
+  AppendRecord(payload);
+}
+
+void WalWriter::AppendObservation(const Observation& observation) {
+  if (!ok()) return;
+  std::string payload;
+  EncodeObservation(observation, &payload);
+  AppendRecord(payload);
+}
+
+void WalWriter::AppendEndRound(const EvidenceRound& round) {
+  if (!ok()) return;
+  std::string payload;
+  EncodeEndRound(WalEndRound{round.round, round.queries_after,
+                             round.num_observations},
+                 &payload);
+  AppendRecord(payload);
+  if (options_.fsync == FsyncMode::kRound) Sync();
+}
+
+void WalWriter::Sync() {
+  if (dirty_) DoFsync();
+}
+
+void WalWriter::DoFsync() {
+  if (!ok() || fd_ < 0) return;
+  stats_.fsyncs += 1;
+  if (options_.failpoint.fail_fsync_at != 0 &&
+      stats_.fsyncs == options_.failpoint.fail_fsync_at) {
+    // Simulated device failure: everything since the last successful fsync
+    // is dropped from the file, as a lost page cache would drop it.
+    (void)::ftruncate(fd_, static_cast<off_t>(synced_bytes_));
+    segment_persisted_ = synced_bytes_;
+    Fail("injected fsync failure on " + segment_path_);
+    return;
+  }
+  if (::fsync(fd_) != 0) {
+    Fail(ErrnoMessage("fsync", segment_path_));
+    return;
+  }
+  synced_bytes_ = segment_persisted_;
+  dirty_ = false;
+}
+
+void WalWriter::Close() {
+  if (fd_ < 0) return;
+  Sync();
+  ::close(fd_);
+  fd_ = -1;
+}
+
+void WalWriter::Fail(const std::string& message) {
+  if (error_.empty()) error_ = message;
+}
+
+// ---- WalReplay ----
+
+void WalReplay::AppendRound(const EvidenceRound& round,
+                            std::vector<Observation> observations) {
+  EvidenceRound r = round;
+  r.round = rounds_.size();
+  r.first_observation = log_.size();
+  r.num_observations = observations.size();
+  rounds_.push_back(r);
+  log_.insert(log_.end(), observations.begin(), observations.end());
+}
+
+void WalReplay::TruncateTo(size_t n) {
+  if (n >= rounds_.size()) return;
+  log_.resize(rounds_[n].first_observation);
+  rounds_.resize(n);
+}
+
+// ---- ReadWal ----
+
+WalReadResult ReadWal(const std::string& dir, bool keep_records) {
+  WalReadResult result;
+  std::error_code ec;
+  if (!fs::exists(dir, ec) || ec) return result;  // fresh run: empty log
+  std::string list_error;
+  const auto segment_files = ListSegments(dir, &list_error);
+  if (!list_error.empty()) {
+    result.error = list_error;
+    return result;
+  }
+
+  // Scan state: `stop` latches at the first damaged byte — every byte after
+  // it (across segments) is tail damage. A round open at a stop point (or
+  // at the end of the log) began but never committed.
+  bool stop = false;
+  bool in_round = false;
+  WalBeginRound open_begin;
+  std::vector<Observation> open_observations;
+  std::pair<size_t, uint64_t> open_offset{0, 0};
+
+  for (size_t seg = 0; seg < segment_files.size(); ++seg) {
+    WalSegmentInfo info;
+    info.path = segment_files[seg].second.string();
+    info.start_round = segment_files[seg].first;
+    std::string bytes;
+    if (!ReadFileBytes(segment_files[seg].second, &bytes)) {
+      result.error = "unreadable segment " + info.path;
+      return result;
+    }
+    info.file_bytes = bytes.size();
+    if (stop) {
+      result.torn_bytes += bytes.size();
+      result.segments.push_back(info);
+      continue;
+    }
+
+    // A segment is usable only when its header checks out AND it chains:
+    // start_round must equal the rounds committed so far, and no round may
+    // straddle the boundary (the writer rotates only between rounds).
+    uint64_t header_round = 0;
+    if (!DecodeWalHeader(bytes, &header_round) ||
+        header_round != info.start_round ||
+        header_round != result.evidence.NumRounds() || in_round) {
+      stop = true;
+      if (in_round) result.torn_round = true;
+      in_round = false;
+      result.torn_bytes += bytes.size();
+      result.segments.push_back(info);
+      continue;
+    }
+    result.valid_segments = seg + 1;
+    result.commit_segment = seg;
+    result.commit_offset = kWalHeaderBytes;
+
+    uint64_t off = kWalHeaderBytes;
+    info.valid_bytes = off;
+    while (off < bytes.size()) {
+      // Frame prefix + payload must fit and the payload crc must hold.
+      if (off + kWalFrameBytes > bytes.size()) break;
+      BinaryReader frame(bytes.data() + off, kWalFrameBytes);
+      uint32_t len = 0, crc = 0;
+      frame.GetU32(&len);
+      frame.GetU32(&crc);
+      if (len == 0 || len > kMaxPayloadBytes ||
+          off + kWalFrameBytes + len > bytes.size()) {
+        break;
+      }
+      const std::string_view payload(bytes.data() + off + kWalFrameBytes, len);
+      if (Crc32(payload) != crc) break;
+
+      BinaryReader r(payload);
+      uint8_t type_byte = 0;
+      r.GetU8(&type_byte);
+      WalRecord record;
+      record.segment = seg;
+      record.offset = off;
+      bool protocol_ok = false;
+      switch (type_byte) {
+        case static_cast<uint8_t>(WalRecordType::kBeginRound): {
+          record.type = WalRecordType::kBeginRound;
+          protocol_ok = DecodeBeginRound(&r, &record.begin) &&
+                        r.remaining() == 0 && !in_round &&
+                        record.begin.round == result.evidence.NumRounds();
+          if (protocol_ok) {
+            open_begin = record.begin;
+            open_offset = {seg, off};
+            open_observations.clear();
+            in_round = true;
+          }
+          break;
+        }
+        case static_cast<uint8_t>(WalRecordType::kObservation): {
+          record.type = WalRecordType::kObservation;
+          protocol_ok = DecodeObservation(&r, &record.observation) &&
+                        r.remaining() == 0 && in_round;
+          if (protocol_ok) open_observations.push_back(record.observation);
+          break;
+        }
+        case static_cast<uint8_t>(WalRecordType::kEndRound): {
+          record.type = WalRecordType::kEndRound;
+          protocol_ok = DecodeEndRound(&r, &record.end) && r.remaining() == 0 &&
+                        in_round && record.end.round == open_begin.round &&
+                        record.end.num_observations == open_observations.size();
+          if (protocol_ok) {
+            result.round_offsets.push_back(open_offset);
+            EvidenceRound committed;
+            committed.sample_point = open_begin.sample_point;
+            committed.queries_after = record.end.queries_after;
+            result.evidence.AppendRound(committed,
+                                        std::move(open_observations));
+            open_observations = {};
+            in_round = false;
+            result.commit_segment = seg;
+            result.commit_offset = off + kWalFrameBytes + len;
+          }
+          break;
+        }
+        default:
+          break;
+      }
+      if (!protocol_ok) break;
+      if (keep_records) result.records.push_back(record);
+      info.records += 1;
+      off += kWalFrameBytes + len;
+      info.valid_bytes = off;
+    }
+    if (off < bytes.size()) {
+      result.torn_bytes += bytes.size() - off;
+      stop = true;
+    }
+    result.segments.push_back(info);
+  }
+  if (in_round) result.torn_round = true;
+  return result;
+}
+
+// ---- TruncateWal ----
+
+bool TruncateWal(const std::string& dir, uint64_t rounds, std::string* error) {
+  const WalReadResult read = ReadWal(dir);
+  if (!read.error.empty()) {
+    *error = read.error;
+    return false;
+  }
+  if (rounds > read.evidence.NumRounds()) {
+    *error = "cannot keep " + std::to_string(rounds) + " rounds, log has " +
+             std::to_string(read.evidence.NumRounds());
+    return false;
+  }
+  if (read.segments.empty()) return true;
+
+  size_t cut_segment = 0;
+  uint64_t cut_offset = 0;
+  bool keep_any = read.valid_segments > 0;
+  if (keep_any) {
+    if (rounds < read.evidence.NumRounds()) {
+      cut_segment = read.round_offsets[rounds].first;
+      cut_offset = read.round_offsets[rounds].second;
+    } else {
+      cut_segment = read.commit_segment;
+      cut_offset = read.commit_offset;
+    }
+  }
+
+  std::error_code ec;
+  for (size_t i = read.segments.size(); i-- > 0;) {
+    const WalSegmentInfo& info = read.segments[i];
+    if (keep_any && i < cut_segment) break;
+    if (keep_any && i == cut_segment) {
+      if (info.file_bytes > cut_offset &&
+          ::truncate(info.path.c_str(), static_cast<off_t>(cut_offset)) != 0) {
+        *error = ErrnoMessage("truncate", info.path);
+        return false;
+      }
+      break;
+    }
+    fs::remove(info.path, ec);
+    if (ec) {
+      *error = "remove " + info.path + ": " + ec.message();
+      return false;
+    }
+  }
+  if (!SyncDirectory(dir)) {
+    *error = ErrnoMessage("fsync dir", dir);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace engine
+}  // namespace lbsagg

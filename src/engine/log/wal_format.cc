@@ -1,0 +1,57 @@
+#include "engine/log/wal_format.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace lbsagg {
+namespace engine {
+
+namespace {
+
+std::string HexName(const char* prefix, uint64_t value, const char* suffix) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s%016llx%s", prefix,
+                static_cast<unsigned long long>(value), suffix);
+  return buf;
+}
+
+bool ParseHexName(std::string_view name, std::string_view prefix,
+                  std::string_view suffix, uint64_t* value) {
+  if (name.size() != prefix.size() + 16 + suffix.size()) return false;
+  if (name.substr(0, prefix.size()) != prefix) return false;
+  if (name.substr(prefix.size() + 16) != suffix) return false;
+  uint64_t parsed = 0;
+  for (char c : name.substr(prefix.size(), 16)) {
+    parsed <<= 4;
+    if (c >= '0' && c <= '9') {
+      parsed |= static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      parsed |= static_cast<uint64_t>(c - 'a' + 10);
+    } else {
+      return false;
+    }
+  }
+  *value = parsed;
+  return true;
+}
+
+}  // namespace
+
+std::string WalSegmentName(uint64_t start_round) {
+  return HexName("wal-", start_round, ".wal");
+}
+
+bool ParseWalSegmentName(std::string_view name, uint64_t* start_round) {
+  return ParseHexName(name, "wal-", ".wal", start_round);
+}
+
+std::string CheckpointName(uint64_t round) {
+  return HexName("ckpt-", round, ".ckpt");
+}
+
+bool ParseCheckpointName(std::string_view name, uint64_t* round) {
+  return ParseHexName(name, "ckpt-", ".ckpt", round);
+}
+
+}  // namespace engine
+}  // namespace lbsagg

@@ -1,0 +1,186 @@
+#ifndef LBSAGG_ENGINE_LOG_WAL_FORMAT_H_
+#define LBSAGG_ENGINE_LOG_WAL_FORMAT_H_
+
+// On-disk format of the durable evidence log (DESIGN.md §4.14), in the
+// tarantool WAL idiom: a directory of append-only segment files, each a
+// fixed header followed by length-prefixed, checksummed records mirroring
+// the evidence protocol exactly — one record per BeginRound / Append /
+// EndRound event.
+//
+// Segment file `wal-<16 hex start_round>.wal`:
+//
+//   +--------------------------------------------------+
+//   | magic "LBSWAL01"                        8 bytes  |
+//   | format version (u32 le)                 4 bytes  |
+//   | start_round    (u64 le)                 8 bytes  |
+//   | crc32 of the 12 bytes above (u32 le)    4 bytes  |
+//   +--------------------------------------------------+  = 24-byte header
+//   | record 0 | record 1 | ...                        |
+//   +--------------------------------------------------+
+//
+// Record framing:
+//
+//   +--------------------------------------------------+
+//   | payload length (u32 le)                 4 bytes  |
+//   | crc32 of payload (u32 le)               4 bytes  |
+//   | payload: [u8 record type][type-specific body]    |
+//   +--------------------------------------------------+
+//
+// Doubles are stored as IEEE-754 bit patterns (bit-identical resume is the
+// contract; decimal round-trips lose the last ulp). A reader accepts the
+// longest prefix of intact records and treats everything after the first
+// short/corrupt frame as a torn tail to truncate — a crash mid-write can
+// only ever damage the tail, never committed history.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "engine/observation.h"
+#include "util/binary_io.h"
+
+namespace lbsagg {
+namespace engine {
+
+inline constexpr char kWalMagic[8] = {'L', 'B', 'S', 'W', 'A', 'L', '0', '1'};
+inline constexpr uint32_t kWalVersion = 1;
+inline constexpr size_t kWalHeaderBytes = 24;
+inline constexpr size_t kWalFrameBytes = 8;  // length + crc prefix
+
+// One byte of payload[0].
+enum class WalRecordType : uint8_t {
+  kBeginRound = 1,
+  kObservation = 2,
+  kEndRound = 3,
+};
+
+struct WalBeginRound {
+  uint64_t round = 0;
+  Vec2 sample_point{};
+};
+
+struct WalEndRound {
+  uint64_t round = 0;
+  uint64_t queries_after = 0;
+  uint64_t num_observations = 0;
+};
+
+// ---- segment header ----
+
+inline std::string EncodeWalHeader(uint64_t start_round) {
+  std::string out;
+  out.append(kWalMagic, sizeof(kWalMagic));
+  BinaryWriter w(&out);
+  w.PutU32(kWalVersion);
+  w.PutU64(start_round);
+  w.PutU32(Crc32(out.data() + sizeof(kWalMagic), 12));
+  return out;
+}
+
+// Returns false when the header is short, the magic/version is wrong, or
+// the header crc fails.
+inline bool DecodeWalHeader(std::string_view bytes, uint64_t* start_round) {
+  if (bytes.size() < kWalHeaderBytes) return false;
+  if (std::string_view(bytes.data(), sizeof(kWalMagic)) !=
+      std::string_view(kWalMagic, sizeof(kWalMagic))) {
+    return false;
+  }
+  BinaryReader r(bytes.data() + sizeof(kWalMagic), 16);
+  uint32_t version, crc;
+  if (!r.GetU32(&version) || !r.GetU64(start_round) || !r.GetU32(&crc)) {
+    return false;
+  }
+  if (version != kWalVersion) return false;
+  return crc == Crc32(bytes.data() + sizeof(kWalMagic), 12);
+}
+
+// ---- record payloads ----
+
+inline void EncodeBeginRound(const WalBeginRound& v, std::string* out) {
+  BinaryWriter w(out);
+  w.PutU8(static_cast<uint8_t>(WalRecordType::kBeginRound));
+  w.PutU64(v.round);
+  w.PutF64(v.sample_point.x);
+  w.PutF64(v.sample_point.y);
+}
+
+inline void EncodeObservation(const Observation& v, std::string* out) {
+  BinaryWriter w(out);
+  w.PutU8(static_cast<uint8_t>(WalRecordType::kObservation));
+  w.PutI32(v.tuple_id);
+  w.PutI32(v.rank);
+  w.PutI32(v.h);
+  w.PutU8(v.has_location ? 1 : 0);
+  w.PutF64(v.location.x);
+  w.PutF64(v.location.y);
+  w.PutU8(static_cast<uint8_t>(v.weight_form));
+  w.PutF64(v.weight);
+  w.PutU8(v.exact ? 1 : 0);
+  w.PutU64(v.cost);
+}
+
+inline void EncodeEndRound(const WalEndRound& v, std::string* out) {
+  BinaryWriter w(out);
+  w.PutU8(static_cast<uint8_t>(WalRecordType::kEndRound));
+  w.PutU64(v.round);
+  w.PutU64(v.queries_after);
+  w.PutU64(v.num_observations);
+}
+
+// Decoders over a payload *after* the leading type byte.
+
+inline bool DecodeBeginRound(BinaryReader* r, WalBeginRound* v) {
+  return r->GetU64(&v->round) && r->GetF64(&v->sample_point.x) &&
+         r->GetF64(&v->sample_point.y);
+}
+
+inline bool DecodeObservation(BinaryReader* r, Observation* v) {
+  int32_t tuple_id, rank, h;
+  uint8_t has_location, weight_form, exact;
+  if (!r->GetI32(&tuple_id) || !r->GetI32(&rank) || !r->GetI32(&h) ||
+      !r->GetU8(&has_location) || !r->GetF64(&v->location.x) ||
+      !r->GetF64(&v->location.y) || !r->GetU8(&weight_form) ||
+      !r->GetF64(&v->weight) || !r->GetU8(&exact) || !r->GetU64(&v->cost)) {
+    return false;
+  }
+  if (weight_form > static_cast<uint8_t>(WeightForm::kProbability)) {
+    return false;
+  }
+  v->tuple_id = tuple_id;
+  v->rank = rank;
+  v->h = h;
+  v->has_location = has_location != 0;
+  v->weight_form = static_cast<WeightForm>(weight_form);
+  v->exact = exact != 0;
+  return true;
+}
+
+inline bool DecodeEndRound(BinaryReader* r, WalEndRound* v) {
+  return r->GetU64(&v->round) && r->GetU64(&v->queries_after) &&
+         r->GetU64(&v->num_observations);
+}
+
+// Frames a payload into [len][crc][payload].
+inline std::string FrameWalRecord(std::string_view payload) {
+  std::string out;
+  BinaryWriter w(&out);
+  w.PutU32(static_cast<uint32_t>(payload.size()));
+  w.PutU32(Crc32(payload));
+  out.append(payload.data(), payload.size());
+  return out;
+}
+
+// Segment file name for a starting round: "wal-0000000000000040.wal".
+std::string WalSegmentName(uint64_t start_round);
+
+// Parses a segment file name; false when `name` is not a WAL segment.
+bool ParseWalSegmentName(std::string_view name, uint64_t* start_round);
+
+// Checkpoint file name for a round boundary: "ckpt-0000000000000040.ckpt".
+std::string CheckpointName(uint64_t round);
+bool ParseCheckpointName(std::string_view name, uint64_t* round);
+
+}  // namespace engine
+}  // namespace lbsagg
+
+#endif  // LBSAGG_ENGINE_LOG_WAL_FORMAT_H_

@@ -1,10 +1,11 @@
 #include "engine/lr_resolver.h"
 
 #include <algorithm>
-#include <sstream>
 #include <vector>
 
+#include "engine/resolver_state.h"
 #include "util/check.h"
+#include "util/json_writer.h"
 
 namespace lbsagg {
 namespace engine {
@@ -139,17 +140,72 @@ void LrCellResolver::ResolveRound(const EvidenceDemand& demand,
 }
 
 std::string LrCellResolver::diagnostics_json() const {
-  std::ostringstream out;
-  out << "{\"resolver\":\"lr\",\"rounds\":" << diagnostics_.rounds
-      << ",\"cells_exact\":" << diagnostics_.cells_exact
-      << ",\"cells_monte_carlo\":" << diagnostics_.cells_monte_carlo
-      << ",\"cell_queries\":" << diagnostics_.cell_queries << ",\"h_used\":[";
+  JsonWriter json;
+  json.BeginObject()
+      .KV("resolver", "lr")
+      .KV("rounds", static_cast<uint64_t>(diagnostics_.rounds))
+      .KV("cells_exact", static_cast<uint64_t>(diagnostics_.cells_exact))
+      .KV("cells_monte_carlo",
+          static_cast<uint64_t>(diagnostics_.cells_monte_carlo))
+      .KV("cell_queries", diagnostics_.cell_queries)
+      .Key("h_used")
+      .BeginArray();
   for (size_t i = 0; i < 8; ++i) {
-    if (i > 0) out << ",";
-    out << diagnostics_.h_used[i];
+    json.Value(static_cast<uint64_t>(diagnostics_.h_used[i]));
   }
-  out << "]}";
-  return out.str();
+  json.EndArray().EndObject();
+  return json.TakeString();
+}
+
+void LrCellResolver::SaveState(std::string* out) const {
+  BinaryWriter w(out);
+  SaveResolverHeader(&w, kLrResolverTag);
+  SaveRngState(&w, rng_);
+  const std::vector<std::pair<int, Vec2>> entries = history_.Entries();
+  w.PutU64(entries.size());
+  for (const auto& [id, pos] : entries) {
+    w.PutI32(id);
+    w.PutF64(pos.x);
+    w.PutF64(pos.y);
+  }
+  w.PutU64(diagnostics_.rounds);
+  w.PutU64(diagnostics_.cells_exact);
+  w.PutU64(diagnostics_.cells_monte_carlo);
+  w.PutU64(diagnostics_.cell_queries);
+  for (size_t h : diagnostics_.h_used) w.PutU64(h);
+}
+
+bool LrCellResolver::RestoreState(std::string_view blob) {
+  LBSAGG_CHECK_EQ(history_.size(), 0u)
+      << "RestoreState requires a fresh resolver";
+  BinaryReader r(blob);
+  if (!CheckResolverHeader(&r, kLrResolverTag)) return false;
+  if (!RestoreRngState(&r, &rng_)) return false;
+  uint64_t entries = 0;
+  if (!r.GetU64(&entries)) return false;
+  for (uint64_t i = 0; i < entries; ++i) {
+    int32_t id;
+    Vec2 pos;
+    if (!r.GetI32(&id) || !r.GetF64(&pos.x) || !r.GetF64(&pos.y)) return false;
+    // Replaying Record() in insertion order reproduces the kd-index rebuild
+    // schedule exactly — indexed_ is a pure function of the entry count.
+    history_.Record(id, pos);
+  }
+  uint64_t rounds, exact, mc, cell_queries;
+  if (!r.GetU64(&rounds) || !r.GetU64(&exact) || !r.GetU64(&mc) ||
+      !r.GetU64(&cell_queries)) {
+    return false;
+  }
+  diagnostics_.rounds = rounds;
+  diagnostics_.cells_exact = exact;
+  diagnostics_.cells_monte_carlo = mc;
+  diagnostics_.cell_queries = cell_queries;
+  for (size_t& h : diagnostics_.h_used) {
+    uint64_t v;
+    if (!r.GetU64(&v)) return false;
+    h = v;
+  }
+  return r.ok() && r.remaining() == 0;
 }
 
 }  // namespace engine

@@ -82,6 +82,11 @@ class LrCellResolver final : public CellResolver {
   const char* name() const override { return "lr"; }
   std::string diagnostics_json() const override;
 
+  // Mutable state: the rng stream, the location history (with its kd index
+  // implied by the insertion sequence), and the diagnostics tallies.
+  void SaveState(std::string* out) const override;
+  bool RestoreState(std::string_view blob) override;
+
   const LrAggDiagnostics& diagnostics() const { return diagnostics_; }
   History& history() { return history_; }
   const LrAggOptions& options() const { return options_; }

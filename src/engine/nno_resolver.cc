@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
-#include <sstream>
 #include <vector>
 
+#include "engine/resolver_state.h"
 #include "util/check.h"
+#include "util/json_writer.h"
 
 namespace lbsagg {
 namespace engine {
@@ -138,12 +139,38 @@ void NnoProbeResolver::ResolveRound(const EvidenceDemand& demand,
 }
 
 std::string NnoProbeResolver::diagnostics_json() const {
-  std::ostringstream out;
-  out << "{\"resolver\":\"nno\",\"rounds\":" << diagnostics_.rounds
-      << ",\"growth_rounds\":" << diagnostics_.growth_rounds
-      << ",\"mc_probes\":" << diagnostics_.mc_probes
-      << ",\"mc_hits\":" << diagnostics_.mc_hits << "}";
-  return out.str();
+  JsonWriter json;
+  json.BeginObject()
+      .KV("resolver", "nno")
+      .KV("rounds", static_cast<uint64_t>(diagnostics_.rounds))
+      .KV("growth_rounds", diagnostics_.growth_rounds)
+      .KV("mc_probes", diagnostics_.mc_probes)
+      .KV("mc_hits", diagnostics_.mc_hits)
+      .EndObject();
+  return json.TakeString();
+}
+
+void NnoProbeResolver::SaveState(std::string* out) const {
+  BinaryWriter w(out);
+  SaveResolverHeader(&w, kNnoResolverTag);
+  SaveRngState(&w, rng_);
+  w.PutU64(diagnostics_.rounds);
+  w.PutU64(diagnostics_.growth_rounds);
+  w.PutU64(diagnostics_.mc_probes);
+  w.PutU64(diagnostics_.mc_hits);
+}
+
+bool NnoProbeResolver::RestoreState(std::string_view blob) {
+  BinaryReader r(blob);
+  if (!CheckResolverHeader(&r, kNnoResolverTag)) return false;
+  if (!RestoreRngState(&r, &rng_)) return false;
+  uint64_t rounds;
+  if (!r.GetU64(&rounds) || !r.GetU64(&diagnostics_.growth_rounds) ||
+      !r.GetU64(&diagnostics_.mc_probes) || !r.GetU64(&diagnostics_.mc_hits)) {
+    return false;
+  }
+  diagnostics_.rounds = rounds;
+  return r.ok() && r.remaining() == 0;
 }
 
 }  // namespace engine

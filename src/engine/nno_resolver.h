@@ -65,6 +65,11 @@ class NnoProbeResolver final : public CellResolver {
   const char* name() const override { return "nno"; }
   std::string diagnostics_json() const override;
 
+  // Mutable state: the rng stream and the diagnostics tallies (the probe
+  // baseline learns nothing across rounds).
+  void SaveState(std::string* out) const override;
+  bool RestoreState(std::string_view blob) override;
+
   const NnoDiagnostics& diagnostics() const { return diagnostics_; }
   const NnoOptions& options() const { return options_; }
 

@@ -1,0 +1,61 @@
+#ifndef LBSAGG_ENGINE_RESOLVER_STATE_H_
+#define LBSAGG_ENGINE_RESOLVER_STATE_H_
+
+// Shared encode/decode helpers for the resolvers' SaveState/RestoreState
+// blobs (cell_resolver.h). Each resolver frames its blob as
+//   [u8 family tag] [u8 version] [rng state] [family-specific fields]
+// through these primitives, so the rng serialization — the part every
+// family shares and the part bit-identical resume is most sensitive to —
+// cannot diverge between families.
+
+#include <cstdint>
+
+#include "util/binary_io.h"
+#include "util/rng.h"
+
+namespace lbsagg {
+namespace engine {
+
+// Family tags, first byte of every resolver blob. A blob restored into the
+// wrong family fails fast instead of misparsing.
+inline constexpr uint8_t kLrResolverTag = 0x4C;   // 'L'
+inline constexpr uint8_t kLnrResolverTag = 0x4E;  // 'N'
+inline constexpr uint8_t kNnoResolverTag = 0x4F;  // 'O'
+
+inline constexpr uint8_t kResolverStateVersion = 1;
+
+inline void SaveRngState(BinaryWriter* w, const Rng& rng) {
+  const Rng::State s = rng.SaveState();
+  for (uint64_t word : s.words) w->PutU64(word);
+  w->PutF64(s.cached_normal);
+  w->PutU8(s.has_cached_normal ? 1 : 0);
+}
+
+inline bool RestoreRngState(BinaryReader* r, Rng* rng) {
+  Rng::State s;
+  for (uint64_t& word : s.words) {
+    if (!r->GetU64(&word)) return false;
+  }
+  uint8_t has_cached = 0;
+  if (!r->GetF64(&s.cached_normal) || !r->GetU8(&has_cached)) return false;
+  s.has_cached_normal = has_cached != 0;
+  rng->RestoreState(s);
+  return true;
+}
+
+// Header shared by every family blob; returns false on tag/version mismatch.
+inline void SaveResolverHeader(BinaryWriter* w, uint8_t tag) {
+  w->PutU8(tag);
+  w->PutU8(kResolverStateVersion);
+}
+
+inline bool CheckResolverHeader(BinaryReader* r, uint8_t expected_tag) {
+  uint8_t tag = 0, version = 0;
+  if (!r->GetU8(&tag) || !r->GetU8(&version)) return false;
+  return tag == expected_tag && version == kResolverStateVersion;
+}
+
+}  // namespace engine
+}  // namespace lbsagg
+
+#endif  // LBSAGG_ENGINE_RESOLVER_STATE_H_

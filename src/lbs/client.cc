@@ -30,6 +30,19 @@ bool LbsClient::HasBudget(uint64_t upcoming) const {
   return queries_used() + upcoming <= options_.budget;
 }
 
+uint64_t LbsClient::MemoStateHash() const {
+  // Commutative combine (sum of per-key mixes) so the unordered_map's
+  // iteration order — which varies across processes — cannot change the
+  // hash. 0 iff the memo is empty.
+  uint64_t hash = 0;
+  LocKeyHash key_hash;
+  for (const auto& [key, hits] : memo_) {
+    hash += SplitMix64(static_cast<uint64_t>(key_hash(key)) ^
+                       (0x9e3779b97f4a7c15ull + hits.size()));
+  }
+  return hash;
+}
+
 void LbsClient::SetPassThroughFilter(TupleFilter filter) {
   filter_ = std::move(filter);
   memo_.clear();

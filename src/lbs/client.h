@@ -109,6 +109,22 @@ class LbsClient {
     query_log_.clear();
   }
 
+  // Checkpoint-restore hook (engine/log/): pins the attempt counter to a
+  // value recovered from a durable checkpoint, so a resumed run's budget
+  // arithmetic — HasBudget() gates, queries_after round boundaries, soft
+  // overrun — continues exactly where the interrupted process stopped.
+  // Requires no batch in flight.
+  void RestoreQueryCount(uint64_t queries) {
+    queries_used_.store(queries, std::memory_order_relaxed);
+  }
+
+  // Order-independent hash of the cross-round memo's key set (0 when the
+  // memo is off or empty). Checkpoints record it so recovery can detect the
+  // case it cannot replay: memo contents die with the process, and a resumed
+  // run whose memo state differs would answer repeat queries differently
+  // than the interrupted run — see DurableLog's resume gate.
+  uint64_t MemoStateHash() const;
+
   // True if `upcoming` more queries fit in the budget (always true when the
   // budget is unlimited).
   bool HasBudget(uint64_t upcoming = 1) const;

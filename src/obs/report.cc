@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "util/json_writer.h"
+
 namespace lbsagg {
 namespace obs {
 
@@ -11,6 +13,18 @@ std::string FormatDouble(double v) {
   std::ostringstream os;
   os << v;
   return os.str();
+}
+
+// Quoted JSON string with real escaping (JsonWriter::AppendEscaped), so a
+// meta value carrying a quote, backslash, or newline cannot corrupt the
+// report. The pretty-printed layout itself stays hand-assembled.
+std::string Quoted(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  JsonWriter::AppendEscaped(&out, s);
+  out.push_back('"');
+  return out;
 }
 
 // Re-indents a pre-serialized JSON blob by prefixing continuation lines;
@@ -59,13 +73,13 @@ std::string RunReport::ToJson(int indent) const {
   os << in << "\"meta\": {";
   bool first = true;
   for (const auto& [key, value] : meta_) {
-    os << (first ? "\n" : ",\n") << in2 << '"' << key << "\": \"" << value
-       << '"';
+    os << (first ? "\n" : ",\n") << in2 << Quoted(key) << ": "
+       << Quoted(value);
     first = false;
   }
   for (const auto& [key, value] : meta_num_) {
-    os << (first ? "\n" : ",\n") << in2 << '"' << key
-       << "\": " << FormatDouble(value);
+    os << (first ? "\n" : ",\n") << in2 << Quoted(key)
+       << ": " << FormatDouble(value);
     first = false;
   }
   os << (first ? "" : "\n" + in) << "},\n";
@@ -73,8 +87,8 @@ std::string RunReport::ToJson(int indent) const {
   os << in << "\"stats\": {";
   first = true;
   for (const auto& [name, stats] : stats_) {
-    os << (first ? "\n" : ",\n") << in2 << '"' << name
-       << "\": " << stats.ToJson();
+    os << (first ? "\n" : ",\n") << in2 << Quoted(name)
+       << ": " << stats.ToJson();
     first = false;
   }
   os << (first ? "" : "\n" + in) << "},\n";
@@ -84,8 +98,8 @@ std::string RunReport::ToJson(int indent) const {
   os << in << "\"sections\": {";
   first = true;
   for (const auto& [name, blob] : sections_) {
-    os << (first ? "\n" : ",\n") << in2 << '"' << name
-       << "\": " << IndentBlob(blob, in2);
+    os << (first ? "\n" : ",\n") << in2 << Quoted(name)
+       << ": " << IndentBlob(blob, in2);
     first = false;
   }
   os << (first ? "" : "\n" + in) << "}\n";

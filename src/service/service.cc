@@ -1,10 +1,11 @@
 #include "service/service.h"
 
 #include <algorithm>
-#include <sstream>
 #include <utility>
 
+#include "engine/log/durable_log.h"
 #include "util/check.h"
+#include "util/json_writer.h"
 
 namespace lbsagg {
 namespace service {
@@ -46,6 +47,9 @@ struct EstimationService::ActiveRun {
   std::unique_ptr<engine::CellResolver> resolver;
   std::unique_ptr<engine::EstimationEngine> engine;
   std::vector<engine::AggregateQuery*> aggregates;
+  // Durable evidence log (spec.wal_dir); declared last so it detaches from
+  // the engine and closes before the engine/client it reads are destroyed.
+  std::unique_ptr<engine::DurableEvidenceLog> wal;
 };
 
 struct EstimationService::Session {
@@ -323,6 +327,43 @@ void EstimationService::Activate(Session* session) {
     }
   }
 
+  // Session persistence (DESIGN.md §4.14). Resume first — recovery and the
+  // evidence replay must run against the freshly built stack before any new
+  // round — then attach the durable log so every round from here on lands
+  // in the WAL. Failures reject the session rather than run it: a resumed
+  // run whose state cannot be restored bit-identically must not proceed.
+  const std::string wal_dir = !session->spec.resume_from.empty()
+                                  ? session->spec.resume_from
+                                  : session->spec.wal_dir;
+  if (!wal_dir.empty()) {
+    if (!session->spec.resume_from.empty()) {
+      engine::RecoveredRun rec = engine::RecoverDurableRun(wal_dir);
+      std::string error = rec.error;
+      if (error.empty()) {
+        run->engine->RestoreEvidence(rec.evidence);
+        error = engine::ApplyCheckpoint(rec, run->engine.get(),
+                                        run->client.get());
+      }
+      if (!error.empty()) {
+        Finalize(session, SessionState::kRejected, "resume failed: " + error);
+        return;
+      }
+      // The round cap continues where the interrupted run stopped, exactly
+      // as the uninterrupted run would count it.
+      session->rounds = run->engine->evidence().num_rounds();
+    }
+    engine::DurableLogOptions log_options;
+    log_options.dir = wal_dir;
+    log_options.checkpoint_every_rounds = session->spec.checkpoint_every_rounds;
+    run->wal = std::make_unique<engine::DurableEvidenceLog>(
+        log_options, run->engine.get(), run->client.get());
+    if (!run->wal->ok()) {
+      Finalize(session, SessionState::kRejected,
+               "durable log failed: " + run->wal->error());
+      return;
+    }
+  }
+
   session->run = std::move(run);
   session->state = SessionState::kRunning;
   session->start_ms = NowMs();
@@ -335,6 +376,10 @@ void EstimationService::Finalize(Session* session, SessionState state,
                                  std::string detail) {
   LBSAGG_CHECK(IsTerminal(state));
   if (session->run != nullptr) {
+    // Final checkpoint + sync before the engine state is frozen: a session
+    // finalized at its budget leaves a WAL that recovers to exactly the
+    // finalized state (and a cancelled one resumes from where it stopped).
+    if (session->run->wal != nullptr) session->run->wal->Close();
     const engine::EstimationEngine& eng = *session->run->engine;
     session->queries = eng.queries_used();
     session->results.reserve(session->run->aggregates.size());
@@ -452,6 +497,8 @@ bool EstimationService::RunSlice() {
     eng->Step();
     ++session->rounds;
     ++ran;
+    // Round-aligned checkpoint policy, between steps (post-fold state).
+    if (session->run->wal != nullptr) session->run->wal->MaybeCheckpoint();
   }
   if (rt.dedup != nullptr) rt.dedup->SetHitSink(nullptr);
 
@@ -549,28 +596,38 @@ std::vector<SessionIntrospection> EstimationService::IntrospectSessions()
 }
 
 std::string EstimationService::diagnostics_json() const {
-  std::ostringstream out;
-  out << "{\"sessions\":{\"submitted\":" << submitted_
-      << ",\"completed\":" << completed_ << ",\"rejected\":" << rejected_
-      << ",\"cancelled\":" << cancelled_
-      << ",\"deadline_exceeded\":" << deadline_exceeded_ << "}"
-      << ",\"queued\":" << queue_.size() << ",\"active\":" << active_.size()
-      << ",\"slices\":" << ticks_ << ",\"admission\":{\"policy\":\""
-      << AdmissionPolicyName(queue_.options().policy)
-      << "\",\"queue_capacity\":" << queue_.options().queue_capacity
-      << ",\"max_active\":" << queue_.options().max_active << "}"
-      << ",\"dispatcher_workers\":" << options_.dispatcher_workers
-      << ",\"dedup\":[";
-  for (size_t i = 0; i < runtimes_.size(); ++i) {
-    if (i > 0) out << ",";
-    if (runtimes_[i]->dedup != nullptr) {
-      out << runtimes_[i]->dedup->ToJson();
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("sessions")
+      .BeginObject()
+      .KV("submitted", submitted_)
+      .KV("completed", completed_)
+      .KV("rejected", rejected_)
+      .KV("cancelled", cancelled_)
+      .KV("deadline_exceeded", deadline_exceeded_)
+      .EndObject();
+  json.KV("queued", static_cast<uint64_t>(queue_.size()))
+      .KV("active", static_cast<uint64_t>(active_.size()))
+      .KV("slices", ticks_);
+  json.Key("admission")
+      .BeginObject()
+      .KV("policy", AdmissionPolicyName(queue_.options().policy))
+      .KV("queue_capacity",
+          static_cast<uint64_t>(queue_.options().queue_capacity))
+      .KV("max_active", static_cast<uint64_t>(queue_.options().max_active))
+      .EndObject();
+  json.KV("dispatcher_workers",
+          static_cast<uint64_t>(options_.dispatcher_workers));
+  json.Key("dedup").BeginArray();
+  for (const std::unique_ptr<BackendRuntime>& rt : runtimes_) {
+    if (rt->dedup != nullptr) {
+      json.RawValue(rt->dedup->ToJson());
     } else {
-      out << "null";
+      json.ValueNull();
     }
   }
-  out << "]}";
-  return out.str();
+  json.EndArray().EndObject();
+  return json.TakeString();
 }
 
 }  // namespace service

@@ -97,6 +97,29 @@ struct SessionSpec {
   // the runs-alone bit-identity contract the service tests pin.
   bool memoize_queries = false;
 
+  // Durable evidence log (engine/log/, DESIGN.md §4.14). When non-empty the
+  // session's engine mirrors every committed round into a WAL under this
+  // directory and writes round-aligned checkpoints, so a killed process can
+  // be resumed. The directory is the session's persistence handle — it must
+  // not be shared between concurrent sessions.
+  std::string wal_dir;
+
+  // Resume handle: the wal_dir of an interrupted session. When non-empty,
+  // activation recovers the directory (torn tail truncated, newest valid
+  // checkpoint applied), replays the evidence, and continues the run
+  // bit-identically — the remaining rounds, final estimates, and trace are
+  // those of an uninterrupted run. Logging continues into the same
+  // directory. The spec must otherwise match the interrupted session's
+  // (family, seed, k, aggregates, budget); mismatches and non-resumable
+  // runs (warm query memo) finish kRejected with the reason in `detail`.
+  // wal_dir may be left empty — resume_from names the directory.
+  std::string resume_from;
+
+  // Checkpoint cadence in committed rounds (0 = only at finalization). The
+  // WAL makes evidence durable every round regardless; this only bounds how
+  // many rounds recovery re-executes.
+  uint64_t checkpoint_every_rounds = 64;
+
   // Family-specific tuning. The seed / registry / tracer members inside are
   // ignored — the service substitutes spec.seed and its own obs plane.
   LrAggOptions lr;

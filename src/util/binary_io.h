@@ -1,0 +1,140 @@
+#ifndef LBSAGG_UTIL_BINARY_IO_H_
+#define LBSAGG_UTIL_BINARY_IO_H_
+
+// Little-endian binary encode/decode helpers plus CRC-32, shared by the
+// durable-log subsystem (engine/log/): WAL record payloads, checkpoint
+// blobs, and the resolvers' opaque SaveState/RestoreState blobs all use the
+// same framing primitives so the on-disk formats cannot drift apart.
+//
+// Doubles are serialized as their IEEE-754 bit pattern (a u64), never
+// through text: the durability contract is *bit-identical* resume, and a
+// decimal round-trip would lose the last ulp the engine's traces are pinned
+// on.
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace lbsagg {
+
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over a byte range.
+// Table-driven, built once on first use.
+inline uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0) {
+  static const auto table = [] {
+    struct Table {
+      uint32_t entries[256];
+    } t;
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t.entries[i] = c;
+    }
+    return t;
+  }();
+  uint32_t crc = ~seed;
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    crc = table.entries[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+inline uint32_t Crc32(std::string_view bytes, uint32_t seed = 0) {
+  return Crc32(bytes.data(), bytes.size(), seed);
+}
+
+// Appends fixed-width little-endian values to a std::string buffer.
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(std::string* out) : out_(out) {}
+
+  void PutU8(uint8_t v) { out_->push_back(static_cast<char>(v)); }
+
+  void PutU32(uint32_t v) { PutLe(&v, sizeof(v)); }
+  void PutU64(uint64_t v) { PutLe(&v, sizeof(v)); }
+  void PutI32(int32_t v) { PutLe(&v, sizeof(v)); }
+  void PutI64(int64_t v) { PutLe(&v, sizeof(v)); }
+
+  void PutF64(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    PutU64(bits);
+  }
+
+  // Length-prefixed byte string (u32 length).
+  void PutString(std::string_view s) {
+    PutU32(static_cast<uint32_t>(s.size()));
+    out_->append(s.data(), s.size());
+  }
+
+ private:
+  void PutLe(const void* v, size_t size) {
+    // The library only targets little-endian hosts (every platform the
+    // benchmarks run on); memcpy keeps the write alignment-safe.
+    out_->append(reinterpret_cast<const char*>(v), size);
+  }
+
+  std::string* out_;
+};
+
+// Reads fixed-width little-endian values from a byte range. Never throws:
+// every getter reports success, and a short read latches ok() == false so a
+// decode loop can bail once at the end (torn WAL tails and truncated
+// checkpoint blobs are expected inputs, not programming errors).
+class BinaryReader {
+ public:
+  BinaryReader(const void* data, size_t size)
+      : p_(static_cast<const char*>(data)), end_(p_ + size) {}
+  explicit BinaryReader(std::string_view bytes)
+      : BinaryReader(bytes.data(), bytes.size()) {}
+
+  bool ok() const { return ok_; }
+  size_t remaining() const { return static_cast<size_t>(end_ - p_); }
+
+  bool GetU8(uint8_t* v) { return GetLe(v, sizeof(*v)); }
+  bool GetU32(uint32_t* v) { return GetLe(v, sizeof(*v)); }
+  bool GetU64(uint64_t* v) { return GetLe(v, sizeof(*v)); }
+  bool GetI32(int32_t* v) { return GetLe(v, sizeof(*v)); }
+  bool GetI64(int64_t* v) { return GetLe(v, sizeof(*v)); }
+
+  bool GetF64(double* v) {
+    uint64_t bits;
+    if (!GetU64(&bits)) return false;
+    std::memcpy(v, &bits, sizeof(*v));
+    return true;
+  }
+
+  bool GetString(std::string* s) {
+    uint32_t size;
+    if (!GetU32(&size)) return false;
+    if (remaining() < size) {
+      ok_ = false;
+      return false;
+    }
+    s->assign(p_, size);
+    p_ += size;
+    return true;
+  }
+
+ private:
+  bool GetLe(void* v, size_t size) {
+    if (!ok_ || remaining() < size) {
+      ok_ = false;
+      return false;
+    }
+    std::memcpy(v, p_, size);
+    p_ += size;
+    return true;
+  }
+
+  const char* p_;
+  const char* end_;
+  bool ok_ = true;
+};
+
+}  // namespace lbsagg
+
+#endif  // LBSAGG_UTIL_BINARY_IO_H_

@@ -94,4 +94,18 @@ size_t Rng::Categorical(const std::vector<double>& weights) {
 
 Rng Rng::Fork() { return Rng(Next() ^ 0xd1b54a32d192ed03ull); }
 
+Rng::State Rng::SaveState() const {
+  State state;
+  for (int i = 0; i < 4; ++i) state.words[i] = state_[i];
+  state.cached_normal = cached_normal_;
+  state.has_cached_normal = has_cached_normal_;
+  return state;
+}
+
+void Rng::RestoreState(const State& state) {
+  for (int i = 0; i < 4; ++i) state_[i] = state.words[i];
+  cached_normal_ = state.cached_normal;
+  has_cached_normal_ = state.has_cached_normal;
+}
+
 }  // namespace lbsagg

@@ -51,6 +51,18 @@ class Rng {
   // Forks an independent generator; deterministic given the current state.
   Rng Fork();
 
+  // Serialized generator state for checkpoint/restore: the four xoshiro
+  // words plus the Box–Muller cache. RestoreState makes this generator
+  // produce the exact stream the saved one would have — the primitive the
+  // durable log's bit-identical resume rests on.
+  struct State {
+    uint64_t words[4] = {};
+    double cached_normal = 0.0;
+    bool has_cached_normal = false;
+  };
+  State SaveState() const;
+  void RestoreState(const State& state);
+
   // Adapter so Rng can be used with <random> distributions if ever needed.
   using result_type = uint64_t;
   static constexpr uint64_t min() { return 0; }

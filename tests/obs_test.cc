@@ -256,6 +256,20 @@ TEST(RunReport, MergesMetaStatsSnapshotAndSections) {
   EXPECT_FALSE(report.ToTable().ToString().empty());
 }
 
+// Meta strings route through JsonWriter::AppendEscaped, so a value carrying
+// quotes, backslashes, or newlines stays parseable instead of corrupting
+// the report.
+TEST(RunReport, EscapesMetaStringsAndKeys) {
+  obs::RunReport report;
+  report.SetMeta("dataset", "usa \"6k\"\npath\\to\\file");
+  const std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"usa \\\"6k\\\"\\npath\\\\to\\\\file\""),
+            std::string::npos);
+  // The raw forms must not appear: embedded newlines or bare quotes would
+  // break any consumer that actually parses the report.
+  EXPECT_EQ(json.find("\"6k\"\n"), std::string::npos);
+}
+
 // PublishTransportMetrics bridges the transport's own struct onto the
 // metric plane: counts as counters, levels as gauges.
 TEST(RunReport, TransportMetricsBridgeOntoRegistry) {

@@ -40,13 +40,13 @@ cmake -B build-tsan -S . \
 cmake --build build-tsan -j "$(nproc)" \
   --target transport_test transport_determinism_test sweep_determinism_test \
            sharded_server_test sharded_transport_test obs_test engine_test \
-           service_test introspect_test \
+           service_test introspect_test wal_test durability_test \
   -- --quiet 2>/dev/null \
   || cmake --build build-tsan -j "$(nproc)" \
        --target transport_test transport_determinism_test \
                 sweep_determinism_test sharded_server_test \
                 sharded_transport_test obs_test engine_test service_test \
-                introspect_test
+                introspect_test wal_test durability_test
 
 echo "==> threaded tests under TSAN"
 ./build-tsan/tests/transport_test
@@ -71,6 +71,12 @@ echo "==> threaded tests under TSAN"
 # (multi-producer CAS claims, concurrent drain), plus the trigger-registry
 # re-entrancy cases.
 ./build-tsan/tests/introspect_test
+# wal_test / durability_test: the durable evidence log's storage layer and
+# the crash-recovery matrix. The fork+SIGKILL two-process case compiles out
+# under TSAN (it does not survive forked children); the in-process
+# byte-truncation matrix covers the same cut points.
+./build-tsan/tests/wal_test
+./build-tsan/tests/durability_test
 
 if [[ "$FAST" == "0" ]]; then
   echo "==> perf smoke (optimized build, token min-time)"

@@ -8,6 +8,7 @@
 //              --column=rating --budget=20000
 //   lbsagg_cli --dataset=usa --n=5000 --export=usa.csv
 
+#include <csignal>
 #include <cstdio>
 #include <sstream>
 #include <memory>
@@ -15,6 +16,11 @@
 #include <string>
 
 #include "core/aggregate.h"
+#include "engine/engine.h"
+#include "engine/lnr_resolver.h"
+#include "engine/log/durable_log.h"
+#include "engine/lr_resolver.h"
+#include "engine/nno_resolver.h"
 #include "core/lnr_agg.h"
 #include "core/lr_agg.h"
 #include "core/localize.h"
@@ -198,6 +204,140 @@ int RunLocalize(const FlagParser& flags, Dataset& dataset,
   return 0;
 }
 
+// --wal-dir: one engine-native run with the durable evidence log attached
+// (DESIGN.md §4.14). --resume recovers the directory first and continues
+// bit-identically; --kill-after-rounds SIGKILLs the process mid-run (the
+// two-process crash harness), and the --fail-* flags drive the WAL's
+// deterministic failure injection. The printed trace fingerprint is the
+// bit-identity witness: a killed-and-resumed run must print the same
+// fingerprint as an uninterrupted one.
+int RunDurable(const FlagParser& flags, const AggregateSpec& spec,
+               double truth, LbsServer& server, ShardedTransport* transport,
+               const QuerySampler* sampler) {
+  const std::string wal_dir = flags.GetString("wal-dir");
+  const std::string algorithm = flags.GetString("algorithm");
+  const int k = static_cast<int>(flags.GetInt("k"));
+  const uint64_t budget = static_cast<uint64_t>(flags.GetInt("budget"));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed"));
+
+  std::unique_ptr<LbsClient> client;
+  std::unique_ptr<engine::CellResolver> resolver;
+  if (algorithm == "lr") {
+    auto c = std::make_unique<LrClient>(&server, ClientOptions{.k = k,
+                                                               .budget = budget},
+                                        transport);
+    LrAggOptions opts;
+    opts.seed = seed;
+    resolver = std::make_unique<engine::LrCellResolver>(c.get(), sampler, opts);
+    client = std::move(c);
+  } else if (algorithm == "lnr") {
+    auto c = std::make_unique<LnrClient>(&server,
+                                         ClientOptions{.k = k, .budget = budget});
+    LnrAggOptions opts;
+    opts.seed = seed;
+    opts.cell.search.delta_fraction = 1e-6;
+    opts.cell.search.delta_prime_fraction = 1e-4;
+    resolver =
+        std::make_unique<engine::LnrCellResolver>(c.get(), sampler, opts);
+    client = std::move(c);
+  } else if (algorithm == "nno") {
+    auto c = std::make_unique<LrClient>(&server, ClientOptions{.k = k,
+                                                               .budget = budget},
+                                        transport);
+    NnoOptions opts;
+    opts.seed = seed;
+    resolver = std::make_unique<engine::NnoProbeResolver>(c.get(), opts);
+    client = std::move(c);
+  } else {
+    std::fprintf(stderr, "error: unknown --algorithm=%s\n", algorithm.c_str());
+    return 1;
+  }
+
+  engine::EstimationEngine eng(resolver.get());
+  engine::AggregateQuery* query = eng.AddAggregate(spec);
+
+  uint64_t resumed_rounds = 0;
+  if (flags.GetBool("resume")) {
+    engine::RecoveredRun rec = engine::RecoverDurableRun(wal_dir);
+    std::string error = rec.error;
+    if (error.empty()) {
+      eng.RestoreEvidence(rec.evidence);
+      error = engine::ApplyCheckpoint(rec, &eng, client.get());
+    }
+    if (!error.empty()) {
+      std::fprintf(stderr, "error: resume failed: %s\n", error.c_str());
+      return 1;
+    }
+    resumed_rounds = eng.evidence().num_rounds();
+    std::printf("resumed %s at round %llu (truncated %llu torn bytes, "
+                "re-executing %llu rounds)\n",
+                wal_dir.c_str(),
+                static_cast<unsigned long long>(resumed_rounds),
+                static_cast<unsigned long long>(rec.torn_bytes),
+                static_cast<unsigned long long>(rec.discarded_rounds));
+  }
+
+  engine::DurableLogOptions log_options;
+  log_options.dir = wal_dir;
+  log_options.checkpoint_every_rounds =
+      static_cast<uint64_t>(flags.GetInt("checkpoint-every"));
+  log_options.failpoint.drop_after_bytes =
+      static_cast<uint64_t>(flags.GetInt("fail-after-bytes"));
+  log_options.failpoint.fail_fsync_at =
+      static_cast<uint64_t>(flags.GetInt("fail-fsync-at"));
+  engine::DurableEvidenceLog wal(log_options, &eng, client.get());
+  if (!wal.ok()) {
+    std::fprintf(stderr, "error: durable log failed: %s\n",
+                 wal.error().c_str());
+    return 1;
+  }
+
+  const long long kill_after = flags.GetInt("kill-after-rounds");
+  if (kill_after > 0) {
+    // Crash harness: run N rounds, then die the hard way — no Close, no
+    // final checkpoint, no destructors. Whatever the fsync policy persisted
+    // is what recovery gets.
+    size_t executed = 0;
+    while (eng.queries_used() < budget) {
+      eng.Step();
+      wal.MaybeCheckpoint();
+      if (++executed >= static_cast<size_t>(kill_after)) {
+        std::printf("killing process after %zu rounds\n", executed);
+        std::fflush(stdout);
+        std::raise(SIGKILL);
+      }
+    }
+    wal.Close();
+  } else {
+    RunEngineWithBudget(&eng, &wal, budget);
+  }
+
+  std::printf("%s over %s, durable %s run, k=%d, budget %llu, wal %s\n",
+              spec.name.c_str(), flags.GetString("dataset").c_str(),
+              algorithm.c_str(), k, static_cast<unsigned long long>(budget),
+              wal_dir.c_str());
+  std::printf("final estimate   : %.17g\n", query->Estimate());
+  std::printf("ground truth     : %.2f (simulator-only knowledge)\n", truth);
+  std::printf("queries          : %llu\n",
+              static_cast<unsigned long long>(eng.queries_used()));
+  std::printf("rounds           : %zu (%llu new this process)\n",
+              eng.evidence().num_rounds(),
+              static_cast<unsigned long long>(eng.evidence().num_rounds() -
+                                              resumed_rounds));
+  std::printf("trace fingerprint: %016llx\n",
+              static_cast<unsigned long long>(
+                  engine::TraceFingerprint(query->trace())));
+  const engine::WalWriterStats& stats = wal.wal_stats();
+  std::printf("wal              : %llu records, %llu bytes, %llu fsyncs, "
+              "%llu rotations, %llu checkpoints\n",
+              static_cast<unsigned long long>(stats.records),
+              static_cast<unsigned long long>(stats.bytes),
+              static_cast<unsigned long long>(stats.fsyncs),
+              static_cast<unsigned long long>(stats.rotations),
+              static_cast<unsigned long long>(wal.checkpoints_written()));
+  return 0;
+}
+
 int Run(const FlagParser& flags) {
   std::optional<CliWorld> world = BuildWorld(flags);
   if (!world.has_value()) return 1;
@@ -302,6 +442,16 @@ int Run(const FlagParser& flags) {
   const uint64_t budget = static_cast<uint64_t>(flags.GetInt("budget"));
   const int runs = static_cast<int>(flags.GetInt("runs"));
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed"));
+
+  // --wal-dir: durable single-run path (WAL + checkpoints + resume).
+  if (flags.GetBool("resume") && flags.GetString("wal-dir").empty()) {
+    std::fprintf(stderr, "error: --resume needs --wal-dir\n");
+    return 1;
+  }
+  if (!flags.GetString("wal-dir").empty()) {
+    return RunDurable(flags, spec, truth, server, transport.get(),
+                      sampler.get());
+  }
 
   // --sessions: the same estimator fleet, but hosted — every run becomes a
   // session of one EstimationService (DESIGN.md §4.12), time-sliced against
@@ -539,6 +689,22 @@ int main(int argc, char** argv) {
                   "of the fleet's metric registry to this path ('-' = "
                   "stdout)");
   flags.AddString("sampler", "census", "census | uniform");
+  flags.AddString("wal-dir", "",
+                  "durable run: mirror evidence into a WAL + checkpoints "
+                  "under this directory (single engine-native run)");
+  flags.AddBool("resume", false,
+                "with --wal-dir: recover the directory and continue the "
+                "interrupted run bit-identically");
+  flags.AddInt("checkpoint-every", 64,
+               "with --wal-dir: checkpoint cadence in committed rounds");
+  flags.AddInt("kill-after-rounds", 0,
+               "with --wal-dir: SIGKILL this process after N rounds "
+               "(crash-recovery harness)");
+  flags.AddInt("fail-after-bytes", 0,
+               "with --wal-dir: stop persisting WAL bytes after N "
+               "(torn-tail injection)");
+  flags.AddInt("fail-fsync-at", 0,
+               "with --wal-dir: fail the Nth WAL fsync (1-based)");
   flags.AddString("export", "",
                   "write the generated dataset to this CSV and exit");
   flags.AddInt("localize", 0,
